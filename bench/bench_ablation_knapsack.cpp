@@ -1,0 +1,46 @@
+// Ablation: greedy O(T²) knapsack vs exact branch-and-bound inside the GAP
+// solver of the mapping phase.
+//
+// The Cohen-Katzir-Raz GAP approximation is (1+α)-approximate where α is the
+// knapsack subroutine's ratio (§III-C) — "both the quality and time
+// complexity of this approach mostly depend on the knapsack solver". This
+// bench quantifies that dependency: admission counts, mapping cost, and
+// mapping runtime under both solvers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kairos;
+
+  std::printf("Ablation: knapsack solver inside SolveGAP "
+              "(greedy-swap vs exact branch-and-bound)\n\n");
+
+  util::Table table({"Dataset", "Greedy admitted", "Exact admitted",
+                     "Greedy map ms", "Exact map ms"});
+  for (const auto kind : gen::kAllDatasets) {
+    long admitted[2] = {0, 0};
+    double map_ms[2] = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+      bench::SequenceConfig config;
+      config.sequences = 10;
+      config.kairos.exact_knapsack = s == 1;
+      const auto r = bench::run_sequences(kind, config);
+      admitted[s] = r.admitted;
+      util::RunningStats ms;
+      for (const auto& [tasks, phases] : r.phase_ms_by_tasks) {
+        ms.merge(phases[1]);
+      }
+      map_ms[s] = ms.mean();
+    }
+    table.add_row({gen::dataset_spec(kind).name, std::to_string(admitted[0]),
+                   std::to_string(admitted[1]), util::fmt(map_ms[0], 4),
+                   util::fmt(map_ms[1], 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: near-identical admission counts (the greedy solver\n"
+              "is close to exact on these bin sizes) at a fraction of the\n"
+              "exact solver's worst-case cost.\n");
+  return 0;
+}

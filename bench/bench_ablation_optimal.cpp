@@ -1,0 +1,101 @@
+// Ablation: heuristic mapping quality vs the exhaustive optimum.
+//
+// §V of the paper: "In future research, we compare these results with an ILP
+// formulation to determine the quality of the resource allocations." This
+// bench performs that comparison on instances small enough for exhaustive
+// branch-and-bound: the incremental mapper's layout cost relative to the
+// optimal layout cost, plus the runtime gap.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/binding.hpp"
+#include "core/mapping.hpp"
+#include "platform/builders.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace kairos;
+
+graph::Application random_pipeline(util::Xoshiro256& rng, int tasks) {
+  graph::Application app("pipe");
+  graph::TaskId prev;
+  for (int i = 0; i < tasks; ++i) {
+    const graph::TaskId t = app.add_task("t" + std::to_string(i));
+    graph::Implementation impl;
+    impl.name = "v";
+    impl.target = platform::ElementType::kGeneric;
+    impl.requirement =
+        platform::ResourceVector(rng.uniform_int(300, 700), 64, 0, 0);
+    impl.exec_time = 5;
+    app.task_mut(t).add_implementation(impl);
+    if (i > 0) app.add_channel(prev, t, rng.uniform_int(10, 100));
+    prev = t;
+  }
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: incremental mapper vs exhaustive optimum "
+              "(layout_cost objective, 4x4 mesh)\n\n");
+
+  const core::CostWeights weights{1.0, 10.0, 0.0, 0.0};
+  util::Table table({"Tasks", "Instances", "Mean cost ratio",
+                     "Worst ratio", "Heuristic ms", "Optimal ms"});
+
+  for (const int tasks : {2, 3, 4, 5, 6}) {
+    util::RunningStats ratio;
+    util::RunningStats heuristic_ms;
+    util::RunningStats optimal_ms;
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(tasks) * 1000 + 7);
+
+    for (int instance = 0; instance < 20; ++instance) {
+      platform::BuilderConfig cfg;
+      cfg.element_type = platform::ElementType::kGeneric;
+      platform::Platform mesh = platform::make_mesh(4, 4, cfg);
+      const graph::Application app = random_pipeline(rng, tasks);
+      const core::PinTable pins(app.task_count());
+      const std::vector<int> impls(app.task_count(), 0);
+
+      platform::Platform p1 = mesh;
+      util::Stopwatch watch;
+      core::MapperConfig mapper_config;
+      mapper_config.weights = weights;
+      const auto heuristic =
+          core::IncrementalMapper(mapper_config).map(app, impls, pins, p1);
+      heuristic_ms.add(watch.elapsed_ms());
+      if (!heuristic.ok) continue;
+      const double h_cost =
+          core::layout_cost(app, p1, heuristic.element_of, weights);
+
+      platform::Platform p2 = mesh;
+      watch.reset();
+      core::OptimalMapConfig optimal_config;
+      optimal_config.weights = weights;
+      const auto optimal =
+          core::optimal_map(app, impls, pins, p2, optimal_config);
+      optimal_ms.add(watch.elapsed_ms());
+      if (!optimal.ok) continue;
+      const double o_cost =
+          core::layout_cost(app, p2, optimal.element_of, weights);
+
+      ratio.add(o_cost > 0 ? h_cost / o_cost : 1.0);
+    }
+
+    table.add_row({std::to_string(tasks), std::to_string(ratio.count()),
+                   util::fmt(ratio.mean(), 3), util::fmt(ratio.max(), 3),
+                   util::fmt(heuristic_ms.mean(), 4),
+                   util::fmt(optimal_ms.mean(), 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: the heuristic stays within a small constant factor\n"
+              "of optimal (the GAP guarantee is (1+alpha) per neighborhood)\n"
+              "while the exhaustive search's runtime explodes with size —\n"
+              "why the paper had to defer the ILP comparison.\n");
+  return 0;
+}

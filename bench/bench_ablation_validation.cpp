@@ -1,0 +1,89 @@
+// Ablation: state-space exploration vs maximum-cycle-ratio analysis in the
+// validation phase.
+//
+// §V of the paper: "the validation method ... clearly becomes problematic
+// when the complexity of the task graph increases" and proposes moving the
+// expensive analysis out of the admission path. The MCR analyzer is that
+// direction: this bench measures both analyzers on the same admissions and
+// checks they agree on the computed throughput.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/binding.hpp"
+#include "core/mapping.hpp"
+#include "core/routing_phase.hpp"
+#include "core/validation_phase.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace kairos;
+
+  std::printf("Ablation: validation analysis (state space vs MCR)\n\n");
+
+  util::Table table({"Dataset", "Apps", "State-space ms", "MCR ms",
+                     "Speedup", "Max |dT|"});
+  for (const auto kind : gen::kAllDatasets) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::KairosConfig config;
+    config.weights = {4.0, 100.0};
+    config.validation_rejects = false;
+    auto apps = gen::make_dataset(kind, 40, 0xC0FFEE);
+    auto kept = gen::filter_admissible(std::move(apps), crisp, config);
+
+    const core::BindingPhase binding(crisp);
+    const core::IncrementalMapper mapper(
+        core::MapperConfig{config.weights, {}, 1, false});
+    const core::RoutingPhase routing;
+
+    util::RunningStats state_ms;
+    util::RunningStats mcr_ms;
+    double max_delta = 0.0;
+    long validated = 0;
+
+    for (const auto& app : kept) {
+      crisp.clear_allocations();
+      const auto pins = core::resolve_pins(app, crisp);
+      const auto bound = binding.bind(app, pins.value());
+      if (!bound.ok) continue;
+      const auto mapped = mapper.map(app, bound.impl_of, pins.value(), crisp);
+      if (!mapped.ok) continue;
+      const auto routed = routing.route(app, mapped.element_of, crisp);
+      if (!routed.ok) continue;
+
+      core::ValidationConfig slow;
+      core::ValidationConfig fast;
+      fast.use_mcr = true;
+
+      util::Stopwatch watch;
+      const auto exact = core::ValidationPhase(slow).validate(
+          app, bound.impl_of, mapped.element_of, routed.routes);
+      state_ms.add(watch.elapsed_ms());
+
+      watch.reset();
+      const auto mcr = core::ValidationPhase(fast).validate(
+          app, bound.impl_of, mapped.element_of, routed.routes);
+      mcr_ms.add(watch.elapsed_ms());
+
+      if (exact.status == sdf::ThroughputStatus::kPeriodic) {
+        max_delta = std::max(max_delta,
+                             std::abs(exact.throughput - mcr.throughput));
+      }
+      ++validated;
+    }
+
+    table.add_row(
+        {gen::dataset_spec(kind).name, std::to_string(validated),
+         util::fmt(state_ms.mean(), 4), util::fmt(mcr_ms.mean(), 4),
+         mcr_ms.mean() > 0
+             ? util::fmt(state_ms.mean() / mcr_ms.mean(), 1) + "x"
+             : "-",
+         util::fmt(max_delta, 9)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: identical throughput values (max |dT| ~ 0) with the\n"
+              "MCR analysis one to two orders of magnitude faster on larger\n"
+              "applications — the §V future-work payoff.\n");
+  return 0;
+}

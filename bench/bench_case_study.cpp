@@ -1,0 +1,74 @@
+// Reproduces the §IV-A case study: allocating the 53-task beamforming
+// application on the CRISP platform and reporting the per-phase wall-clock
+// times.
+//
+// Paper reference (200 MHz ARM926EJ-S, Linux 2.6.28):
+//   binding 70.4 ms, mapping 21.7 ms, routing 7.4 ms, validation 20.6 ms.
+// Absolute numbers on a desktop-class host are orders of magnitude smaller;
+// the reproduction target is the claim that "the mapping algorithm scales
+// quite well" — mapping time for 53 tasks stays in the same league as the
+// other phases rather than exploding.
+#include <cstdio>
+
+#include "core/resource_manager.hpp"
+#include "gen/beamforming.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kairos;
+
+  platform::Platform crisp = platform::make_crisp_platform();
+  const graph::Application app = gen::make_beamforming_application();
+  std::printf("beamforming case study: %zu tasks, %zu channels\n\n",
+              app.task_count(), app.channel_count());
+
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+
+  // Repeat the allocation to get stable timing statistics.
+  constexpr int kRepetitions = 50;
+  util::RunningStats bind_ms, map_ms, route_ms, validate_ms, hops;
+  bool all_admitted = true;
+  for (int i = 0; i < kRepetitions; ++i) {
+    crisp.clear_allocations();
+    core::ResourceManager kairos(crisp, config);
+    const auto report = kairos.admit(app);
+    if (!report.admitted) {
+      all_admitted = false;
+      std::printf("UNEXPECTED rejection in %s: %s\n",
+                  core::to_string(report.failed_phase).c_str(),
+                  report.reason.c_str());
+      break;
+    }
+    bind_ms.add(report.times.binding_ms);
+    map_ms.add(report.times.mapping_ms);
+    route_ms.add(report.times.routing_ms);
+    validate_ms.add(report.times.validation_ms);
+    hops.add(report.average_hops);
+  }
+  if (!all_admitted) return 1;
+
+  util::Table table(
+      {"Phase", "Paper (ms, 200MHz ARM)", "Here (ms, host)", "Stddev"});
+  table.add_row({"binding", "70.4", util::fmt(bind_ms.mean(), 3),
+                 util::fmt(bind_ms.stddev(), 3)});
+  table.add_row({"mapping", "21.7", util::fmt(map_ms.mean(), 3),
+                 util::fmt(map_ms.stddev(), 3)});
+  table.add_row({"routing", "7.4", util::fmt(route_ms.mean(), 3),
+                 util::fmt(route_ms.stddev(), 3)});
+  table.add_row({"validation", "20.6", util::fmt(validate_ms.mean(), 3),
+                 util::fmt(validate_ms.stddev(), 3)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("admitted in all %d repetitions; avg %.2f hops/channel, final "
+              "fragmentation %.1f%%\n",
+              kRepetitions, hops.mean(),
+              100.0 * platform::external_fragmentation(crisp));
+  std::printf("\nexpected shape (paper): a single allocation attempt takes\n"
+              "tens of milliseconds on the embedded target; mapping scales\n"
+              "well (same league as routing/validation) even for this\n"
+              "45-DSP-wide application.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "bench_common.hpp"
+
+#include <numeric>
+
+#include "platform/fragmentation.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::bench {
+
+double ExperimentResult::failure_share(core::Phase phase) const {
+  const long total = rejected();
+  if (total == 0) return 0.0;
+  return static_cast<double>(failures[static_cast<std::size_t>(phase)]) /
+         static_cast<double>(total);
+}
+
+ExperimentResult run_sequences(gen::DatasetKind kind,
+                               const SequenceConfig& config) {
+  ExperimentResult result;
+  result.dataset_name = gen::dataset_spec(kind).name;
+
+  platform::Platform crisp = platform::make_crisp_platform();
+
+  auto apps =
+      gen::make_dataset(kind, config.apps_per_dataset, config.dataset_seed);
+  result.generated = apps.size();
+  auto kept = gen::filter_admissible(std::move(apps), crisp, config.kairos);
+  result.kept = kept.size();
+
+  result.success_at.resize(kept.size());
+  result.hops_at.resize(kept.size());
+  result.fragmentation_at.resize(kept.size());
+
+  util::Xoshiro256 shuffle_rng(config.shuffle_seed ^
+                               (static_cast<std::uint64_t>(kind) << 24));
+
+  for (int seq = 0; seq < config.sequences; ++seq) {
+    std::vector<std::size_t> order(kept.size());
+    std::iota(order.begin(), order.end(), 0u);
+    shuffle_rng.shuffle(order);
+
+    crisp.clear_allocations();
+    core::ResourceManager kairos(crisp, config.kairos);
+
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const graph::Application& app = kept[order[pos]];
+      const core::AdmissionReport report = kairos.admit(app);
+      ++result.attempts;
+      result.success_at[pos].add(report.admitted ? 1.0 : 0.0);
+      result.fragmentation_at[pos].add(
+          platform::external_fragmentation(crisp));
+      if (report.admitted) {
+        ++result.admitted;
+        result.hops_at[pos].add(report.average_hops);
+        auto& phases =
+            result.phase_ms_by_tasks[static_cast<int>(app.task_count())];
+        phases[0].add(report.times.binding_ms);
+        phases[1].add(report.times.mapping_ms);
+        phases[2].add(report.times.routing_ms);
+        phases[3].add(report.times.validation_ms);
+      } else {
+        ++result.failures[static_cast<std::size_t>(report.failed_phase)];
+      }
+    }
+  }
+  return result;
+}
+
+ExperimentResult merge_results(const std::vector<ExperimentResult>& results) {
+  ExperimentResult merged;
+  merged.dataset_name = "all datasets";
+  for (const auto& r : results) {
+    merged.generated += r.generated;
+    merged.kept += r.kept;
+    merged.attempts += r.attempts;
+    merged.admitted += r.admitted;
+    for (std::size_t i = 0; i < merged.failures.size(); ++i) {
+      merged.failures[i] += r.failures[i];
+    }
+    auto grow = [](std::vector<util::RunningStats>& into,
+                   const std::vector<util::RunningStats>& from) {
+      if (into.size() < from.size()) into.resize(from.size());
+      for (std::size_t i = 0; i < from.size(); ++i) into[i].merge(from[i]);
+    };
+    grow(merged.success_at, r.success_at);
+    grow(merged.hops_at, r.hops_at);
+    grow(merged.fragmentation_at, r.fragmentation_at);
+    for (const auto& [tasks, phases] : r.phase_ms_by_tasks) {
+      auto& into = merged.phase_ms_by_tasks[tasks];
+      for (std::size_t i = 0; i < phases.size(); ++i) {
+        into[i].merge(phases[i]);
+      }
+    }
+  }
+  return merged;
+}
+
+const std::vector<WeightVariant>& weight_variants() {
+  static const std::vector<WeightVariant> kVariants{
+      {"None", core::CostWeights::none()},
+      {"Communication", {4.0, 0.0}},
+      {"Fragmentation", {0.0, 100.0}},
+      {"Both", {4.0, 100.0}},
+  };
+  return kVariants;
+}
+
+}  // namespace kairos::bench

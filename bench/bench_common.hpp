@@ -1,0 +1,77 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// The evaluation protocol of §IV: each dataset starts with 100 generated
+// applications; applications that cannot be allocated on an empty platform
+// are filtered out; 30 random sequences of the remainder are generated; the
+// platform is benchmarked by sequentially admitting the applications of each
+// sequence (without removals), and emptied between sequences.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "platform/crisp.hpp"
+#include "util/stats.hpp"
+
+namespace kairos::bench {
+
+struct SequenceConfig {
+  int apps_per_dataset = 100;
+  int sequences = 30;
+  std::uint64_t dataset_seed = 0xC0FFEE;
+  std::uint64_t shuffle_seed = 0xBEEF;
+  core::KairosConfig kairos;
+
+  SequenceConfig() {
+    // The paper's experiments do not reject in the validation phase (§IV).
+    kairos.weights = {4.0, 100.0};
+    kairos.validation_rejects = false;
+  }
+};
+
+/// Aggregated outcome of the sequence experiment for one dataset.
+struct ExperimentResult {
+  std::string dataset_name;
+  std::size_t generated = 0;  ///< before filtering
+  std::size_t kept = 0;       ///< after the empty-platform filter (#App)
+
+  long attempts = 0;
+  long admitted = 0;
+  /// Rejections by phase (indexed by core::Phase).
+  std::array<long, 6> failures{};
+
+  /// Per sequence position (0-based): admission indicator, avg hops of the
+  /// admitted application, and platform fragmentation after the attempt.
+  std::vector<util::RunningStats> success_at;
+  std::vector<util::RunningStats> hops_at;
+  std::vector<util::RunningStats> fragmentation_at;
+
+  /// Per application task count: per-phase runtimes (ms) of successful
+  /// attempts — the data behind Fig. 7. Order: bind, map, route, validate.
+  std::map<int, std::array<util::RunningStats, 4>> phase_ms_by_tasks;
+
+  long rejected() const { return attempts - admitted; }
+  double failure_share(core::Phase phase) const;
+};
+
+/// Runs the §IV protocol for one dataset and returns the aggregate.
+ExperimentResult run_sequences(gen::DatasetKind kind,
+                               const SequenceConfig& config);
+
+/// Merges position-indexed and per-task-count statistics of several
+/// datasets (used by Figs. 7-9, which aggregate over all six).
+ExperimentResult merge_results(const std::vector<ExperimentResult>& results);
+
+/// The four cost-function variants of Figs. 8-10.
+struct WeightVariant {
+  std::string name;
+  core::CostWeights weights;
+};
+const std::vector<WeightVariant>& weight_variants();
+
+}  // namespace kairos::bench

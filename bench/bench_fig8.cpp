@@ -1,0 +1,61 @@
+// Reproduces Fig. 8 of the paper: "Average communication resources allocated
+// per channel" — the mapping success rate and the average hops per channel
+// of admitted applications, as a function of the position in the admission
+// sequence, for the four cost-function variants (None / Communication /
+// Fragmentation / Both).
+//
+// Expected shape (paper): the success rate collapses below ~20% after about
+// the 15th application; applications that are still admitted late in the
+// sequence get *fewer* communication resources (an application is only
+// admitted to an almost saturated platform if an area with adjacent elements
+// is still available); fragmentation-weighted mapping yields more hops than
+// communication-weighted mapping.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kairos;
+
+  constexpr int kPositions = 29;  // the paper plots positions 1..29
+  std::printf("Fig. 8 reproduction: hops per channel and success rate vs\n"
+              "position in the admission sequence, per cost variant\n\n");
+
+  // Machine-readable series for re-plotting.
+  util::CsvWriter csv("fig8.csv");
+  csv.write_row({"variant", "position", "success_rate", "hops_per_channel"});
+
+  for (const auto& variant : bench::weight_variants()) {
+    bench::SequenceConfig config;
+    config.kairos.weights = variant.weights;
+
+    std::vector<bench::ExperimentResult> results;
+    for (const auto kind : gen::kAllDatasets) {
+      results.push_back(bench::run_sequences(kind, config));
+    }
+    const bench::ExperimentResult merged = bench::merge_results(results);
+
+    std::printf("--- variant: %s (wc=%g, wf=%g) ---\n", variant.name.c_str(),
+                variant.weights.communication, variant.weights.fragmentation);
+    util::Table table({"Position", "Success rate", "Hops/channel",
+                       "Samples"});
+    for (int pos = 0;
+         pos < kPositions &&
+         pos < static_cast<int>(merged.success_at.size());
+         ++pos) {
+      const auto& s = merged.success_at[static_cast<std::size_t>(pos)];
+      const auto& h = merged.hops_at[static_cast<std::size_t>(pos)];
+      table.add_row({std::to_string(pos + 1), util::fmt_pct(s.mean(), 1),
+                     h.empty() ? "-" : util::fmt(h.mean(), 2),
+                     std::to_string(h.count())});
+      csv.write_row({variant.name, std::to_string(pos + 1),
+                     util::fmt(s.mean(), 4),
+                     h.empty() ? "" : util::fmt(h.mean(), 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("series written to fig8.csv\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 9 of the paper: "External fragmentation of platform
+// resources, averaged over all datasets, using various optimization
+// criteria" — the external resource fragmentation of the platform and the
+// mapping success rate as a function of the position in the admission
+// sequence, for the four cost-function variants.
+//
+// Expected shape (paper): fragmentation converges to ~30% while the success
+// rate converges to ~10%; aiming at fragmentation reduction lowers the
+// fragmentation curve but increases the average communication distance
+// (Fig. 8) and lowers the success rate.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kairos;
+
+  constexpr int kPositions = 29;
+  std::printf("Fig. 9 reproduction: external fragmentation and success rate\n"
+              "vs position in the admission sequence, per cost variant\n\n");
+
+  util::CsvWriter csv("fig9.csv");
+  csv.write_row({"variant", "position", "success_rate", "fragmentation"});
+
+  for (const auto& variant : bench::weight_variants()) {
+    bench::SequenceConfig config;
+    config.kairos.weights = variant.weights;
+
+    std::vector<bench::ExperimentResult> results;
+    for (const auto kind : gen::kAllDatasets) {
+      results.push_back(bench::run_sequences(kind, config));
+    }
+    const bench::ExperimentResult merged = bench::merge_results(results);
+
+    std::printf("--- variant: %s (wc=%g, wf=%g) ---\n", variant.name.c_str(),
+                variant.weights.communication, variant.weights.fragmentation);
+    util::Table table({"Position", "Success rate", "Fragmentation"});
+    for (int pos = 0;
+         pos < kPositions &&
+         pos < static_cast<int>(merged.success_at.size());
+         ++pos) {
+      const auto& s = merged.success_at[static_cast<std::size_t>(pos)];
+      const auto& f = merged.fragmentation_at[static_cast<std::size_t>(pos)];
+      table.add_row({std::to_string(pos + 1), util::fmt_pct(s.mean(), 1),
+                     util::fmt_pct(f.mean(), 1)});
+      csv.write_row({variant.name, std::to_string(pos + 1),
+                     util::fmt(s.mean(), 4), util::fmt(f.mean(), 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("series written to fig9.csv\n");
+  return 0;
+}

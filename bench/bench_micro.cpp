@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark) for the algorithmic building blocks:
+// knapsack solvers, the GAP solver, BFS/Dijkstra routing, SDF throughput
+// analysis, and the end-to-end mapper. These quantify the run-time claims of
+// the paper at component granularity.
+#include <benchmark/benchmark.h>
+
+#include "core/mapping.hpp"
+#include "gap/gap_solver.hpp"
+#include "gap/knapsack.hpp"
+#include "noc/router.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "sdf/throughput.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace kairos;
+
+std::vector<gap::KnapsackItem> random_items(int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<gap::KnapsackItem> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(gap::KnapsackItem{
+        i, rng.uniform_real(0.1, 20.0),
+        platform::ResourceVector(rng.uniform_int(10, 400),
+                                 rng.uniform_int(10, 300), 0, 0)});
+  }
+  return items;
+}
+
+void BM_KnapsackGreedy(benchmark::State& state) {
+  const auto items = random_items(static_cast<int>(state.range(0)), 42);
+  const platform::ResourceVector capacity(1000, 512, 0, 0);
+  const gap::GreedyKnapsackSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(capacity, items));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackGreedy)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_KnapsackExact(benchmark::State& state) {
+  const auto items = random_items(static_cast<int>(state.range(0)), 42);
+  const platform::ResourceVector capacity(1000, 512, 0, 0);
+  const gap::BranchAndBoundKnapsackSolver solver(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(capacity, items));
+  }
+}
+BENCHMARK(BM_KnapsackExact)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_GapSolver(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int elements = static_cast<int>(state.range(1));
+  util::Xoshiro256 rng(7);
+  std::vector<gap::GapElement> bins;
+  for (int e = 0; e < elements; ++e) {
+    gap::GapElement bin;
+    bin.element = e;
+    bin.capacity = platform::ResourceVector(1000, 512, 0, 0);
+    for (int t = 0; t < tasks; ++t) {
+      bin.options.push_back(gap::GapTaskOption{
+          t, rng.uniform_real(1.0, 50.0),
+          platform::ResourceVector(rng.uniform_int(100, 700),
+                                   rng.uniform_int(50, 400), 0, 0)});
+    }
+    bins.push_back(std::move(bin));
+  }
+  const gap::GreedyKnapsackSolver knapsack;
+  for (auto _ : state) {
+    gap::GapSolver solver(tasks, knapsack);
+    for (const auto& bin : bins) solver.process_element(bin);
+    benchmark::DoNotOptimize(solver.all_assigned());
+  }
+}
+BENCHMARK(BM_GapSolver)->Args({8, 16})->Args({16, 32})->Args({16, 64})
+    ->Args({32, 64});
+
+void BM_RouterBfs(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  platform::Platform mesh = platform::make_mesh(side, side);
+  const noc::Router router(noc::RoutingStrategy::kBreadthFirst);
+  const platform::ElementId src{0};
+  const platform::ElementId dst{side * side - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.find_route(mesh, src, dst, 10));
+  }
+}
+BENCHMARK(BM_RouterBfs)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RouterDijkstra(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  platform::Platform mesh = platform::make_mesh(side, side);
+  const noc::Router router(noc::RoutingStrategy::kDijkstra);
+  const platform::ElementId src{0};
+  const platform::ElementId dst{side * side - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.find_route(mesh, src, dst, 10));
+  }
+}
+BENCHMARK(BM_RouterDijkstra)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SdfThroughput(benchmark::State& state) {
+  // Pipeline of n stages with bounded buffers.
+  const int n = static_cast<int>(state.range(0));
+  sdf::SdfGraph g;
+  std::vector<sdf::ActorId> actors;
+  for (int i = 0; i < n; ++i) {
+    actors.push_back(g.add_actor("a" + std::to_string(i), 1 + (i % 5)));
+    g.disable_auto_concurrency(actors.back());
+    if (i > 0) {
+      g.add_buffered_channel(actors[static_cast<std::size_t>(i - 1)],
+                             actors.back(), 1, 2);
+    }
+  }
+  const sdf::ThroughputAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(g, actors.back()));
+  }
+}
+BENCHMARK(BM_SdfThroughput)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MapPipelineOnCrisp(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  platform::Platform crisp = platform::make_crisp_platform();
+  graph::Application app("pipe");
+  graph::TaskId prev;
+  for (int i = 0; i < tasks; ++i) {
+    const graph::TaskId t = app.add_task("t" + std::to_string(i));
+    graph::Implementation impl;
+    impl.target = platform::ElementType::kDsp;
+    impl.requirement = platform::ResourceVector(400, 100, 0, 0);
+    impl.exec_time = 5;
+    app.task_mut(t).add_implementation(impl);
+    if (i > 0) app.add_channel(prev, t, 20);
+    prev = t;
+  }
+  const core::PinTable pins(app.task_count());
+  const std::vector<int> impls(app.task_count(), 0);
+  core::MapperConfig config;
+  config.weights = {4.0, 100.0};
+  const core::IncrementalMapper mapper(config);
+  for (auto _ : state) {
+    const auto result = mapper.map(app, impls, pins, crisp);
+    benchmark::DoNotOptimize(result.ok);
+    crisp.clear_allocations();
+  }
+}
+BENCHMARK(BM_MapPipelineOnCrisp)->Arg(3)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

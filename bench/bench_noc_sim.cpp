@@ -1,0 +1,61 @@
+// Extension bench: packet-level NoC simulation of admitted layouts.
+//
+// The mapping cost function and the validation phase treat communication as
+// static hop counts; this bench replays the traffic of fully admitted
+// dataset sequences through the packet-level simulator and reports how far
+// the dynamic behaviour (queueing included) deviates from the static
+// estimate — per cost-function variant. Two effects are visible: the
+// bandwidth reservations cap every link at (about) full utilisation, and —
+// as queueing theory predicts — latency inflates sharply on links operated
+// near saturation, so variants that pack more traffic per link trade
+// admission count for latency slack.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "noc/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kairos;
+
+  std::printf("NoC simulation of admitted layouts (per cost variant)\n\n");
+
+  util::Table table({"Variant", "Streams", "Mean slowdown", "P. max link",
+                     "Delivered"});
+  for (const auto& variant : bench::weight_variants()) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::KairosConfig config;
+    config.weights = variant.weights;
+    config.validation_rejects = false;
+    core::ResourceManager kairos(crisp, config);
+
+    // Fill the platform with one sequence of medium communication apps.
+    auto apps = gen::make_dataset(gen::DatasetKind::kCommunicationMedium, 60,
+                                  0xC0FFEE);
+    std::vector<noc::TrafficStream> streams;
+    for (const auto& app : apps) {
+      const auto report = kairos.admit(app);
+      if (!report.admitted) continue;
+      for (const auto& route : report.layout.routes()) {
+        streams.push_back(noc::TrafficStream{route.route, route.bandwidth});
+      }
+    }
+
+    noc::SimConfig sim_config;
+    sim_config.horizon = 20'000;
+    const noc::NocSimulator sim(crisp, sim_config);
+    const auto result = sim.simulate(streams);
+
+    table.add_row({variant.name, std::to_string(streams.size()),
+                   util::fmt(result.mean_slowdown(), 3),
+                   util::fmt_pct(result.max_link_utilisation(), 1),
+                   std::to_string(result.total_delivered)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected: the busiest link sits at ~100%% utilisation (reservations\n"
+      "cap the offered load at capacity) and slowdown grows with how hard a\n"
+      "variant drives shared links — queueing delay inflates near\n"
+      "saturation, the price of admitting more traffic onto the same NoC.\n");
+  return 0;
+}

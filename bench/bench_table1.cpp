@@ -1,0 +1,51 @@
+// Reproduces Table I of the paper: "Dataset characteristics and failure
+// percentage per phase."
+//
+// Six synthetic datasets ({communication, computation} x {small, medium,
+// large}), 100 applications each, filtered to the applications that can be
+// allocated on an empty CRISP platform (the paper's #App column), then 30
+// random admission sequences per dataset. For each dataset we report the
+// share of rejected applications per failing phase.
+//
+// Paper reference values:
+//   Communication Small   #97  binding  0.65%  mapping 0.40%  routing 98.95%
+//   Communication Medium  #57  binding 13.50%  mapping 1.82%  routing 84.68%
+//   Communication Large   #22  binding  3.45%  mapping 0.00%  routing 96.55%
+//   Computation   Small   #99  binding 95.34%  mapping 0.02%  routing  4.66%
+//   Computation   Medium  #94  binding 87.26%  mapping 0.02%  routing 12.72%
+//   Computation   Large   #96  binding 61.64%  mapping 0.31%  routing 38.05%
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace kairos;
+
+  bench::SequenceConfig config;
+  std::printf("Table I reproduction: 6 datasets x %d apps, %d sequences "
+              "(seed %llu)\n\n",
+              config.apps_per_dataset, config.sequences,
+              static_cast<unsigned long long>(config.dataset_seed));
+
+  util::Table table({"Dataset", "#App", "Admitted", "Rejected", "Binding",
+                     "Mapping", "Routing"});
+  util::Stopwatch total;
+  for (const auto kind : gen::kAllDatasets) {
+    const bench::ExperimentResult r = bench::run_sequences(kind, config);
+    table.add_row({r.dataset_name, std::to_string(r.kept),
+                   std::to_string(r.admitted), std::to_string(r.rejected()),
+                   util::fmt_pct(r.failure_share(core::Phase::kBinding)),
+                   util::fmt_pct(r.failure_share(core::Phase::kMapping)),
+                   util::fmt_pct(r.failure_share(core::Phase::kRouting))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("total experiment time: %.1f s\n", total.elapsed_ms() / 1000.0);
+  std::printf(
+      "\nexpected shape (paper): communication datasets fail almost\n"
+      "exclusively in routing; computation datasets fail predominantly in\n"
+      "binding, with the routing share growing with application size;\n"
+      "mapping failures are rare everywhere.\n");
+  return 0;
+}

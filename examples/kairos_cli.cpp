@@ -1,0 +1,145 @@
+// kairos_cli — file-driven resource allocation.
+//
+// The paper's prototype ships applications as binaries handled by a Linux
+// binfmt hook; this tool is the host-side equivalent for the textual
+// formats: it loads a platform description and one or more application
+// specifications, admits them in order, and prints the execution layouts.
+//
+//   usage: kairos_cli [--wc <w>] [--wf <w>] [--mcr] [--platform <file>]
+//                     <app-file>...
+//
+// Without --platform, the built-in CRISP model is used. Exit code is the
+// number of rejected applications.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "graph/app_io.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+#include "platform/platform_io.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kairos;
+
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  std::string platform_path;
+  std::vector<std::string> app_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atof(argv[++i]);
+      return true;
+    };
+    if (arg == "--wc") {
+      if (!next_value(config.weights.communication)) {
+        std::fprintf(stderr, "--wc requires a value\n");
+        return 64;
+      }
+    } else if (arg == "--wf") {
+      if (!next_value(config.weights.fragmentation)) {
+        std::fprintf(stderr, "--wf requires a value\n");
+        return 64;
+      }
+    } else if (arg == "--mcr") {
+      config.validation.use_mcr = true;
+    } else if (arg == "--platform") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--platform requires a file\n");
+        return 64;
+      }
+      platform_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
+                  "[--platform file] <app-file>...\n");
+      return 0;
+    } else {
+      app_paths.push_back(arg);
+    }
+  }
+
+  platform::Platform platform = platform::make_crisp_platform();
+  if (!platform_path.empty()) {
+    std::string text;
+    if (!read_file(platform_path, text)) {
+      std::fprintf(stderr, "cannot read platform file '%s'\n",
+                   platform_path.c_str());
+      return 66;
+    }
+    auto parsed = platform::parse_platform(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "platform error: %s\n", parsed.error().c_str());
+      return 65;
+    }
+    platform = std::move(parsed).value();
+  }
+  std::printf("platform '%s': %zu elements, %zu links\n",
+              platform.name().c_str(), platform.element_count(),
+              platform.link_count());
+
+  if (app_paths.empty()) {
+    std::printf("no application files given; nothing to do\n");
+    return 0;
+  }
+
+  core::ResourceManager kairos(platform, config);
+  int rejected = 0;
+  for (const std::string& path : app_paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "cannot read application file '%s'\n",
+                   path.c_str());
+      ++rejected;
+      continue;
+    }
+    const auto parsed = graph::parse_application(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error().c_str());
+      ++rejected;
+      continue;
+    }
+    const graph::Application& app = parsed.value();
+    const auto report = kairos.admit(app);
+    if (!report.admitted) {
+      std::printf("%s: REJECTED in %s (%s)\n", app.name().c_str(),
+                  core::to_string(report.failed_phase).c_str(),
+                  report.reason.c_str());
+      ++rejected;
+      continue;
+    }
+    std::printf("%s: admitted in %.3f ms (bind %.3f, map %.3f, route %.3f, "
+                "validate %.3f)\n",
+                app.name().c_str(), report.times.total_ms(),
+                report.times.binding_ms, report.times.mapping_ms,
+                report.times.routing_ms, report.times.validation_ms);
+    for (const auto& task : app.tasks()) {
+      const auto& placement = report.layout.placement(task.id());
+      std::printf("  %-16s -> %s\n", task.name().c_str(),
+                  platform.element(placement.element).name().c_str());
+    }
+  }
+  std::printf("final fragmentation: %.1f%%, live applications: %zu\n",
+              100.0 * platform::external_fragmentation(platform),
+              kairos.live_count());
+  return rejected;
+}

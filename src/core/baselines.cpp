@@ -1,0 +1,299 @@
+#include "core/baselines.hpp"
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace kairos::core {
+
+using graph::TaskId;
+using platform::ElementId;
+using platform::Platform;
+using platform::ResourceVector;
+
+namespace {
+
+/// Shared scaffolding: iterate tasks, pick an element via `choose`, allocate.
+template <typename Chooser>
+MappingResult simple_map(const graph::Application& app,
+                         const std::vector<int>& impl_of,
+                         const PinTable& pins, Platform& platform,
+                         Chooser&& choose) {
+  MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  assert(impl_of.size() == app.task_count());
+
+  platform::Transaction txn(platform);
+
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    const auto& impl = task.implementations().at(
+        static_cast<std::size_t>(impl_of[idx]));
+
+    std::vector<ElementId> candidates;
+    for (const auto& e : platform.elements()) {
+      if (e.is_failed()) continue;
+      if (pins[idx].has_value() && *pins[idx] != e.id()) continue;
+      if (e.type() != impl.target) continue;
+      if (!impl.requirement.fits_within(e.free())) continue;
+      candidates.push_back(e.id());
+    }
+    if (candidates.empty()) {
+      result.reason = "no available element for task '" + task.name() + "'";
+      return result;
+    }
+    const ElementId chosen = choose(candidates);
+    const bool allocated = platform.allocate(chosen, impl.requirement);
+    assert(allocated);
+    (void)allocated;
+    platform.add_task(chosen);
+    result.element_of[idx] = chosen;
+  }
+
+  result.ok = true;
+  txn.commit();
+  return result;
+}
+
+}  // namespace
+
+MappingResult first_fit_map(const graph::Application& app,
+                            const std::vector<int>& impl_of,
+                            const PinTable& pins, Platform& platform) {
+  return simple_map(app, impl_of, pins, platform,
+                    [](const std::vector<ElementId>& candidates) {
+                      return candidates.front();
+                    });
+}
+
+MappingResult random_map(const graph::Application& app,
+                         const std::vector<int>& impl_of,
+                         const PinTable& pins, Platform& platform,
+                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return simple_map(
+      app, impl_of, pins, platform,
+      [&rng](const std::vector<ElementId>& candidates) {
+        const auto k = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(candidates.size()) - 1));
+        return candidates[k];
+      });
+}
+
+double layout_cost(const graph::Application& app, const Platform& platform,
+                   const std::vector<ElementId>& element_of,
+                   const CostWeights& weights) {
+  // Exact all-pairs distances from the elements actually used.
+  std::vector<std::vector<int>> dist_from(platform.element_count());
+  auto distance = [&](ElementId a, ElementId b) {
+    auto& row = dist_from[static_cast<std::size_t>(a.value)];
+    if (row.empty()) row = platform.hop_distances_from(a);
+    const int d = row[static_cast<std::size_t>(b.value)];
+    return d < 0 ? 2 * (platform.diameter() + 1) : d;
+  };
+
+  double communication = 0.0;
+  for (const auto& channel : app.channels()) {
+    const ElementId src =
+        element_of[static_cast<std::size_t>(channel.src.value)];
+    const ElementId dst =
+        element_of[static_cast<std::size_t>(channel.dst.value)];
+    communication +=
+        static_cast<double>(channel.bandwidth) * distance(src, dst);
+  }
+
+  // Final-mapping fragmentation: same discounts as MappingCostModel, but
+  // every task evaluated against the complete assignment.
+  const FragmentationBonuses bonuses;
+  double fragmentation = 0.0;
+  std::vector<int> app_tasks_on(platform.element_count(), 0);
+  for (const ElementId e : element_of) {
+    if (e.valid()) ++app_tasks_on[static_cast<std::size_t>(e.value)];
+  }
+  for (const auto& task : app.tasks()) {
+    const ElementId e =
+        element_of[static_cast<std::size_t>(task.id().value)];
+    if (!e.valid()) continue;
+    const auto peers = app.neighbors(task.id());
+    for (const ElementId n : platform.neighbors(e)) {
+      double bonus = 0.0;
+      bool hosts_peer = false;
+      for (const TaskId peer : peers) {
+        if (element_of[static_cast<std::size_t>(peer.value)] == n) {
+          hosts_peer = true;
+          break;
+        }
+      }
+      if (hosts_peer) {
+        bonus = bonuses.peer;
+      } else if (app_tasks_on[static_cast<std::size_t>(n.value)] > 0) {
+        bonus = bonuses.same_app;
+      } else if (platform.element(n).is_used()) {
+        bonus = bonuses.other_app;
+      }
+      fragmentation += 1.0 - bonus;
+    }
+  }
+
+  return weights.communication * communication +
+         weights.fragmentation * fragmentation;
+}
+
+namespace {
+
+/// DFS state for the exhaustive optimal mapper.
+class OptimalSearch {
+ public:
+  OptimalSearch(const graph::Application& app,
+                const std::vector<int>& impl_of, const PinTable& pins,
+                const Platform& platform, const OptimalMapConfig& config)
+      : app_(&app),
+        pins_(&pins),
+        platform_(&platform),
+        config_(&config),
+        assignment_(app.task_count()),
+        free_(platform.element_count()) {
+    requirements_.reserve(app.task_count());
+    targets_.reserve(app.task_count());
+    for (const auto& task : app.tasks()) {
+      const auto& impl = task.implementations().at(static_cast<std::size_t>(
+          impl_of[static_cast<std::size_t>(task.id().value)]));
+      requirements_.push_back(impl.requirement);
+      targets_.push_back(impl.target);
+    }
+    for (const auto& e : platform.elements()) {
+      free_[static_cast<std::size_t>(e.id().value)] = e.free();
+    }
+    // Exact distances are needed over and over; precompute lazily.
+    dist_from_.resize(platform.element_count());
+  }
+
+  /// Runs the search; returns true if any complete assignment was found.
+  bool run() {
+    explore(0, 0.0);
+    return found_;
+  }
+
+  const std::vector<ElementId>& best() const { return best_; }
+  double best_cost() const { return best_cost_; }
+  bool budget_exhausted() const { return nodes_ >= config_->max_assignments; }
+
+ private:
+  int distance(ElementId a, ElementId b) {
+    auto& row = dist_from_[static_cast<std::size_t>(a.value)];
+    if (row.empty()) row = platform_->hop_distances_from(a);
+    const int d = row[static_cast<std::size_t>(b.value)];
+    return d < 0 ? 2 * (platform_->diameter() + 1) : d;
+  }
+
+  /// Communication cost of placing task t on e against already-assigned
+  /// peers — an admissible partial lower bound (fragmentation and future
+  /// channels only add cost in this objective... fragmentation can also add
+  /// per-task cost, but never negative, so dropping it keeps the bound
+  /// admissible for pruning against best_cost_).
+  double partial_comm(std::size_t t, ElementId e) {
+    double cost = 0.0;
+    const graph::TaskId task{static_cast<std::int32_t>(t)};
+    for (const graph::ChannelId cid : app_->out_channels(task)) {
+      const auto& c = app_->channel(cid);
+      const ElementId peer =
+          assignment_[static_cast<std::size_t>(c.dst.value)];
+      if (peer.valid()) {
+        cost += static_cast<double>(c.bandwidth) * distance(e, peer);
+      }
+    }
+    for (const graph::ChannelId cid : app_->in_channels(task)) {
+      const auto& c = app_->channel(cid);
+      const ElementId peer =
+          assignment_[static_cast<std::size_t>(c.src.value)];
+      if (peer.valid()) {
+        cost += static_cast<double>(c.bandwidth) * distance(peer, e);
+      }
+    }
+    return cost * config_->weights.communication;
+  }
+
+  void explore(std::size_t t, double comm_so_far) {
+    if (nodes_ >= config_->max_assignments) return;
+    if (t == app_->task_count()) {
+      const double total =
+          layout_cost(*app_, *platform_, assignment_, config_->weights);
+      if (!found_ || total < best_cost_) {
+        found_ = true;
+        best_cost_ = total;
+        best_ = assignment_;
+      }
+      return;
+    }
+    const auto& impl_req = requirements_[t];
+    for (const auto& e : platform_->elements()) {
+      if (e.is_failed()) continue;
+      if (e.type() != targets_[t]) continue;
+      const auto& pin = (*pins_)[t];
+      if (pin.has_value() && *pin != e.id()) continue;
+      ++nodes_;
+      auto& slot = free_[static_cast<std::size_t>(e.id().value)];
+      if (!impl_req.fits_within(slot)) continue;
+      const double comm = comm_so_far + partial_comm(t, e.id());
+      if (found_ && comm >= best_cost_) continue;  // admissible bound
+      slot -= impl_req;
+      assignment_[t] = e.id();
+      explore(t + 1, comm);
+      assignment_[t] = ElementId{};
+      slot += impl_req;
+    }
+  }
+
+  const graph::Application* app_;
+  const PinTable* pins_;
+  const Platform* platform_;
+  const OptimalMapConfig* config_;
+  std::vector<ElementId> assignment_;
+  std::vector<ResourceVector> free_;
+  std::vector<ResourceVector> requirements_;
+  std::vector<platform::ElementType> targets_;
+  std::vector<std::vector<int>> dist_from_;
+  std::vector<ElementId> best_;
+  double best_cost_ = 0.0;
+  bool found_ = false;
+  long nodes_ = 0;
+};
+
+}  // namespace
+
+MappingResult optimal_map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const PinTable& pins, Platform& platform,
+                          const OptimalMapConfig& config) {
+  MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+
+  OptimalSearch search(app, impl_of, pins, platform, config);
+  if (!search.run()) {
+    result.reason = search.budget_exhausted()
+                        ? "search budget exhausted before any assignment"
+                        : "no feasible assignment exists";
+    return result;
+  }
+
+  platform::Transaction txn(platform);
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    const ElementId e = search.best()[idx];
+    const auto& req =
+        task.implementations()
+            .at(static_cast<std::size_t>(impl_of[idx]))
+            .requirement;
+    const bool allocated = platform.allocate(e, req);
+    assert(allocated);
+    (void)allocated;
+    platform.add_task(e);
+    result.element_of[idx] = e;
+  }
+  result.ok = true;
+  result.total_cost = search.best_cost();
+  txn.commit();
+  return result;
+}
+
+}  // namespace kairos::core

@@ -1,0 +1,58 @@
+// Baseline mappers, for quantifying what the incremental GAP-based mapper of
+// §III buys. The paper's "None" series (Figs. 8/9) disables the cost
+// function, which degenerates the search into first-fit; these standalone
+// baselines additionally provide first-fit and random placement *without*
+// the neighborhood decomposition, used by bench_ablation_mapper.
+#pragma once
+
+#include <cstdint>
+
+#include "core/binding.hpp"
+#include "core/mapping.hpp"
+#include "graph/application.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::core {
+
+/// Scans elements in index order and places each task (in task order) on the
+/// first element that can host it. Allocates on success; restores the
+/// platform on failure.
+MappingResult first_fit_map(const graph::Application& app,
+                            const std::vector<int>& impl_of,
+                            const PinTable& pins,
+                            platform::Platform& platform);
+
+/// Places each task on a uniformly random available element. Deterministic
+/// for a given seed. Allocates on success; restores the platform on failure.
+MappingResult random_map(const graph::Application& app,
+                         const std::vector<int>& impl_of,
+                         const PinTable& pins, platform::Platform& platform,
+                         std::uint64_t seed);
+
+/// Layout-level objective used to compare mappers: the weighted sum of
+///   communication: sum over channels of bandwidth * exact hop distance
+///                  between the endpoints' elements, and
+///   fragmentation: sum over tasks of the neighbor-discount fragmentation
+///                  cost evaluated against the *final* mapping.
+/// This is the stationary counterpart of the incremental MappingCost of
+/// §III-D (which can only see already-mapped peers and searched distances).
+double layout_cost(const graph::Application& app,
+                   const platform::Platform& platform,
+                   const std::vector<platform::ElementId>& element_of,
+                   const CostWeights& weights);
+
+/// Exhaustive branch-and-bound optimal mapping, minimising layout_cost()
+/// subject to element capacities — the stand-in for the ILP formulation the
+/// paper's §V wants to compare against. Exponential: guarded by
+/// `max_assignments` explored nodes (returns the incumbent if exceeded).
+/// Allocates on success; restores the platform on failure.
+struct OptimalMapConfig {
+  CostWeights weights{};
+  long max_assignments = 5'000'000;
+};
+MappingResult optimal_map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const PinTable& pins, platform::Platform& platform,
+                          const OptimalMapConfig& config);
+
+}  // namespace kairos::core

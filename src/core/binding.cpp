@@ -1,0 +1,189 @@
+#include "core/binding.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+
+namespace kairos::core {
+
+using graph::TaskId;
+using platform::ElementId;
+using platform::ElementType;
+using platform::ResourceVector;
+
+util::Result<PinTable> resolve_pins(const graph::Application& app,
+                                    const platform::Platform& platform) {
+  PinTable pins(app.task_count());
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    if (task.pinned().has_value()) {
+      const ElementId e = *task.pinned();
+      if (!e.valid() ||
+          static_cast<std::size_t>(e.value) >= platform.element_count()) {
+        return util::Error("task '" + task.name() +
+                           "' is pinned to a non-existent element id");
+      }
+      pins[idx] = e;
+      continue;
+    }
+    if (!task.pinned_name().empty()) {
+      bool found = false;
+      for (const auto& e : platform.elements()) {
+        if (e.name() == task.pinned_name()) {
+          pins[idx] = e.id();
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return util::Error("task '" + task.name() +
+                           "' is pinned to unknown element '" +
+                           task.pinned_name() + "'");
+      }
+    }
+  }
+  return pins;
+}
+
+namespace {
+
+/// A scratch copy of every element's free capacity. Binding claims each
+/// selected implementation from some concrete element (first fit), which
+/// keeps the phase's "available somewhere in the platform" test honest at
+/// element granularity: an application whose tasks individually fit but
+/// jointly oversubscribe every element is rejected here rather than deep in
+/// the mapping phase. The scratch is only a feasibility oracle — the actual
+/// placement decision is the mapping phase's.
+struct Pool {
+  std::vector<ResourceVector> free;
+
+  explicit Pool(const platform::Platform& platform) {
+    free.reserve(platform.element_count());
+    for (const auto& e : platform.elements()) free.push_back(e.free());
+  }
+
+  bool covers(const platform::Platform& platform, ElementType type,
+              const ResourceVector& req) const {
+    for (const auto& e : platform.elements()) {
+      if (e.type() == type && !e.is_failed() &&
+          req.fits_within(free[static_cast<std::size_t>(e.id().value)])) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool covers_pinned(const platform::Platform& platform, ElementId pin,
+                     const ResourceVector& req) const {
+    return !platform.element(pin).is_failed() &&
+           req.fits_within(free[static_cast<std::size_t>(pin.value)]);
+  }
+
+  void claim(const platform::Platform& platform, ElementType type,
+             const ResourceVector& req) {
+    for (const auto& e : platform.elements()) {
+      auto& slot = free[static_cast<std::size_t>(e.id().value)];
+      if (e.type() == type && !e.is_failed() && req.fits_within(slot)) {
+        slot -= req;
+        return;
+      }
+    }
+    assert(false && "claim() must follow a successful covers()");
+  }
+
+  void claim_pinned(ElementId pin, const ResourceVector& req) {
+    free[static_cast<std::size_t>(pin.value)] -= req;
+    assert(!free[static_cast<std::size_t>(pin.value)].any_negative());
+  }
+};
+
+}  // namespace
+
+BindingResult BindingPhase::bind(const graph::Application& app,
+                                 const PinTable& pins) const {
+  BindingResult result;
+  result.impl_of.assign(app.task_count(), -1);
+
+  Pool pool(*platform_);
+  std::vector<bool> bound(app.task_count(), false);
+  std::size_t remaining = app.task_count();
+
+  // Feasibility of one implementation for one task, under the current pool.
+  auto feasible = [&](const graph::Task& task,
+                      const graph::Implementation& impl) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    if (pins[idx].has_value()) {
+      const auto& element = platform_->element(*pins[idx]);
+      return element.type() == impl.target &&
+             pool.covers_pinned(*platform_, *pins[idx], impl.requirement);
+    }
+    return pool.covers(*platform_, impl.target, impl.requirement);
+  };
+
+  while (remaining > 0) {
+    // For every unbound task: cheapest and second-cheapest feasible
+    // implementation under the current pool.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    TaskId pick;
+    int pick_impl = -1;
+    double pick_regret = -1.0;
+    double pick_cost = kInf;
+
+    for (const auto& task : app.tasks()) {
+      const auto idx = static_cast<std::size_t>(task.id().value);
+      if (bound[idx]) continue;
+      double best = kInf;
+      double second = kInf;
+      int best_impl = -1;
+      for (std::size_t k = 0; k < task.implementations().size(); ++k) {
+        const auto& impl = task.implementations()[k];
+        if (!feasible(task, impl)) continue;
+        if (impl.cost < best) {
+          second = best;
+          best = impl.cost;
+          best_impl = static_cast<int>(k);
+        } else if (impl.cost < second) {
+          second = impl.cost;
+        }
+      }
+      if (best_impl < 0) {
+        result.failed_task = task.id();
+        result.reason = "no feasible implementation for task '" +
+                        task.name() + "' (resources exhausted)";
+        return result;
+      }
+      // Regret: difference between cheapest and second cheapest. A task
+      // with a single option has infinite regret and binds first.
+      const double regret = second == kInf ? kInf : second - best;
+      const bool better =
+          regret > pick_regret ||
+          (regret == pick_regret && best < pick_cost);
+      if (!pick.valid() || better) {
+        pick = task.id();
+        pick_impl = best_impl;
+        pick_regret = regret;
+        pick_cost = best;
+      }
+    }
+
+    assert(pick.valid());
+    const auto pick_idx = static_cast<std::size_t>(pick.value);
+    const auto& impl =
+        app.task(pick).implementations()[static_cast<std::size_t>(pick_impl)];
+    result.impl_of[pick_idx] = pick_impl;
+    result.total_cost += impl.cost;
+    if (pins[pick_idx].has_value()) {
+      pool.claim_pinned(*pins[pick_idx], impl.requirement);
+    } else {
+      pool.claim(*platform_, impl.target, impl.requirement);
+    }
+    bound[pick_idx] = true;
+    --remaining;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace kairos::core

@@ -1,0 +1,100 @@
+// The mapping cost function of §III-D.
+//
+// Two objectives, mixed by weights (the knobs swept in Figs. 8-10):
+//
+//  * Communication distance — for every channel between the candidate task t
+//    and an already-mapped peer u, the channel bandwidth times the hop
+//    distance between the candidate element e and u's element, read from the
+//    sparse distance matrix the platform search builds. A failed lookup
+//    charges a high penalty ("we assume a large communication distance").
+//    Channels towards not-yet-mapped tasks are "inherently unknown, and
+//    therefore left out of the equation".
+//
+//  * External resource fragmentation — each neighbor of e contributes a unit
+//    of fragmentation cost, discounted by decreasing bonuses when the
+//    neighbor "retains communication peers of t, tasks from the same
+//    application A, or tasks from other applications". Unused neighbors pay
+//    full price, which simultaneously (a) rewards clustering next to
+//    friendly elements and (b) favours low-connectivity elements on the
+//    borders of chips — both effects §III-D asks for.
+#pragma once
+
+#include "core/layout.hpp"
+#include "graph/application.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::core {
+
+/// Relative importance of the mapping objectives. The paper's experiments
+/// sweep the first two; wear leveling and load balancing are the further
+/// objectives §III explicitly names ("Various mapping objectives may be
+/// defined, like minimal energy consumption, reducing resource
+/// fragmentation, wear leveling, or load balancing"). All zeros disables
+/// the cost function (the "None" series of Figs. 8/9): every candidate
+/// costs the same and the first-fit behaviour of the search order takes
+/// over.
+struct CostWeights {
+  double communication = 1.0;
+  double fragmentation = 1.0;
+  /// Penalises the element's post-placement utilisation (spreads load).
+  double load_balance = 0.0;
+  /// Penalises the element's historical hosting count (spreads wear).
+  double wear = 0.0;
+
+  static CostWeights none() { return {0.0, 0.0, 0.0, 0.0}; }
+  static CostWeights communication_only() { return {1.0, 0.0, 0.0, 0.0}; }
+  static CostWeights fragmentation_only() { return {0.0, 1.0, 0.0, 0.0}; }
+};
+
+/// Neighbor bonuses (decreasing, per the paper). Exposed for ablation.
+struct FragmentationBonuses {
+  double peer = 1.0;       ///< neighbor hosts a communication peer of t
+  double same_app = 0.6;   ///< neighbor hosts a task of the same application
+  double other_app = 0.3;  ///< neighbor is used by another application
+};
+
+class MappingCostModel {
+ public:
+  MappingCostModel(CostWeights weights, const platform::Platform& platform,
+                   const graph::Application& app,
+                   FragmentationBonuses bonuses = {});
+
+  /// Cost of mapping task t onto element e given the current partial mapping
+  /// and the distances discovered so far.
+  double task_cost(graph::TaskId t, platform::ElementId e,
+                   const PartialMapping& mapping,
+                   const DistanceOracle& distances) const;
+
+  /// The communication component alone (weight not applied).
+  double communication_cost(graph::TaskId t, platform::ElementId e,
+                            const PartialMapping& mapping,
+                            const DistanceOracle& distances) const;
+
+  /// The fragmentation component alone (weight not applied).
+  double fragmentation_cost(graph::TaskId t, platform::ElementId e,
+                            const PartialMapping& mapping) const;
+
+  /// Load-balancing component: the element's utilisation fraction (worst
+  /// resource kind) at decision time, so loaded elements price themselves
+  /// out (weight not applied).
+  double load_balance_cost(platform::ElementId e) const;
+
+  /// Wear-leveling component: the element's historical hosting count
+  /// (weight not applied).
+  double wear_cost(platform::ElementId e) const;
+
+  /// Penalty used for missing distance lookups: twice the platform diameter
+  /// plus slack, i.e. worse than any real route.
+  double missing_distance_penalty() const { return missing_penalty_; }
+
+  const CostWeights& weights() const { return weights_; }
+
+ private:
+  CostWeights weights_;
+  const platform::Platform* platform_;
+  const graph::Application* app_;
+  FragmentationBonuses bonuses_;
+  double missing_penalty_;
+};
+
+}  // namespace kairos::core

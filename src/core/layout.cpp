@@ -1,0 +1,67 @@
+#include "core/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kairos::core {
+
+void DistanceOracle::set(platform::ElementId origin,
+                         platform::ElementId target, int hops) {
+  distances_[key(origin, target)] = hops;
+}
+
+std::optional<int> DistanceOracle::lookup(platform::ElementId origin,
+                                          platform::ElementId target) const {
+  const auto it = distances_.find(key(origin, target));
+  if (it == distances_.end()) return std::nullopt;
+  return it->second;
+}
+
+PartialMapping::PartialMapping(std::size_t task_count,
+                               std::size_t element_count)
+    : task_to_element_(task_count), tasks_on_element_(element_count, 0) {}
+
+void PartialMapping::assign(graph::TaskId t, platform::ElementId e) {
+  auto& slot = task_to_element_.at(static_cast<std::size_t>(t.value));
+  assert(!slot.valid() && "task already mapped");
+  slot = e;
+  ++tasks_on_element_.at(static_cast<std::size_t>(e.value));
+  ++mapped_count_;
+}
+
+bool PartialMapping::is_mapped(graph::TaskId t) const {
+  return task_to_element_.at(static_cast<std::size_t>(t.value)).valid();
+}
+
+platform::ElementId PartialMapping::element_of(graph::TaskId t) const {
+  return task_to_element_.at(static_cast<std::size_t>(t.value));
+}
+
+int PartialMapping::app_tasks_on(platform::ElementId e) const {
+  return tasks_on_element_.at(static_cast<std::size_t>(e.value));
+}
+
+double ExecutionLayout::average_hops() const {
+  if (routes_.empty()) return 0.0;
+  return static_cast<double>(total_hops()) /
+         static_cast<double>(routes_.size());
+}
+
+int ExecutionLayout::total_hops() const {
+  int total = 0;
+  for (const auto& r : routes_) total += r.route.hops();
+  return total;
+}
+
+int ExecutionLayout::distinct_elements() const {
+  std::vector<std::int32_t> ids;
+  ids.reserve(placements_.size());
+  for (const auto& p : placements_) {
+    if (p.element.valid()) ids.push_back(p.element.value);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return static_cast<int>(ids.size());
+}
+
+}  // namespace kairos::core

@@ -1,0 +1,122 @@
+// The execution layout — the output of a successful resource allocation
+// attempt (Fig. 1): what specific element each task runs on, which
+// implementation it uses, and which NoC links each channel occupies. The
+// bootstrapping layer would configure the hardware from this structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/application.hpp"
+#include "noc/router.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::core {
+
+/// Sparse symmetric-free distance matrix built during the platform search
+/// (§III-D: "A sparse distance matrix is built while searching the platform
+/// for elements. If a required distance lookup fails, a relative high
+/// penalty is given"). Keys are ordered (origin, target) pairs; the matrix
+/// is directional because the search is.
+class DistanceOracle {
+ public:
+  void set(platform::ElementId origin, platform::ElementId target, int hops);
+  std::optional<int> lookup(platform::ElementId origin,
+                            platform::ElementId target) const;
+  std::size_t size() const { return distances_.size(); }
+  void clear() { distances_.clear(); }
+
+ private:
+  static std::uint64_t key(platform::ElementId origin,
+                           platform::ElementId target) {
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(origin.value))
+            << 32) |
+           static_cast<std::uint32_t>(target.value);
+  }
+  std::unordered_map<std::uint64_t, int> distances_;
+};
+
+/// The evolving task -> element assignment during the mapping phase, plus
+/// the per-element count of this application's tasks (needed by the
+/// fragmentation bonus of the cost function, which distinguishes neighbors
+/// hosting *this* application from neighbors used by others).
+class PartialMapping {
+ public:
+  PartialMapping(std::size_t task_count, std::size_t element_count);
+
+  void assign(graph::TaskId t, platform::ElementId e);
+  bool is_mapped(graph::TaskId t) const;
+  platform::ElementId element_of(graph::TaskId t) const;
+
+  /// Number of this application's tasks currently placed on `e`.
+  int app_tasks_on(platform::ElementId e) const;
+
+  std::size_t mapped_count() const { return mapped_count_; }
+  const std::vector<platform::ElementId>& task_to_element() const {
+    return task_to_element_;
+  }
+
+ private:
+  std::vector<platform::ElementId> task_to_element_;
+  std::vector<int> tasks_on_element_;
+  std::size_t mapped_count_ = 0;
+};
+
+/// Placement of one task.
+struct TaskPlacement {
+  platform::ElementId element;
+  int impl_index = -1;
+};
+
+/// Route of one channel. Channels between co-located tasks have an empty
+/// route and claim no link resources.
+struct ChannelRoute {
+  noc::Route route;
+  std::int64_t bandwidth = 0;
+};
+
+/// The complete execution layout of an admitted application.
+class ExecutionLayout {
+ public:
+  ExecutionLayout() = default;
+  ExecutionLayout(std::size_t task_count, std::size_t channel_count)
+      : placements_(task_count), routes_(channel_count) {}
+
+  void place(graph::TaskId t, platform::ElementId e, int impl_index) {
+    placements_.at(static_cast<std::size_t>(t.value)) =
+        TaskPlacement{e, impl_index};
+  }
+  void set_route(graph::ChannelId c, noc::Route route,
+                 std::int64_t bandwidth) {
+    routes_.at(static_cast<std::size_t>(c.value)) =
+        ChannelRoute{std::move(route), bandwidth};
+  }
+
+  const TaskPlacement& placement(graph::TaskId t) const {
+    return placements_.at(static_cast<std::size_t>(t.value));
+  }
+  const ChannelRoute& route(graph::ChannelId c) const {
+    return routes_.at(static_cast<std::size_t>(c.value));
+  }
+  const std::vector<TaskPlacement>& placements() const { return placements_; }
+  const std::vector<ChannelRoute>& routes() const { return routes_; }
+
+  /// Average hops per channel — the quantity Fig. 8 plots ("resource
+  /// allocation per channel (hops)"). Co-located channels count as 0 hops.
+  double average_hops() const;
+
+  /// Total links claimed over all routes.
+  int total_hops() const;
+
+  /// Number of distinct elements used by this layout.
+  int distinct_elements() const;
+
+ private:
+  std::vector<TaskPlacement> placements_;
+  std::vector<ChannelRoute> routes_;
+};
+
+}  // namespace kairos::core

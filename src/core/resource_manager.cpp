@@ -1,0 +1,225 @@
+#include "core/resource_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "platform/fragmentation.hpp"
+#include "util/timer.hpp"
+
+namespace kairos::core {
+
+std::string to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kNone:
+      return "none";
+    case Phase::kSpecification:
+      return "specification";
+    case Phase::kBinding:
+      return "binding";
+    case Phase::kMapping:
+      return "mapping";
+    case Phase::kRouting:
+      return "routing";
+    case Phase::kValidation:
+      return "validation";
+  }
+  return "?";
+}
+
+AdmissionReport ResourceManager::admit(const graph::Application& app) {
+  AdmissionReport report;
+
+  // --- specification checks (outside the paper's four phases) -------------
+  const auto well_formed = app.validate();
+  if (!well_formed.ok()) {
+    report.failed_phase = Phase::kSpecification;
+    report.reason = well_formed.error();
+    return report;
+  }
+  const auto pins = resolve_pins(app, *platform_);
+  if (!pins.ok()) {
+    report.failed_phase = Phase::kSpecification;
+    report.reason = pins.error();
+    return report;
+  }
+
+  // The whole admission is atomic: on any phase failure the platform is
+  // rolled back to this snapshot.
+  platform::Transaction txn(*platform_);
+
+  // --- binding -------------------------------------------------------------
+  util::Stopwatch watch;
+  const BindingPhase binding(*platform_);
+  const BindingResult bound = binding.bind(app, pins.value());
+  report.times.binding_ms = watch.elapsed_ms();
+  if (!bound.ok) {
+    report.failed_phase = Phase::kBinding;
+    report.reason = bound.reason;
+    return report;
+  }
+  report.binding_cost = bound.total_cost;
+
+  // --- mapping ---------------------------------------------------------------
+  watch.reset();
+  const IncrementalMapper mapper(MapperConfig{config_.weights,
+                                              config_.bonuses,
+                                              config_.extra_rings,
+                                              config_.exact_knapsack});
+  const MappingResult mapped =
+      mapper.map(app, bound.impl_of, pins.value(), *platform_);
+  report.times.mapping_ms = watch.elapsed_ms();
+  report.mapping_stats = mapped.stats;
+  if (!mapped.ok) {
+    report.failed_phase = Phase::kMapping;
+    report.reason = mapped.reason;
+    return report;
+  }
+  report.mapping_cost = mapped.total_cost;
+
+  // --- routing ----------------------------------------------------------------
+  watch.reset();
+  const RoutingPhase routing(config_.routing);
+  RoutingResult routed = routing.route(app, mapped.element_of, *platform_);
+  report.times.routing_ms = watch.elapsed_ms();
+  if (!routed.ok) {
+    report.failed_phase = Phase::kRouting;
+    report.reason = routed.reason;
+    return report;
+  }
+  report.average_hops = routed.average_hops;
+
+  // --- validation ----------------------------------------------------------------
+  if (config_.validation_enabled) {
+    watch.reset();
+    const ValidationPhase validation(config_.validation);
+    const ValidationResult validated =
+        validation.validate(app, bound.impl_of, mapped.element_of,
+                            routed.routes);
+    report.times.validation_ms = watch.elapsed_ms();
+    report.throughput = validated.throughput;
+    if (!validated.ok && config_.validation_rejects) {
+      report.failed_phase = Phase::kValidation;
+      report.reason = validated.reason;
+      return report;
+    }
+  }
+
+  // --- bootstrap bookkeeping -------------------------------------------------
+  LiveApp live;
+  live.app = app;
+  report.layout = ExecutionLayout(app.task_count(), app.channel_count());
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    const platform::ElementId e = mapped.element_of[idx];
+    report.layout.place(task.id(), e, bound.impl_of[idx]);
+    live.task_allocations.emplace_back(
+        e, task.implementations()
+               .at(static_cast<std::size_t>(bound.impl_of[idx]))
+               .requirement);
+  }
+  for (const auto& channel : app.channels()) {
+    const auto idx = static_cast<std::size_t>(channel.id.value);
+    report.layout.set_route(channel.id, routed.routes[idx].route,
+                            routed.routes[idx].bandwidth);
+    live.routes.emplace_back(routed.routes[idx].route,
+                             routed.routes[idx].bandwidth);
+  }
+
+  txn.commit();
+  report.admitted = true;
+  report.handle = next_handle_++;
+  live_[report.handle] = std::move(live);
+  return report;
+}
+
+util::VoidResult ResourceManager::remove(AppHandle handle) {
+  const auto it = live_.find(handle);
+  if (it == live_.end()) {
+    return util::Error("unknown application handle " +
+                       std::to_string(handle));
+  }
+  for (const auto& [element, demand] : it->second.task_allocations) {
+    platform_->release(element, demand);
+    platform_->remove_task(element);
+  }
+  for (const auto& [route, bandwidth] : it->second.routes) {
+    noc::Router::release_route(*platform_, route, bandwidth);
+  }
+  live_.erase(it);
+  assert(platform_->invariants_hold());
+  return util::VoidResult::success();
+}
+
+std::vector<AppHandle> ResourceManager::apps_using(
+    platform::ElementId e) const {
+  std::vector<AppHandle> out;
+  for (const auto& [handle, live] : live_) {
+    for (const auto& [element, demand] : live.task_allocations) {
+      if (element == e) {
+        out.push_back(handle);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ResourceManager::DefragReport ResourceManager::defragment() {
+  DefragReport report;
+  report.fragmentation_before = platform::external_fragmentation(*platform_);
+  report.applications = static_cast<int>(live_.size());
+  if (live_.empty()) {
+    report.performed = true;
+    report.fragmentation_after = report.fragmentation_before;
+    return report;
+  }
+
+  // Full rollback state: the platform snapshot plus the live bookkeeping.
+  const platform::Snapshot snap = platform_->snapshot();
+  const std::map<AppHandle, LiveApp> backup = live_;
+
+  // Release everything, then re-admit largest-first (better packing).
+  std::vector<std::pair<AppHandle, graph::Application>> pending;
+  pending.reserve(live_.size());
+  for (const auto& [handle, live] : live_) {
+    pending.emplace_back(handle, live.app);
+  }
+  for (const auto& [handle, app] : pending) {
+    (void)app;
+    const auto removed = remove(handle);
+    assert(removed.ok());
+    (void)removed;
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.task_count() > b.second.task_count();
+                   });
+
+  for (const auto& [old_handle, app] : pending) {
+    const AdmissionReport admitted = admit(app);
+    if (!admitted.admitted) {
+      // Roll everything back; the caller keeps the old layout.
+      platform_->restore(snap);
+      live_ = backup;
+      report.fragmentation_after = report.fragmentation_before;
+      return report;
+    }
+    // Keep the caller's handle stable.
+    auto node = live_.extract(admitted.handle);
+    node.key() = old_handle;
+    live_.insert(std::move(node));
+  }
+
+  report.performed = true;
+  report.fragmentation_after = platform::external_fragmentation(*platform_);
+  return report;
+}
+
+std::vector<AppHandle> ResourceManager::live_handles() const {
+  std::vector<AppHandle> out;
+  out.reserve(live_.size());
+  for (const auto& [handle, _] : live_) out.push_back(handle);
+  return out;
+}
+
+}  // namespace kairos::core

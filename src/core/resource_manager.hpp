@@ -1,0 +1,148 @@
+// "Kairos" — the run-time resource manager prototype of §III-E, driving the
+// four-phase workflow of Fig. 1: binding, mapping, routing and validation.
+//
+// An admission attempt is atomic: either every phase succeeds and the
+// resulting execution layout's reservations stay in the platform, or the
+// attempt fails in some phase and the platform is restored to its entry
+// state. Admitted applications can later be removed, releasing everything
+// they held (the dynamic behaviour the introduction motivates: the
+// application mix is unknown at design time).
+//
+// The paper's prototype runs inside a Linux 2.6.28 kernel on a 200 MHz
+// ARM926; this reproduction runs as a host-native library and reports the
+// same per-phase wall-clock times (Fig. 7, §IV-A) measured with
+// std::chrono.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "core/layout.hpp"
+#include "core/mapping.hpp"
+#include "core/routing_phase.hpp"
+#include "core/validation_phase.hpp"
+#include "graph/application.hpp"
+#include "noc/router.hpp"
+#include "platform/platform.hpp"
+#include "util/result.hpp"
+
+namespace kairos::core {
+
+/// The phase in which an admission attempt failed.
+enum class Phase {
+  kNone,           ///< no failure (admitted)
+  kSpecification,  ///< the application itself is malformed / pins unknown
+  kBinding,
+  kMapping,
+  kRouting,
+  kValidation,
+};
+
+std::string to_string(Phase phase);
+
+/// Wall-clock per phase, in milliseconds (Fig. 7's quantities).
+struct PhaseTimes {
+  double binding_ms = 0.0;
+  double mapping_ms = 0.0;
+  double routing_ms = 0.0;
+  double validation_ms = 0.0;
+
+  double total_ms() const {
+    return binding_ms + mapping_ms + routing_ms + validation_ms;
+  }
+};
+
+/// Opaque handle of an admitted application.
+using AppHandle = std::int64_t;
+
+struct AdmissionReport {
+  bool admitted = false;
+  Phase failed_phase = Phase::kNone;
+  std::string reason;
+  PhaseTimes times;
+  AppHandle handle = -1;
+
+  /// Valid iff admitted.
+  ExecutionLayout layout;
+  double average_hops = 0.0;
+  double binding_cost = 0.0;
+  double mapping_cost = 0.0;
+  double throughput = 0.0;
+  MappingStats mapping_stats;
+};
+
+struct KairosConfig {
+  CostWeights weights{};
+  FragmentationBonuses bonuses{};
+  int extra_rings = 1;
+  bool exact_knapsack = false;
+  noc::RoutingStrategy routing = noc::RoutingStrategy::kBreadthFirst;
+  /// The paper's experiments "do not reject applications in the validation
+  /// phase" (§IV) because generating sensible constraints automatically is
+  /// hard; when false the phase still runs (its runtime is measured) but
+  /// its verdict does not reject. When true, validation failures reject.
+  bool validation_rejects = true;
+  /// Skip the validation phase entirely (saves its runtime).
+  bool validation_enabled = true;
+  ValidationConfig validation{};
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(platform::Platform& platform,
+                           KairosConfig config = {})
+      : platform_(&platform), config_(config) {}
+
+  /// One resource-allocation attempt for `app` (Fig. 1 run-time half).
+  AdmissionReport admit(const graph::Application& app);
+
+  /// Releases every resource held by an admitted application.
+  util::VoidResult remove(AppHandle handle);
+
+  std::size_t live_count() const { return live_.size(); }
+  std::vector<AppHandle> live_handles() const;
+
+  /// Handles of the admitted applications with at least one task placed on
+  /// the element — the applications a fault on that element kills. Callers
+  /// typically remove() these and re-admit after marking the element failed
+  /// (run-time fault circumvention, §I).
+  std::vector<AppHandle> apps_using(platform::ElementId e) const;
+
+  /// Outcome of a defragmentation pass.
+  struct DefragReport {
+    bool performed = false;  ///< false: a re-admission failed, rolled back
+    int applications = 0;
+    double fragmentation_before = 0.0;
+    double fragmentation_after = 0.0;
+  };
+
+  /// Releases every live application and re-admits them largest-first with
+  /// the current cost weights — compacting the platform when fragmentation
+  /// has accumulated (the external-fragmentation problem Fig. 9 tracks).
+  /// Atomic: if any application fails to fit again, the previous state is
+  /// restored exactly. Handles remain valid across the pass.
+  DefragReport defragment();
+
+  const platform::Platform& platform() const { return *platform_; }
+  const KairosConfig& config() const { return config_; }
+
+ private:
+  struct LiveApp {
+    /// The specification is retained so the application can be re-admitted
+    /// after faults or during defragmentation.
+    graph::Application app;
+    std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
+        task_allocations;
+    std::vector<std::pair<noc::Route, std::int64_t>> routes;
+  };
+
+  platform::Platform* platform_;
+  KairosConfig config_;
+  std::map<AppHandle, LiveApp> live_;
+  AppHandle next_handle_ = 1;
+};
+
+}  // namespace kairos::core

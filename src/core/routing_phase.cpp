@@ -1,0 +1,59 @@
+#include "core/routing_phase.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace kairos::core {
+
+RoutingResult RoutingPhase::route(
+    const graph::Application& app,
+    const std::vector<platform::ElementId>& element_of,
+    platform::Platform& platform) const {
+  RoutingResult result;
+  result.routes.resize(app.channel_count());
+  assert(element_of.size() == app.task_count());
+
+  platform::Transaction txn(platform);
+
+  // Most demanding channels first.
+  std::vector<std::size_t> order(app.channel_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return app.channels()[a].bandwidth > app.channels()[b].bandwidth;
+  });
+
+  int total_hops = 0;
+  for (const std::size_t idx : order) {
+    const graph::Channel& channel = app.channels()[idx];
+    const platform::ElementId src =
+        element_of.at(static_cast<std::size_t>(channel.src.value));
+    const platform::ElementId dst =
+        element_of.at(static_cast<std::size_t>(channel.dst.value));
+    assert(src.valid() && dst.valid() && "routing requires a full mapping");
+
+    auto route = router_.allocate_route(platform, src, dst, channel.bandwidth);
+    if (!route.has_value()) {
+      result.failed_channel = channel.id;
+      result.reason = "no route with free capacity from '" +
+                      platform.element(src).name() + "' to '" +
+                      platform.element(dst).name() + "' for channel " +
+                      std::to_string(channel.id.value);
+      return result;  // txn rolls back
+    }
+    total_hops += route->hops();
+    result.routes[idx] = ChannelRoute{std::move(*route), channel.bandwidth};
+  }
+
+  result.ok = true;
+  result.average_hops =
+      app.channel_count() == 0
+          ? 0.0
+          : static_cast<double>(total_hops) /
+                static_cast<double>(app.channel_count());
+  txn.commit();
+  return result;
+}
+
+}  // namespace kairos::core

@@ -1,0 +1,131 @@
+#include "core/validation_phase.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kairos::core {
+
+sdf::SdfGraph ValidationPhase::build_sdf(
+    const graph::Application& app, const std::vector<int>& impl_of,
+    const std::vector<platform::ElementId>& element_of,
+    const std::vector<ChannelRoute>& routes) const {
+  assert(impl_of.size() == app.task_count());
+  assert(element_of.size() == app.task_count());
+  assert(routes.size() == app.channel_count());
+
+  sdf::SdfGraph g(app.name());
+
+  // One actor per task; the execution time comes from the implementation
+  // selected by the binding phase.
+  std::vector<sdf::ActorId> actor_of(app.task_count());
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    const auto& impl = task.implementations().at(
+        static_cast<std::size_t>(impl_of[idx]));
+    const std::int64_t exec_time = std::max<std::int64_t>(1, impl.exec_time);
+    actor_of[idx] = g.add_actor(task.name(), exec_time);
+    g.disable_auto_concurrency(actor_of[idx]);
+  }
+
+  for (const auto& channel : app.channels()) {
+    const auto cid = static_cast<std::size_t>(channel.id.value);
+    const sdf::ActorId src =
+        actor_of[static_cast<std::size_t>(channel.src.value)];
+    const sdf::ActorId dst =
+        actor_of[static_cast<std::size_t>(channel.dst.value)];
+    const int rate = channel.tokens;
+    const std::int64_t capacity =
+        static_cast<std::int64_t>(config_.buffer_factor) * rate;
+
+    const int hops = routes[cid].route.hops();
+    if (hops == 0) {
+      // Co-located tasks: a plain bounded buffer.
+      g.add_buffered_channel(src, dst, rate, capacity);
+      continue;
+    }
+    // Routed channel: insert a transport actor whose execution time models
+    // the per-hop latency of the established route.
+    const auto latency = static_cast<std::int64_t>(
+        std::max(1.0, std::ceil(config_.hop_latency * hops)));
+    const sdf::ActorId transport = g.add_actor(
+        "route:" + app.task(channel.src).name() + "->" +
+            app.task(channel.dst).name(),
+        latency);
+    g.disable_auto_concurrency(transport);
+    g.add_buffered_channel(src, transport, rate, capacity);
+    g.add_buffered_channel(transport, dst, rate, capacity);
+  }
+
+  return g;
+}
+
+ValidationResult ValidationPhase::validate(
+    const graph::Application& app, const std::vector<int>& impl_of,
+    const std::vector<platform::ElementId>& element_of,
+    const std::vector<ChannelRoute>& routes) const {
+  ValidationResult result;
+  result.required_throughput = app.throughput_constraint();
+
+  if (app.task_count() == 0) {
+    result.ok = true;
+    return result;
+  }
+
+  const sdf::SdfGraph g = build_sdf(app, impl_of, element_of, routes);
+
+  // Observe a sink task (no outgoing channels) — the natural output of a
+  // streaming application; fall back to the first task for cyclic graphs.
+  sdf::ActorId observed{0};
+  for (const auto& task : app.tasks()) {
+    if (app.out_channels(task.id()).empty()) {
+      observed = sdf::ActorId{task.id().value};
+      break;
+    }
+  }
+
+  if (config_.use_mcr) {
+    const sdf::McrResult mcr = sdf::max_cycle_ratio(g);
+    if (mcr.applicable) {
+      result.states_explored = 0;
+      if (mcr.deadlock) {
+        result.status = sdf::ThroughputStatus::kDeadlock;
+        result.reason = "SDF model deadlocks (token-free cycle)";
+        result.ok = app.throughput_constraint() <= 0.0;
+        return result;
+      }
+      result.status = sdf::ThroughputStatus::kPeriodic;
+      result.throughput = mcr.throughput;
+      result.ok = app.throughput_constraint() <= 0.0 ||
+                  mcr.throughput >= app.throughput_constraint();
+      if (!result.ok) {
+        result.reason = "throughput " + std::to_string(mcr.throughput) +
+                        " below required " +
+                        std::to_string(app.throughput_constraint());
+      }
+      return result;
+    }
+    // Not applicable: fall through to the state-space analyzer.
+  }
+
+  const sdf::ThroughputAnalyzer analyzer(config_.throughput);
+  const sdf::ThroughputResult analysis = analyzer.analyze(g, observed);
+  result.throughput = analysis.throughput;
+  result.states_explored = analysis.states_explored;
+  result.status = analysis.status;
+
+  if (analysis.status == sdf::ThroughputStatus::kDeadlock) {
+    result.reason = "SDF model deadlocks";
+    result.ok = app.throughput_constraint() <= 0.0;
+    return result;
+  }
+  result.ok = sdf::satisfies_throughput(analysis, app.throughput_constraint());
+  if (!result.ok) {
+    result.reason = "throughput " + std::to_string(analysis.throughput) +
+                    " below required " +
+                    std::to_string(app.throughput_constraint());
+  }
+  return result;
+}
+
+}  // namespace kairos::core

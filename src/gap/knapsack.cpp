@@ -1,0 +1,164 @@
+#include "gap/knapsack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace kairos::gap {
+
+namespace {
+
+using platform::ResourceVector;
+
+/// Profit density: profit per unit of (max-dimension) utilisation. Items
+/// that weigh nothing are infinitely dense.
+double density(const KnapsackItem& item, const ResourceVector& capacity) {
+  const double size = item.weight.utilisation_of(capacity);
+  if (std::isinf(size)) return -1.0;  // cannot ever fit
+  if (size <= 0.0) return std::numeric_limits<double>::infinity();
+  return item.profit / size;
+}
+
+}  // namespace
+
+KnapsackSelection GreedyKnapsackSolver::solve(
+    const ResourceVector& capacity,
+    const std::vector<KnapsackItem>& items) const {
+  // Candidates: positive profit and individually fitting.
+  std::vector<std::size_t> order;
+  order.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].profit > 0.0 && items[i].weight.fits_within(capacity)) {
+      order.push_back(i);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return density(items[a], capacity) >
+                            density(items[b], capacity);
+                   });
+
+  std::vector<bool> taken(items.size(), false);
+  ResourceVector used;
+  for (const std::size_t i : order) {
+    if ((used + items[i].weight).fits_within(capacity)) {
+      used += items[i].weight;
+      taken[i] = true;
+    }
+  }
+
+  // One O(T²) improvement pass: try to swap an untaken item for a taken item
+  // of lower profit when the exchange still fits.
+  for (const std::size_t i : order) {
+    if (taken[i]) continue;
+    for (const std::size_t j : order) {
+      if (!taken[j]) continue;
+      if (items[i].profit <= items[j].profit) continue;
+      const ResourceVector candidate =
+          used - items[j].weight + items[i].weight;
+      if (!candidate.any_negative() && candidate.fits_within(capacity)) {
+        used = candidate;
+        taken[j] = false;
+        taken[i] = true;
+        break;
+      }
+    }
+  }
+
+  KnapsackSelection selection;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (taken[i]) {
+      selection.chosen.push_back(items[i].id);
+      selection.profit += items[i].profit;
+    }
+  }
+  return selection;
+}
+
+namespace {
+
+/// Recursive DFS with a suffix-profit bound. `order` is sorted by density so
+/// promising branches are explored first, tightening the bound early.
+class BranchAndBound {
+ public:
+  BranchAndBound(const ResourceVector& capacity,
+                 const std::vector<KnapsackItem>& items,
+                 std::vector<std::size_t> order)
+      : capacity_(capacity), items_(items), order_(std::move(order)) {
+    suffix_.assign(order_.size() + 1, 0.0);
+    for (std::size_t k = order_.size(); k-- > 0;) {
+      suffix_[k] = suffix_[k + 1] + items_[order_[k]].profit;
+    }
+    current_.assign(order_.size(), false);
+    best_set_.assign(order_.size(), false);
+  }
+
+  void run() { explore(0, ResourceVector{}, 0.0); }
+
+  double best_profit() const { return best_; }
+  const std::vector<bool>& best_set() const { return best_set_; }
+
+ private:
+  void explore(std::size_t depth, ResourceVector used, double profit) {
+    if (depth == order_.size()) {
+      if (profit > best_) {
+        best_ = profit;
+        best_set_ = current_;
+      }
+      return;
+    }
+    if (profit + suffix_[depth] <= best_) return;  // optimistic bound
+
+    const KnapsackItem& item = items_[order_[depth]];
+    const ResourceVector with_item = used + item.weight;
+    if (with_item.fits_within(capacity_)) {
+      current_[depth] = true;
+      explore(depth + 1, with_item, profit + item.profit);
+    }
+    current_[depth] = false;
+    explore(depth + 1, used, profit);
+  }
+
+  const ResourceVector& capacity_;
+  const std::vector<KnapsackItem>& items_;
+  std::vector<std::size_t> order_;
+  std::vector<double> suffix_;
+  std::vector<bool> current_;
+  std::vector<bool> best_set_;
+  double best_ = 0.0;
+};
+
+}  // namespace
+
+KnapsackSelection BranchAndBoundKnapsackSolver::solve(
+    const ResourceVector& capacity,
+    const std::vector<KnapsackItem>& items) const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].profit > 0.0 && items[i].weight.fits_within(capacity)) {
+      order.push_back(i);
+    }
+  }
+  assert(order.size() <= max_items_ &&
+         "instance too large for exact branch-and-bound");
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return density(items[a], capacity) >
+                            density(items[b], capacity);
+                   });
+
+  BranchAndBound solver(capacity, items, order);
+  solver.run();
+
+  KnapsackSelection selection;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (solver.best_set()[k]) {
+      selection.chosen.push_back(items[order[k]].id);
+      selection.profit += items[order[k]].profit;
+    }
+  }
+  return selection;
+}
+
+}  // namespace kairos::gap

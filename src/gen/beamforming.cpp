@@ -1,0 +1,110 @@
+#include "gen/beamforming.hpp"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace kairos::gen {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementType;
+using platform::ResourceVector;
+
+namespace {
+
+Implementation impl(ElementType target, ResourceVector requirement,
+                    double cost, std::int64_t exec_time) {
+  Implementation i;
+  i.name = "bf";
+  i.target = target;
+  i.requirement = requirement;
+  i.cost = cost;
+  i.exec_time = exec_time;
+  return i;
+}
+
+}  // namespace
+
+Application make_beamforming_application(const BeamformingConfig& cfg) {
+  assert(cfg.packages >= 1);
+  assert(cfg.workers_per_package >= 1);
+  assert(cfg.dsp_compute > 500 &&
+         "DSP tasks must occupy their element exclusively");
+
+  Application app("beamforming");
+  app.set_throughput_constraint(cfg.throughput_constraint);
+
+  const ResourceVector dsp_req(cfg.dsp_compute, cfg.dsp_memory, 1, 1);
+
+  // Antenna frontend on the FPGA.
+  const TaskId adc = app.add_task("adc");
+  app.task_mut(adc).add_implementation(
+      impl(ElementType::kFpga, ResourceVector(1500, 256, 4, 8), 1.0, 20));
+
+  // Aggregation on the ARM host, health monitoring on a test unit.
+  const TaskId combine = app.add_task("combine");
+  app.task_mut(combine).add_implementation(
+      impl(ElementType::kArm, ResourceVector(800, 512, 2, 0), 1.0, 30));
+  const TaskId monitor = app.add_task("monitor");
+  app.task_mut(monitor).add_implementation(
+      impl(ElementType::kTestUnit, ResourceVector(50, 16, 1, 0), 1.0, 10));
+
+  // Per-stage tasks. Samples flow down a distribution pipeline of memory
+  // tiles (dist_0 -> dist_1 -> ...); each stage hands its share to a scatter
+  // DSP that farms it out to the stage's workers and accumulates partial
+  // beams, which travel up the scatter pipeline into the ARM combiner — the
+  // classic systolic arrangement of a partitioned beamformer.
+  std::vector<TaskId> dists;
+  std::vector<TaskId> scatters;
+  for (int p = 0; p < cfg.packages; ++p) {
+    const std::string suffix = std::to_string(p);
+    const TaskId dist = app.add_task("dist" + suffix);
+    app.task_mut(dist).add_implementation(
+        impl(ElementType::kMemory, ResourceVector(0, 2048, 1, 0), 1.0, 15));
+    dists.push_back(dist);
+
+    const TaskId scatter = app.add_task("scatter" + suffix);
+    app.task_mut(scatter).add_implementation(
+        impl(ElementType::kDsp, dsp_req, 1.0, 40));
+    scatters.push_back(scatter);
+
+    for (int w = 0; w < cfg.workers_per_package; ++w) {
+      const TaskId worker =
+          app.add_task("worker" + suffix + "_" + std::to_string(w));
+      app.task_mut(worker).add_implementation(
+          impl(ElementType::kDsp, dsp_req, 1.0, 60));
+      app.add_channel(scatter, worker, cfg.channel_bandwidth);
+      app.add_channel(worker, scatter, cfg.channel_bandwidth);
+    }
+  }
+
+  // Sample distribution pipeline: adc -> dist_0 -> dist_1 -> ... and local
+  // hand-off dist_i -> scatter_i.
+  app.add_channel(adc, dists.front(), cfg.channel_bandwidth);
+  for (int p = 0; p + 1 < cfg.packages; ++p) {
+    app.add_channel(dists[static_cast<std::size_t>(p)],
+                    dists[static_cast<std::size_t>(p + 1)],
+                    cfg.channel_bandwidth);
+  }
+  for (int p = 0; p < cfg.packages; ++p) {
+    app.add_channel(dists[static_cast<std::size_t>(p)],
+                    scatters[static_cast<std::size_t>(p)],
+                    cfg.channel_bandwidth);
+  }
+
+  // Beam accumulation pipeline: scatter_0 -> scatter_1 -> ... -> combine.
+  for (int p = 0; p + 1 < cfg.packages; ++p) {
+    app.add_channel(scatters[static_cast<std::size_t>(p)],
+                    scatters[static_cast<std::size_t>(p + 1)],
+                    cfg.channel_bandwidth);
+  }
+  app.add_channel(scatters.back(), combine, cfg.channel_bandwidth);
+  app.add_channel(combine, monitor, cfg.channel_bandwidth / 2);
+
+  assert(app.validate().ok());
+  return app;
+}
+
+}  // namespace kairos::gen

@@ -1,0 +1,40 @@
+// The beamforming case study of §IV-A: a 53-task, tree-like streaming
+// application developed for the CRISP platform that requires all 45 DSPs —
+// "a difficult mapping problem".
+//
+// Structure (one stage per CRISP package; systolic pipeline):
+//
+//   adc (FPGA) -> dist_0 -> dist_1 -> ... -> dist_4     (memory tiles)
+//   dist_i -> scatter_i                                 (stage hand-off)
+//   scatter_i <-> worker_{i,j}                          (8 workers/stage)
+//   scatter_0 -> scatter_1 -> ... -> scatter_4 -> combine (ARM)
+//   combine -> monitor (test unit)
+//
+// 1 + 5 + 5 + 40 + 1 + 1 = 53 tasks; 45 DSP tasks occupy each DSP
+// exclusively (every DSP implementation demands more than half a DSP).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/application.hpp"
+
+namespace kairos::gen {
+
+struct BeamformingConfig {
+  int packages = 5;            ///< stages; 5 matches CRISP
+  int workers_per_package = 8; ///< plus one scatter DSP task per package
+  std::int64_t channel_bandwidth = 50;
+  /// Compute demand of a DSP task, relative to a 1000-unit DSP tile. Must
+  /// exceed 500 so that each DSP hosts exactly one task.
+  std::int64_t dsp_compute = 700;
+  std::int64_t dsp_memory = 256;
+  /// Throughput constraint (sink firings per time unit); 0 disables.
+  double throughput_constraint = 0.0;
+};
+
+/// Builds the beamforming application. With the default config the task
+/// count is 53 and the DSP demand equals the 45 DSPs of the CRISP platform.
+graph::Application make_beamforming_application(
+    const BeamformingConfig& config = {});
+
+}  // namespace kairos::gen

@@ -1,0 +1,91 @@
+#include "gen/datasets.hpp"
+
+#include <cassert>
+
+namespace kairos::gen {
+
+DatasetSpec dataset_spec(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCommunicationSmall:
+      return {"Communication Small", false, 3, 5};
+    case DatasetKind::kCommunicationMedium:
+      return {"Communication Medium", false, 6, 10};
+    case DatasetKind::kCommunicationLarge:
+      return {"Communication Large", false, 11, 16};
+    case DatasetKind::kComputationSmall:
+      return {"Computation Small", true, 3, 5};
+    case DatasetKind::kComputationMedium:
+      return {"Computation Medium", true, 6, 10};
+    case DatasetKind::kComputationLarge:
+      return {"Computation Large", true, 11, 16};
+  }
+  return {};
+}
+
+GeneratorConfig dataset_generator_config(const DatasetSpec& spec, int tasks,
+                                         util::Xoshiro256& rng) {
+  assert(tasks >= 3);
+  GeneratorConfig cfg;
+  // One input, one output, the rest internal; larger apps get a second
+  // input/output occasionally to vary the structure.
+  cfg.input_tasks = tasks >= 8 ? static_cast<int>(rng.uniform_int(1, 2)) : 1;
+  cfg.output_tasks = tasks >= 8 ? static_cast<int>(rng.uniform_int(1, 2)) : 1;
+  cfg.internal_tasks = tasks - cfg.input_tasks - cfg.output_tasks;
+  cfg.max_in_degree = 3;
+  cfg.max_out_degree = 3;
+  if (spec.computation) {
+    cfg.min_intensity = 0.7;
+    cfg.max_intensity = 1.0;
+    cfg.min_bandwidth = 180;
+    cfg.max_bandwidth = 400;
+  } else {
+    // Light element usage but heavy streams: these applications time-share
+    // elements until the NoC, not the compute fabric, becomes the
+    // bottleneck (§IV: "eventually resulting in communication bottlenecks").
+    cfg.min_intensity = 0.1;
+    cfg.max_intensity = 0.7;
+    cfg.min_bandwidth = 250;
+    cfg.max_bandwidth = 600;
+  }
+  return cfg;
+}
+
+std::vector<graph::Application> make_dataset(DatasetKind kind, int count,
+                                             std::uint64_t seed) {
+  const DatasetSpec spec = dataset_spec(kind);
+  util::Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(kind) << 32));
+  std::vector<graph::Application> apps;
+  apps.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    const int tasks =
+        static_cast<int>(rng.uniform_int(spec.min_tasks, spec.max_tasks));
+    const GeneratorConfig cfg = dataset_generator_config(spec, tasks, rng);
+    apps.push_back(generate_application(
+        cfg, rng, spec.name + " #" + std::to_string(k)));
+  }
+  return apps;
+}
+
+std::vector<graph::Application> filter_admissible(
+    std::vector<graph::Application> apps, const platform::Platform& platform,
+    const core::KairosConfig& config) {
+  // Work on a scratch copy so the caller's platform state is untouched.
+  platform::Platform scratch = platform;
+  scratch.clear_allocations();
+  std::vector<graph::Application> kept;
+  kept.reserve(apps.size());
+  for (auto& app : apps) {
+    core::ResourceManager manager(scratch, config);
+    const core::AdmissionReport report = manager.admit(app);
+    if (report.admitted) {
+      const auto removed = manager.remove(report.handle);
+      assert(removed.ok());
+      (void)removed;
+      kept.push_back(std::move(app));
+    }
+    scratch.clear_allocations();  // belt and braces
+  }
+  return kept;
+}
+
+}  // namespace kairos::gen

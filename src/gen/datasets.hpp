@@ -1,0 +1,60 @@
+// The six synthetic datasets of Table I: {communication, computation} ×
+// {small, medium, large}, each initially 100 applications, filtered down to
+// the applications that can be allocated on an *empty* platform ("to filter
+// out any extraneous samples", §IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "gen/generator.hpp"
+#include "graph/application.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::gen {
+
+enum class DatasetKind {
+  kCommunicationSmall,
+  kCommunicationMedium,
+  kCommunicationLarge,
+  kComputationSmall,
+  kComputationMedium,
+  kComputationLarge,
+};
+
+inline constexpr DatasetKind kAllDatasets[] = {
+    DatasetKind::kCommunicationSmall,  DatasetKind::kCommunicationMedium,
+    DatasetKind::kCommunicationLarge,  DatasetKind::kComputationSmall,
+    DatasetKind::kComputationMedium,   DatasetKind::kComputationLarge,
+};
+
+struct DatasetSpec {
+  std::string name;
+  bool computation = false;  ///< 70-100% intensity vs 10-70%
+  int min_tasks = 3;
+  int max_tasks = 5;
+};
+
+/// The paper's characteristics: small (3-5 tasks), medium (6-10), large
+/// (11-16); computation-intensive tasks use 70-100% of an element's
+/// resources, communication-oriented ones 10-70% with heavier channels.
+DatasetSpec dataset_spec(DatasetKind kind);
+
+/// Generator configuration for one application of `spec` with `tasks` tasks.
+GeneratorConfig dataset_generator_config(const DatasetSpec& spec, int tasks,
+                                         util::Xoshiro256& rng);
+
+/// Generates `count` applications of the dataset (sizes uniform in the
+/// spec's range). Deterministic in `seed`.
+std::vector<graph::Application> make_dataset(DatasetKind kind, int count,
+                                             std::uint64_t seed);
+
+/// Removes applications that cannot be allocated on an empty copy of
+/// `platform` under `config` — the paper's extraneous-sample filter.
+std::vector<graph::Application> filter_admissible(
+    std::vector<graph::Application> apps, const platform::Platform& platform,
+    const core::KairosConfig& config);
+
+}  // namespace kairos::gen

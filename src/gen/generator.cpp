@@ -1,0 +1,169 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace kairos::gen {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementType;
+using platform::ResourceKind;
+using platform::ResourceVector;
+
+namespace {
+
+/// A bounded random requirement vector: each kind is an independently
+/// jittered fraction of the reference capacity within the intensity range.
+ResourceVector random_requirement(const GeneratorConfig& cfg,
+                                  util::Xoshiro256& rng,
+                                  const ResourceVector& reference) {
+  ResourceVector req;
+  for (const ResourceKind kind :
+       {ResourceKind::kCompute, ResourceKind::kMemory, ResourceKind::kIo,
+        ResourceKind::kConfig}) {
+    const std::int64_t cap = reference.get(kind);
+    if (cap == 0) continue;
+    const double intensity =
+        rng.uniform_real(cfg.min_intensity, cfg.max_intensity);
+    req.set(kind, static_cast<std::int64_t>(
+                      static_cast<double>(cap) * intensity));
+  }
+  return req;
+}
+
+Implementation make_impl(const GeneratorConfig& cfg, util::Xoshiro256& rng,
+                         ElementType target, const ResourceVector& reference,
+                         const std::string& name) {
+  Implementation impl;
+  impl.name = name;
+  impl.target = target;
+  impl.requirement = random_requirement(cfg, rng, reference);
+  impl.cost = rng.uniform_real(cfg.min_cost, cfg.max_cost);
+  impl.exec_time = rng.uniform_int(cfg.min_exec_time, cfg.max_exec_time);
+  return impl;
+}
+
+}  // namespace
+
+Application generate_application(const GeneratorConfig& cfg,
+                                 util::Xoshiro256& rng, std::string name) {
+  assert(cfg.input_tasks >= 1);
+  assert(cfg.internal_tasks >= 0);
+  assert(cfg.output_tasks >= 1);
+  assert(cfg.max_in_degree >= 1 && cfg.max_out_degree >= 1);
+  assert(cfg.min_intensity > 0.0 && cfg.max_intensity <= 1.0);
+
+  Application app(std::move(name));
+
+  const int n_in = cfg.input_tasks;
+  const int n_mid = cfg.internal_tasks;
+  const int n_out = cfg.output_tasks;
+  const int n = n_in + n_mid + n_out;
+
+  enum class Role { kInput, kInternal, kOutput };
+  auto role_of = [&](int i) {
+    if (i < n_in) return Role::kInput;
+    if (i < n_in + n_mid) return Role::kInternal;
+    return Role::kOutput;
+  };
+
+  // Tasks in topological position order: inputs, internals, outputs.
+  std::vector<TaskId> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string prefix = role_of(i) == Role::kInput      ? "in"
+                               : role_of(i) == Role::kInternal ? "t"
+                                                               : "out";
+    tasks.push_back(app.add_task(prefix + std::to_string(i)));
+  }
+
+  // Implementations.
+  for (int i = 0; i < n; ++i) {
+    auto& task = app.task_mut(tasks[static_cast<std::size_t>(i)]);
+    const int impl_count = static_cast<int>(
+        rng.uniform_int(cfg.min_implementations, cfg.max_implementations));
+    if (cfg.io_on_boundary && role_of(i) == Role::kInput) {
+      // Fixed I/O interface on the FPGA; cheapest so binding prefers it.
+      Implementation io = make_impl(cfg, rng, ElementType::kFpga,
+                                    cfg.reference_capacity, "io-fpga");
+      io.cost = cfg.min_cost * 0.5;
+      task.add_implementation(std::move(io));
+    }
+    if (cfg.io_on_boundary && role_of(i) == Role::kOutput) {
+      Implementation io = make_impl(cfg, rng, ElementType::kArm,
+                                    cfg.reference_capacity, "io-arm");
+      io.cost = cfg.min_cost * 0.5;
+      task.add_implementation(std::move(io));
+    }
+    for (int k = 0; k < impl_count; ++k) {
+      task.add_implementation(make_impl(cfg, rng, cfg.target,
+                                        cfg.reference_capacity,
+                                        "v" + std::to_string(k)));
+    }
+  }
+
+  // Channels: every non-input task draws 1..max_in_degree producers from
+  // strictly earlier tasks whose out-degree still has headroom.
+  std::vector<int> out_degree(static_cast<std::size_t>(n), 0);
+  std::vector<int> in_degree(static_cast<std::size_t>(n), 0);
+  auto bandwidth = [&]() {
+    return rng.uniform_int(cfg.min_bandwidth, cfg.max_bandwidth);
+  };
+  auto connect = [&](int from, int to) {
+    app.add_channel(tasks[static_cast<std::size_t>(from)],
+                    tasks[static_cast<std::size_t>(to)], bandwidth());
+    ++out_degree[static_cast<std::size_t>(from)];
+    ++in_degree[static_cast<std::size_t>(to)];
+  };
+
+  for (int i = n_in; i < n; ++i) {
+    const int want =
+        static_cast<int>(rng.uniform_int(1, cfg.max_in_degree));
+    // Candidate producers: earlier non-output tasks with spare out-degree.
+    std::vector<int> producers;
+    for (int j = 0; j < i; ++j) {
+      if (role_of(j) == Role::kOutput) continue;
+      if (out_degree[static_cast<std::size_t>(j)] >= cfg.max_out_degree)
+        continue;
+      producers.push_back(j);
+    }
+    if (producers.empty()) {
+      // Degrees saturated: relax the out-degree bound rather than leave the
+      // task unconnected (connectivity beats the soft degree limit).
+      for (int j = 0; j < i; ++j) {
+        if (role_of(j) != Role::kOutput) producers.push_back(j);
+      }
+    }
+    rng.shuffle(producers);
+    const int take = std::min<int>(want, static_cast<int>(producers.size()));
+    for (int k = 0; k < take; ++k) connect(producers[static_cast<std::size_t>(k)], i);
+  }
+
+  // Every input/internal task needs at least one consumer.
+  for (int j = 0; j < n_in + n_mid; ++j) {
+    if (out_degree[static_cast<std::size_t>(j)] > 0) continue;
+    std::vector<int> consumers;
+    for (int i = std::max(j + 1, n_in); i < n; ++i) {
+      if (in_degree[static_cast<std::size_t>(i)] < cfg.max_in_degree) {
+        consumers.push_back(i);
+      }
+    }
+    if (consumers.empty()) {
+      for (int i = std::max(j + 1, n_in); i < n; ++i) consumers.push_back(i);
+    }
+    assert(!consumers.empty());
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(consumers.size()) - 1));
+    connect(j, consumers[pick]);
+  }
+
+  // Note: with several inputs the *undirected* graph can still consist of
+  // multiple components; the mapper supports that, so it is not prevented.
+  assert(app.validate().ok());
+  return app;
+}
+
+}  // namespace kairos::gen

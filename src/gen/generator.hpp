@@ -1,0 +1,68 @@
+// The synthetic application generator — "an in-house developed application
+// generator, which is similar to TGFF" (§IV, citing Dick/Rhodes/Wolf's
+// "task graphs for free").
+//
+// The structure of an application is specified by the number of input,
+// internal and output tasks plus maximum in/out-degrees; resource
+// requirements are bounded random vectors expressed as a fraction of a
+// reference element's capacity. The two workload classes of the paper map to
+// intensity ranges: computation-intensive tasks use 70-100% of an element,
+// communication-oriented tasks 10-70% (allowing time-sharing of elements,
+// which eventually makes the NoC the bottleneck).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/application.hpp"
+#include "platform/resource_vector.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::gen {
+
+struct GeneratorConfig {
+  // --- structure -----------------------------------------------------------
+  int input_tasks = 1;
+  int internal_tasks = 3;
+  int output_tasks = 1;
+  int max_in_degree = 3;
+  int max_out_degree = 3;
+
+  // --- task implementations ---------------------------------------------------
+  /// Fraction of reference capacity a task requires (per resource kind,
+  /// jittered independently): the computation/communication split of §IV.
+  double min_intensity = 0.1;
+  double max_intensity = 0.7;
+  /// Reference element capacity the intensities are relative to (defaults to
+  /// the CRISP DSP tile).
+  platform::ResourceVector reference_capacity{1000, 512, 16, 8};
+  /// Element type of the primary implementations.
+  platform::ElementType target = platform::ElementType::kDsp;
+  /// Number of alternative implementations per task (inclusive bounds).
+  int min_implementations = 1;
+  int max_implementations = 3;
+  /// Give input tasks an FPGA implementation and output tasks an ARM
+  /// implementation (cheapest option), modelling fixed I/O interfaces; a DSP
+  /// fallback is still generated so binding can divert when the boundary
+  /// processors fill up.
+  bool io_on_boundary = true;
+
+  // --- channels -------------------------------------------------------------
+  std::int64_t min_bandwidth = 10;
+  std::int64_t max_bandwidth = 100;
+
+  // --- timing ---------------------------------------------------------------
+  std::int64_t min_exec_time = 10;
+  std::int64_t max_exec_time = 100;
+  double min_cost = 1.0;
+  double max_cost = 10.0;
+};
+
+/// Generates one random application. The task graph is a connected DAG: every
+/// internal/output task has at least one producer, every input/internal task
+/// at least one consumer, degrees bounded by the config.
+graph::Application generate_application(const GeneratorConfig& config,
+                                        util::Xoshiro256& rng,
+                                        std::string name);
+
+}  // namespace kairos::gen

@@ -1,0 +1,173 @@
+#include "graph/app_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace kairos::graph {
+
+namespace {
+
+using platform::ElementType;
+using platform::ResourceKind;
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    if (std::isspace(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+}  // namespace
+
+util::Result<ElementType> parse_element_type(const std::string& token) {
+  if (token == "ARM") return ElementType::kArm;
+  if (token == "FPGA") return ElementType::kFpga;
+  if (token == "DSP") return ElementType::kDsp;
+  if (token == "MEM") return ElementType::kMemory;
+  if (token == "TEST") return ElementType::kTestUnit;
+  if (token == "GEN") return ElementType::kGeneric;
+  return util::Error("unknown element type '" + token + "'");
+}
+
+std::string write_application(const Application& app) {
+  std::ostringstream out;
+  out << "application " << sanitize(app.name()) << "\n";
+  if (app.throughput_constraint() > 0.0) {
+    out << "throughput " << app.throughput_constraint() << "\n";
+  }
+  for (const auto& task : app.tasks()) {
+    out << "task " << sanitize(task.name()) << "\n";
+    if (!task.pinned_name().empty()) {
+      out << "  pin " << sanitize(task.pinned_name()) << "\n";
+    }
+    for (const auto& impl : task.implementations()) {
+      const auto& r = impl.requirement;
+      out << "  impl " << sanitize(impl.name) << ' '
+          << platform::to_string(impl.target) << ' '
+          << r.get(ResourceKind::kCompute) << ' '
+          << r.get(ResourceKind::kMemory) << ' ' << r.get(ResourceKind::kIo)
+          << ' ' << r.get(ResourceKind::kConfig) << ' ' << impl.cost << ' '
+          << impl.exec_time << "\n";
+    }
+  }
+  for (const auto& channel : app.channels()) {
+    out << "channel " << sanitize(app.task(channel.src).name()) << ' '
+        << sanitize(app.task(channel.dst).name()) << ' ' << channel.bandwidth
+        << ' ' << channel.tokens << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+util::Result<Application> parse_application(const std::string& text) {
+  Application app;
+  std::map<std::string, TaskId> task_by_name;
+  TaskId current_task;
+  bool saw_application = false;
+  bool saw_end = false;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+
+  auto fail = [&](const std::string& message) -> util::Result<Application> {
+    return util::Error("line " + std::to_string(line_no) + ": " + message);
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line{util::trim(raw)};
+    if (line.empty()) continue;
+    if (saw_end) return fail("content after 'end'");
+
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+
+    if (keyword == "application") {
+      std::string name;
+      if (!(ls >> name)) return fail("'application' requires a name");
+      app.set_name(name);
+      saw_application = true;
+    } else if (keyword == "throughput") {
+      double t = 0.0;
+      if (!(ls >> t) || t < 0.0) {
+        return fail("'throughput' requires a non-negative number");
+      }
+      app.set_throughput_constraint(t);
+    } else if (keyword == "task") {
+      std::string name;
+      if (!(ls >> name)) return fail("'task' requires a name");
+      if (task_by_name.count(name) != 0) {
+        return fail("duplicate task name '" + name + "'");
+      }
+      current_task = app.add_task(name);
+      task_by_name[name] = current_task;
+    } else if (keyword == "pin") {
+      if (!current_task.valid()) return fail("'pin' outside a task");
+      std::string element_name;
+      if (!(ls >> element_name)) return fail("'pin' requires an element name");
+      app.task_mut(current_task).set_pinned_name(element_name);
+    } else if (keyword == "impl") {
+      if (!current_task.valid()) return fail("'impl' outside a task");
+      std::string name;
+      std::string type_token;
+      long compute = 0;
+      long memory = 0;
+      long io = 0;
+      long config = 0;
+      double cost = 0.0;
+      long time = 0;
+      if (!(ls >> name >> type_token >> compute >> memory >> io >> config >>
+            cost >> time)) {
+        return fail(
+            "'impl' requires: name type compute memory io config cost time");
+      }
+      const auto type = parse_element_type(type_token);
+      if (!type.ok()) return fail(type.error());
+      Implementation impl;
+      impl.name = name;
+      impl.target = type.value();
+      impl.requirement = platform::ResourceVector(compute, memory, io, config);
+      impl.cost = cost;
+      impl.exec_time = time;
+      app.task_mut(current_task).add_implementation(std::move(impl));
+    } else if (keyword == "channel") {
+      std::string src;
+      std::string dst;
+      long bandwidth = 0;
+      long tokens = 1;
+      if (!(ls >> src >> dst >> bandwidth)) {
+        return fail("'channel' requires: src dst bandwidth [tokens]");
+      }
+      if (!(ls >> tokens)) tokens = 1;
+      const auto src_it = task_by_name.find(src);
+      if (src_it == task_by_name.end()) {
+        return fail("channel references unknown task '" + src + "'");
+      }
+      const auto dst_it = task_by_name.find(dst);
+      if (dst_it == task_by_name.end()) {
+        return fail("channel references unknown task '" + dst + "'");
+      }
+      app.add_channel(src_it->second, dst_it->second, bandwidth,
+                      static_cast<int>(tokens));
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      return fail("unknown directive '" + keyword + "'");
+    }
+  }
+
+  if (!saw_application) return util::Error("missing 'application' directive");
+  if (!saw_end) return util::Error("missing 'end' directive");
+  const auto valid = app.validate();
+  if (!valid.ok()) return util::Error(valid.error());
+  return app;
+}
+
+}  // namespace kairos::graph

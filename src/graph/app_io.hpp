@@ -1,0 +1,42 @@
+// Textual (de)serialization of application specifications.
+//
+// The paper's prototype defines a *binary* format for MPSoC applications plus
+// a Linux binfmt handler that distinguishes them from host executables. The
+// loader is orthogonal to the resource-allocation algorithms, so this
+// reproduction substitutes a line-oriented text format that captures the same
+// information: the task graph, per-task implementations with resource
+// vectors, pins, channels and performance constraints.
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   application <name>
+//   throughput <firings-per-time-unit>          # optional
+//   task <name>
+//     pin <element-name>                        # optional
+//     impl <name> <type> <compute> <memory> <io> <config> <cost> <time>
+//   channel <src-task> <dst-task> <bandwidth> <tokens>
+//   end
+//
+// <type> is one of ARM, FPGA, DSP, MEM, TEST, GEN.
+#pragma once
+
+#include <string>
+
+#include "graph/application.hpp"
+#include "util/result.hpp"
+
+namespace kairos::graph {
+
+/// Renders the application in the format above. Round-trips through
+/// parse_application (modulo resolved ElementId pins, which serialize via
+/// their pinned_name()).
+std::string write_application(const Application& app);
+
+/// Parses the format above. Errors carry the offending line number.
+util::Result<Application> parse_application(const std::string& text);
+
+/// Parses an element-type token ("DSP", "ARM", ...).
+util::Result<platform::ElementType> parse_element_type(
+    const std::string& token);
+
+}  // namespace kairos::graph

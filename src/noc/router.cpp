@@ -1,0 +1,149 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace kairos::noc {
+
+using platform::ElementId;
+using platform::LinkId;
+using platform::Platform;
+
+std::string to_string(RoutingStrategy strategy) {
+  switch (strategy) {
+    case RoutingStrategy::kBreadthFirst:
+      return "BFS";
+    case RoutingStrategy::kDijkstra:
+      return "Dijkstra";
+  }
+  return "?";
+}
+
+std::optional<Route> Router::find_route(const Platform& platform,
+                                        ElementId src, ElementId dst,
+                                        std::int64_t bandwidth) const {
+  if (src == dst) return Route{};
+  switch (strategy_) {
+    case RoutingStrategy::kBreadthFirst:
+      return bfs(platform, src, dst, bandwidth);
+    case RoutingStrategy::kDijkstra:
+      return dijkstra(platform, src, dst, bandwidth);
+  }
+  return std::nullopt;
+}
+
+std::optional<Route> Router::bfs(const Platform& platform, ElementId src,
+                                 ElementId dst,
+                                 std::int64_t bandwidth) const {
+  const std::size_t n = platform.element_count();
+  std::vector<LinkId> via(n, LinkId{});
+  std::vector<bool> visited(n, false);
+  std::deque<ElementId> queue;
+  visited[static_cast<std::size_t>(src.value)] = true;
+  queue.push_back(src);
+
+  while (!queue.empty()) {
+    const ElementId e = queue.front();
+    queue.pop_front();
+    for (const LinkId l : platform.out_links(e)) {
+      const auto& link = platform.link(l);
+      if (!link.can_carry(bandwidth) || !platform.link_usable(l)) continue;
+      const ElementId next = link.dst();
+      const auto idx = static_cast<std::size_t>(next.value);
+      if (visited[idx]) continue;
+      visited[idx] = true;
+      via[idx] = l;
+      if (next == dst) {
+        Route route;
+        for (ElementId cur = dst; cur != src;) {
+          const LinkId step = via[static_cast<std::size_t>(cur.value)];
+          route.links.push_back(step);
+          cur = platform.link(step).src();
+        }
+        std::reverse(route.links.begin(), route.links.end());
+        return route;
+      }
+      queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Route> Router::dijkstra(const Platform& platform, ElementId src,
+                                      ElementId dst,
+                                      std::int64_t bandwidth) const {
+  const std::size_t n = platform.element_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n, LinkId{});
+  std::vector<bool> done(n, false);
+
+  using Entry = std::pair<double, std::int32_t>;  // (distance, element)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src.value)] = 0.0;
+  heap.emplace(0.0, src.value);
+
+  while (!heap.empty()) {
+    const auto [d, ev] = heap.top();
+    heap.pop();
+    const auto idx = static_cast<std::size_t>(ev);
+    if (done[idx]) continue;
+    done[idx] = true;
+    if (ElementId{ev} == dst) break;
+    for (const LinkId l : platform.out_links(ElementId{ev})) {
+      const auto& link = platform.link(l);
+      if (!link.can_carry(bandwidth) || !platform.link_usable(l)) continue;
+      // Edge weight: one hop plus the current load, so that congested links
+      // are avoided when an equally short alternative exists.
+      const double weight = 1.0 + link.load();
+      const auto nidx = static_cast<std::size_t>(link.dst().value);
+      if (d + weight < dist[nidx]) {
+        dist[nidx] = d + weight;
+        via[nidx] = l;
+        heap.emplace(dist[nidx], link.dst().value);
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(dst.value)] == kInf) return std::nullopt;
+  Route route;
+  for (ElementId cur = dst; cur != src;) {
+    const LinkId step = via[static_cast<std::size_t>(cur.value)];
+    route.links.push_back(step);
+    cur = platform.link(step).src();
+  }
+  std::reverse(route.links.begin(), route.links.end());
+  return route;
+}
+
+std::optional<Route> Router::allocate_route(Platform& platform, ElementId src,
+                                            ElementId dst,
+                                            std::int64_t bandwidth) const {
+  auto route = find_route(platform, src, dst, bandwidth);
+  if (!route.has_value()) return std::nullopt;
+  // The links were all able to carry the bandwidth when found; allocate in
+  // order, rolling back on the (impossible in single-threaded use) failure.
+  std::size_t allocated = 0;
+  for (const LinkId l : route->links) {
+    if (!platform.allocate_channel(l, bandwidth)) {
+      for (std::size_t k = 0; k < allocated; ++k) {
+        platform.release_channel(route->links[k], bandwidth);
+      }
+      return std::nullopt;
+    }
+    ++allocated;
+  }
+  return route;
+}
+
+void Router::release_route(Platform& platform, const Route& route,
+                           std::int64_t bandwidth) {
+  for (const LinkId l : route.links) {
+    platform.release_channel(l, bandwidth);
+  }
+}
+
+}  // namespace kairos::noc

@@ -1,0 +1,75 @@
+// NoC route establishment — the routing phase of the workflow (Fig. 1).
+//
+// Communication resources are time-shared through virtual channels per
+// Kavaldjiev et al. [11]: establishing a route claims one virtual channel and
+// the channel's bandwidth on every traversed link. The paper uses
+// breadth-first search because it showed "no noticeable performance
+// differences in terms of successful routes and energy consumption, compared
+// to Dijkstra's algorithm" (§II); both strategies are implemented here so
+// that claim can be re-examined (bench_ablation_routing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace kairos::noc {
+
+/// An established route: the ordered links from source to destination
+/// element. Empty when source and destination coincide.
+struct Route {
+  std::vector<platform::LinkId> links;
+
+  int hops() const { return static_cast<int>(links.size()); }
+};
+
+enum class RoutingStrategy {
+  kBreadthFirst,  ///< fewest hops among links with free capacity
+  kDijkstra,      ///< minimises hop count + load (contention aware)
+};
+
+std::string to_string(RoutingStrategy strategy);
+
+/// Stateless route finder over a Platform's link state.
+class Router {
+ public:
+  explicit Router(RoutingStrategy strategy = RoutingStrategy::kBreadthFirst)
+      : strategy_(strategy) {}
+
+  RoutingStrategy strategy() const { return strategy_; }
+
+  /// Finds a route src -> dst such that every traversed link can still carry
+  /// one more virtual channel with `bandwidth`. Does not modify the
+  /// platform. Returns std::nullopt when no such route exists.
+  std::optional<Route> find_route(const platform::Platform& platform,
+                                  platform::ElementId src,
+                                  platform::ElementId dst,
+                                  std::int64_t bandwidth) const;
+
+  /// find_route + reservation of the virtual channels and bandwidth along
+  /// the result. The platform is unchanged on failure.
+  std::optional<Route> allocate_route(platform::Platform& platform,
+                                      platform::ElementId src,
+                                      platform::ElementId dst,
+                                      std::int64_t bandwidth) const;
+
+  /// Releases a route previously obtained from allocate_route.
+  static void release_route(platform::Platform& platform, const Route& route,
+                            std::int64_t bandwidth);
+
+ private:
+  std::optional<Route> bfs(const platform::Platform& platform,
+                           platform::ElementId src, platform::ElementId dst,
+                           std::int64_t bandwidth) const;
+  std::optional<Route> dijkstra(const platform::Platform& platform,
+                                platform::ElementId src,
+                                platform::ElementId dst,
+                                std::int64_t bandwidth) const;
+
+  RoutingStrategy strategy_;
+};
+
+}  // namespace kairos::noc

@@ -1,0 +1,77 @@
+// Packet-level NoC simulation of an execution layout's traffic.
+//
+// The mapping cost function and the SDF validation model communication with
+// static hop counts; this simulator provides the dynamic counterpart: every
+// established channel periodically injects packets along its route, links
+// serve one flit per cycle (store-and-forward), and contention makes packets
+// queue. The outputs — per-channel delivered latency and per-link
+// utilisation — quantify how well the static estimates hold up and where the
+// virtual-channel reservations actually matter.
+//
+// The model is deliberately behavioural (no cycle-accurate router
+// micro-architecture): injection period of a channel derives from its
+// reserved bandwidth share, so a link whose reservations total its capacity
+// is fully loaded in simulation too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/router.hpp"
+#include "platform/platform.hpp"
+#include "util/stats.hpp"
+
+namespace kairos::noc {
+
+struct SimConfig {
+  std::int64_t horizon = 10'000;  ///< simulated cycles
+  int packet_flits = 8;           ///< service time of a packet per link
+};
+
+/// One traffic stream: a route plus its reserved bandwidth (the quantities
+/// the routing phase produced).
+struct TrafficStream {
+  Route route;
+  std::int64_t bandwidth = 0;  ///< in Platform bandwidth units
+};
+
+struct StreamStats {
+  long delivered = 0;
+  util::RunningStats latency;  ///< injection -> delivery, cycles
+  int hops = 0;
+  /// Contention-free reference: hops * packet_flits.
+  double ideal_latency = 0.0;
+  /// latency.mean() / ideal_latency (1.0 = no queueing anywhere).
+  double slowdown() const {
+    return ideal_latency > 0.0 ? latency.mean() / ideal_latency : 0.0;
+  }
+};
+
+struct SimResult {
+  std::vector<StreamStats> streams;
+  /// Busy-cycle fraction per link id.
+  std::vector<double> link_utilisation;
+  long total_delivered = 0;
+
+  double max_link_utilisation() const;
+  double mean_slowdown() const;
+};
+
+class NocSimulator {
+ public:
+  NocSimulator(const platform::Platform& platform, SimConfig config = {})
+      : platform_(&platform), config_(config) {}
+
+  /// Simulates all streams concurrently for the configured horizon.
+  /// Streams with an empty route (co-located endpoints) deliver instantly
+  /// and do not load any link. Injection period of a stream is
+  /// link_bw_capacity / bandwidth packets^-1 (heavier reservations inject
+  /// proportionally more often), clamped to the packet service time.
+  SimResult simulate(const std::vector<TrafficStream>& streams) const;
+
+ private:
+  const platform::Platform* platform_;
+  SimConfig config_;
+};
+
+}  // namespace kairos::noc

@@ -1,0 +1,91 @@
+#include "platform/crisp.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace kairos::platform {
+
+Platform make_crisp_platform(const CrispConfig& cfg) {
+  CrispLayout layout;
+  return make_crisp_platform(cfg, layout);
+}
+
+Platform make_crisp_platform(const CrispConfig& cfg, CrispLayout& layout) {
+  assert(cfg.packages >= 1);
+  assert(cfg.mesh_width >= 2);
+  Platform p("crisp");
+  layout = CrispLayout{};
+
+  const int w = cfg.mesh_width;
+  const int dsps_per_package = w * w;
+
+  // The two master chips: the FPGA on the left of the board, the ARM on the
+  // right (Fig. 6). Both are wired to every package over the board-level
+  // interconnect, and neighbouring packages are additionally wired to each
+  // other (chip-to-chip links).
+  layout.fpga = p.add_element(ElementType::kFpga, "fpga", cfg.fpga_capacity);
+  layout.arm = p.add_element(ElementType::kArm, "arm", cfg.arm_capacity);
+
+  ElementId previous_gateway;  // ARM-side corner of the previous package
+
+  for (int pkg = 0; pkg < cfg.packages; ++pkg) {
+    const std::string prefix = "p" + std::to_string(pkg) + ".";
+    std::vector<ElementId> dsps;
+    dsps.reserve(static_cast<std::size_t>(dsps_per_package));
+    for (int i = 0; i < dsps_per_package; ++i) {
+      dsps.push_back(p.add_element(ElementType::kDsp,
+                                   prefix + "dsp" + std::to_string(i),
+                                   cfg.dsp_capacity, pkg));
+    }
+    auto at = [&](int x, int y) {
+      return dsps[static_cast<std::size_t>(y) * w + x];
+    };
+    // Intra-package DSP mesh.
+    for (int y = 0; y < w; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (x + 1 < w) {
+          p.add_duplex_link(at(x, y), at(x + 1, y), cfg.vc_capacity,
+                            cfg.bw_capacity);
+        }
+        if (y + 1 < w) {
+          p.add_duplex_link(at(x, y), at(x, y + 1), cfg.vc_capacity,
+                            cfg.bw_capacity);
+        }
+      }
+    }
+    // Two memory tiles on opposite border DSPs, one test unit on a third.
+    const ElementId mem0 = p.add_element(
+        ElementType::kMemory, prefix + "mem0", cfg.mem_capacity, pkg);
+    const ElementId mem1 = p.add_element(
+        ElementType::kMemory, prefix + "mem1", cfg.mem_capacity, pkg);
+    const ElementId test = p.add_element(
+        ElementType::kTestUnit, prefix + "test", cfg.test_capacity, pkg);
+    p.add_duplex_link(mem0, at(w - 1, 0), cfg.vc_capacity, cfg.bw_capacity);
+    p.add_duplex_link(mem1, at(0, w - 1), cfg.vc_capacity, cfg.bw_capacity);
+    p.add_duplex_link(test, at(w - 1, w - 1), cfg.vc_capacity,
+                      cfg.bw_capacity);
+
+    // Board-level links: the FPGA reaches the package's (0,0) corner, the
+    // ARM its (w-1,w-1) corner, and neighbouring packages are chained
+    // corner-to-corner. All off-chip links share the NoC's virtual-channel
+    // structure; their scarcity arises from there being one per chip pair.
+    p.add_duplex_link(layout.fpga, at(0, 0), cfg.vc_capacity,
+                      cfg.bw_capacity);
+    p.add_duplex_link(layout.arm, at(w - 1, w - 1), cfg.vc_capacity,
+                      cfg.bw_capacity);
+    if (pkg > 0) {
+      p.add_duplex_link(previous_gateway, at(0, 0), cfg.vc_capacity,
+                        cfg.bw_capacity);
+    }
+    previous_gateway = at(w - 1, w - 1);
+
+    layout.dsps.insert(layout.dsps.end(), dsps.begin(), dsps.end());
+    layout.memories.push_back(mem0);
+    layout.memories.push_back(mem1);
+    layout.test_units.push_back(test);
+  }
+
+  return p;
+}
+
+}  // namespace kairos::platform

@@ -1,0 +1,50 @@
+// A software model of the CRISP platform (Fig. 6 of the paper): an ARM926
+// general-purpose processor, an FPGA, and five packages each containing nine
+// DSP cores, two memory tiles and one hardware test unit — 45 DSPs in total.
+//
+// This is the hardware-substitution half of the reproduction: the physical
+// CRISP chips are not available, but the resource manager only observes the
+// platform through topology, resource vectors and link capacities, all of
+// which this model reproduces one-to-one.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace kairos::platform {
+
+/// Tunable parameters of the CRISP model. Defaults match the paper.
+struct CrispConfig {
+  int packages = 5;             ///< number of DSP packages
+  int mesh_width = 3;           ///< DSPs per package arranged mesh_width^2
+  int vc_capacity = 8;          ///< virtual channels per NoC link
+  std::int64_t bw_capacity = 1000;  ///< bandwidth units per NoC link
+
+  ResourceVector dsp_capacity{1000, 512, 16, 8};
+  ResourceVector mem_capacity{0, 8192, 4, 0};
+  ResourceVector test_capacity{100, 64, 2, 0};
+  ResourceVector arm_capacity{2000, 4096, 32, 0};
+  ResourceVector fpga_capacity{4000, 1024, 16, 64};
+};
+
+/// Identifiers of the structural landmarks of the built platform, mainly for
+/// tests and examples that want to address specific tiles.
+struct CrispLayout {
+  ElementId arm;
+  ElementId fpga;
+  std::vector<ElementId> dsps;        ///< all DSPs, package-major order
+  std::vector<ElementId> memories;    ///< two per package
+  std::vector<ElementId> test_units;  ///< one per package
+};
+
+/// Builds the CRISP platform. Topology: within each package the DSPs form a
+/// mesh; two memory tiles and the test unit hang off border DSPs. The board
+/// interconnect wires the FPGA to every package's (0,0) corner DSP, the ARM
+/// to every package's far corner, and neighbouring packages to each other.
+Platform make_crisp_platform(const CrispConfig& cfg = {});
+
+/// As make_crisp_platform, additionally reporting the landmark ids.
+Platform make_crisp_platform(const CrispConfig& cfg, CrispLayout& layout);
+
+}  // namespace kairos::platform

@@ -1,0 +1,23 @@
+#include "platform/element.hpp"
+
+namespace kairos::platform {
+
+std::string to_string(ElementType type) {
+  switch (type) {
+    case ElementType::kArm:
+      return "ARM";
+    case ElementType::kFpga:
+      return "FPGA";
+    case ElementType::kDsp:
+      return "DSP";
+    case ElementType::kMemory:
+      return "MEM";
+    case ElementType::kTestUnit:
+      return "TEST";
+    case ElementType::kGeneric:
+      return "GEN";
+  }
+  return "?";
+}
+
+}  // namespace kairos::platform

@@ -1,0 +1,92 @@
+// Processing elements — the nodes of the platform graph P = <E, L>.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "platform/resource_vector.hpp"
+
+namespace kairos::platform {
+
+/// The heterogeneous element types present in the CRISP platform (Fig. 6 of
+/// the paper): a GPP (ARM926), an FPGA, DSP cores (Xentium-class), memory
+/// tiles and the dependability/test units. kGeneric is available for
+/// synthetic platforms used in tests.
+enum class ElementType : std::uint8_t {
+  kArm,
+  kFpga,
+  kDsp,
+  kMemory,
+  kTestUnit,
+  kGeneric,
+};
+
+std::string to_string(ElementType type);
+
+/// Strongly-typed element index into Platform::elements().
+struct ElementId {
+  std::int32_t value = -1;
+
+  constexpr ElementId() = default;
+  constexpr explicit ElementId(std::int32_t v) : value(v) {}
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr bool operator==(ElementId, ElementId) = default;
+  friend constexpr auto operator<=>(ElementId, ElementId) = default;
+};
+
+/// A processing element: immutable identity + capacity, mutable usage.
+/// Usage is only modified through Platform (allocate/release), which keeps
+/// the invariant 0 <= used <= capacity.
+class Element {
+ public:
+  Element(ElementId id, ElementType type, std::string name,
+          ResourceVector capacity, int package)
+      : id_(id),
+        type_(type),
+        name_(std::move(name)),
+        capacity_(capacity),
+        package_(package) {}
+
+  ElementId id() const { return id_; }
+  ElementType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  const ResourceVector& capacity() const { return capacity_; }
+  const ResourceVector& used() const { return used_; }
+  ResourceVector free() const { return capacity_ - used_; }
+
+  /// Chip/package index for multi-chip platforms such as CRISP; -1 when the
+  /// platform has no package structure.
+  int package() const { return package_; }
+
+  /// Number of tasks currently hosted. An element is "used" for the
+  /// fragmentation metric of §III-A iff it hosts at least one task.
+  int task_count() const { return task_count_; }
+  bool is_used() const { return task_count_ > 0; }
+
+  /// Fault state. Failed elements are excluded from av(e,t) by every phase
+  /// — the run-time fault-circumvention the paper's introduction motivates
+  /// ("to be able to circumvent hardware faults"). Marked via
+  /// Platform::set_element_failed().
+  bool is_failed() const { return failed_; }
+
+  /// Total number of tasks ever placed here — a wear indicator for the
+  /// wear-leveling mapping objective (§III lists it among the possible
+  /// objectives). Rolled back with snapshots (failed admission attempts do
+  /// not age an element) but deliberately preserved by clear_allocations().
+  long wear() const { return wear_; }
+
+ private:
+  friend class Platform;
+
+  ElementId id_;
+  ElementType type_;
+  std::string name_;
+  ResourceVector capacity_;
+  int package_;
+  ResourceVector used_{};
+  int task_count_ = 0;
+  bool failed_ = false;
+  long wear_ = 0;
+};
+
+}  // namespace kairos::platform

@@ -1,0 +1,59 @@
+#include "platform/fragmentation.hpp"
+
+namespace kairos::platform {
+
+double external_fragmentation(const Platform& platform) {
+  long pairs = 0;
+  long fragmented = 0;
+  for (const auto& e : platform.elements()) {
+    for (const ElementId n : platform.neighbors(e.id())) {
+      // Count each unordered pair once.
+      if (n.value <= e.id().value) continue;
+      ++pairs;
+      const bool a_used = e.is_used();
+      const bool b_used = platform.element(n).is_used();
+      if (a_used != b_used) ++fragmented;
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(fragmented) / static_cast<double>(pairs);
+}
+
+double element_utilisation(const Platform& platform) {
+  if (platform.element_count() == 0) return 0.0;
+  long used = 0;
+  for (const auto& e : platform.elements()) {
+    if (e.is_used()) ++used;
+  }
+  return static_cast<double>(used) /
+         static_cast<double>(platform.element_count());
+}
+
+double resource_utilisation(const Platform& platform, ResourceKind kind) {
+  std::int64_t capacity = 0;
+  std::int64_t used = 0;
+  for (const auto& e : platform.elements()) {
+    capacity += e.capacity().get(kind);
+    used += e.used().get(kind);
+  }
+  if (capacity == 0) return 0.0;
+  return static_cast<double>(used) / static_cast<double>(capacity);
+}
+
+double isolation_risk(const Platform& platform, ElementId e) {
+  const auto& neighbors = platform.neighbors(e);
+  if (neighbors.empty()) return 1.0;  // already isolated
+  int used = 0;
+  for (const ElementId n : neighbors) {
+    if (platform.element(n).is_used()) ++used;
+  }
+  const double used_fraction =
+      static_cast<double>(used) / static_cast<double>(neighbors.size());
+  // Low-degree elements (chip borders) are at higher risk; the bias is kept
+  // below the granularity of one used neighbor so it only breaks ties.
+  const double border_bias =
+      1.0 / (1.0 + static_cast<double>(neighbors.size())) * 0.5;
+  return used_fraction + border_bias;
+}
+
+}  // namespace kairos::platform

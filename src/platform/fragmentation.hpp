@@ -1,0 +1,33 @@
+// External resource fragmentation, as defined in §III-A of the paper:
+//
+//   "We define external resource fragmentation as the percentage of pairs of
+//    adjacent elements of which only one element is used, over all pairs of
+//    adjacent elements in the platform."
+//
+// This metric drives both the fragmentation objective of the mapping cost
+// function and the Fig. 9 experiment.
+#pragma once
+
+#include "platform/platform.hpp"
+
+namespace kairos::platform {
+
+/// External fragmentation in [0, 1]; 0 for a platform without links.
+/// An element is "used" iff it currently hosts at least one task.
+double external_fragmentation(const Platform& platform);
+
+/// Fraction of elements hosting at least one task.
+double element_utilisation(const Platform& platform);
+
+/// Fraction of a specific resource kind allocated platform-wide.
+double resource_utilisation(const Platform& platform, ResourceKind kind);
+
+/// Heuristic score of how likely element `e` is to become isolated if left
+/// unused: the fraction of its neighbors already in use, with a small bias
+/// towards low-connectivity (border) elements. The mapper uses this to pick
+/// the starting element e0 when no task is pinned (§III-A: "we search an
+/// element e0 that is likely to become isolated later on, when it is not
+/// used now").
+double isolation_risk(const Platform& platform, ElementId e);
+
+}  // namespace kairos::platform

@@ -1,0 +1,212 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace kairos::platform {
+
+ElementId Platform::add_element(ElementType type, std::string name,
+                                ResourceVector capacity, int package) {
+  const ElementId id(static_cast<std::int32_t>(elements_.size()));
+  elements_.emplace_back(id, type, std::move(name), capacity, package);
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  neighbors_.emplace_back();
+  diameter_cache_ = -1;
+  return id;
+}
+
+LinkId Platform::add_link(ElementId a, ElementId b, int vc_capacity,
+                          std::int64_t bw_capacity) {
+  assert(a.valid() && b.valid());
+  assert(index(a) < elements_.size() && index(b) < elements_.size());
+  assert(a != b && "self-links are not meaningful in a NoC");
+  const LinkId id(static_cast<std::int32_t>(links_.size()));
+  links_.emplace_back(id, a, b, vc_capacity, bw_capacity);
+  out_links_[index(a)].push_back(id);
+  in_links_[index(b)].push_back(id);
+  auto& na = neighbors_[index(a)];
+  if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+  auto& nb = neighbors_[index(b)];
+  if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+  diameter_cache_ = -1;
+  return id;
+}
+
+void Platform::add_duplex_link(ElementId a, ElementId b, int vc_capacity,
+                               std::int64_t bw_capacity) {
+  add_link(a, b, vc_capacity, bw_capacity);
+  add_link(b, a, vc_capacity, bw_capacity);
+}
+
+std::optional<LinkId> Platform::find_link(ElementId a, ElementId b) const {
+  for (const LinkId l : out_links_.at(index(a))) {
+    if (links_[lindex(l)].dst() == b) return l;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Platform::hop_distances_from(ElementId from) const {
+  std::vector<int> dist(elements_.size(), -1);
+  std::deque<ElementId> queue;
+  dist[index(from)] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const ElementId e = queue.front();
+    queue.pop_front();
+    for (const ElementId n : neighbors_[index(e)]) {
+      if (dist[index(n)] == -1) {
+        dist[index(n)] = dist[index(e)] + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+int Platform::diameter() const {
+  if (diameter_cache_ >= 0) return diameter_cache_;
+  int diameter = 0;
+  for (const auto& e : elements_) {
+    const auto dist = hop_distances_from(e.id());
+    for (const int d : dist) diameter = std::max(diameter, d);
+  }
+  diameter_cache_ = diameter;
+  return diameter;
+}
+
+bool Platform::allocate(ElementId e, const ResourceVector& demand) {
+  Element& el = elements_.at(index(e));
+  if (!demand.fits_within(el.free())) return false;
+  el.used_ += demand;
+  return true;
+}
+
+void Platform::release(ElementId e, const ResourceVector& demand) {
+  Element& el = elements_.at(index(e));
+  el.used_ -= demand;
+  assert(!el.used_.any_negative() && "released more than was allocated");
+}
+
+void Platform::add_task(ElementId e) {
+  Element& el = elements_.at(index(e));
+  ++el.task_count_;
+  ++el.wear_;
+}
+
+void Platform::remove_task(ElementId e) {
+  Element& el = elements_.at(index(e));
+  --el.task_count_;
+  assert(el.task_count_ >= 0 && "removed more tasks than were added");
+}
+
+ResourceVector Platform::total_free(ElementType type) const {
+  ResourceVector total;
+  for (const auto& e : elements_) {
+    if (e.type() == type && !e.is_failed()) total += e.free();
+  }
+  return total;
+}
+
+int Platform::count_available(ElementType type,
+                              const ResourceVector& demand) const {
+  int count = 0;
+  for (const auto& e : elements_) {
+    if (e.type() == type && !e.is_failed() && demand.fits_within(e.free())) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void Platform::set_element_failed(ElementId e, bool failed) {
+  elements_.at(index(e)).failed_ = failed;
+}
+
+void Platform::set_link_failed(LinkId l, bool failed) {
+  links_.at(lindex(l)).failed_ = failed;
+}
+
+bool Platform::link_usable(LinkId l) const {
+  const Link& link = links_.at(lindex(l));
+  return !link.failed_ && !elements_.at(index(link.src())).failed_ &&
+         !elements_.at(index(link.dst())).failed_;
+}
+
+int Platform::failed_element_count() const {
+  int count = 0;
+  for (const auto& e : elements_) {
+    if (e.is_failed()) ++count;
+  }
+  return count;
+}
+
+bool Platform::allocate_channel(LinkId l, std::int64_t bandwidth) {
+  Link& link = links_.at(lindex(l));
+  if (!link.can_carry(bandwidth)) return false;
+  link.vc_used_ += 1;
+  link.bw_used_ += bandwidth;
+  return true;
+}
+
+void Platform::release_channel(LinkId l, std::int64_t bandwidth) {
+  Link& link = links_.at(lindex(l));
+  link.vc_used_ -= 1;
+  link.bw_used_ -= bandwidth;
+  assert(link.vc_used_ >= 0 && link.bw_used_ >= 0 &&
+         "released more channel capacity than was allocated");
+}
+
+Snapshot Platform::snapshot() const {
+  Snapshot snap;
+  snap.elements.reserve(elements_.size());
+  for (const auto& e : elements_) {
+    snap.elements.push_back({e.used_, e.task_count_, e.wear_});
+  }
+  snap.links.reserve(links_.size());
+  for (const auto& l : links_) {
+    snap.links.push_back({l.vc_used_, l.bw_used_});
+  }
+  return snap;
+}
+
+void Platform::restore(const Snapshot& snap) {
+  assert(snap.elements.size() == elements_.size());
+  assert(snap.links.size() == links_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    elements_[i].used_ = snap.elements[i].used;
+    elements_[i].task_count_ = snap.elements[i].task_count;
+    elements_[i].wear_ = snap.elements[i].wear;
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].vc_used_ = snap.links[i].vc_used;
+    links_[i].bw_used_ = snap.links[i].bw_used;
+  }
+}
+
+void Platform::clear_allocations() {
+  for (auto& e : elements_) {
+    e.used_ = ResourceVector{};
+    e.task_count_ = 0;
+  }
+  for (auto& l : links_) {
+    l.vc_used_ = 0;
+    l.bw_used_ = 0;
+  }
+}
+
+bool Platform::invariants_hold() const {
+  for (const auto& e : elements_) {
+    if (e.used_.any_negative()) return false;
+    if (!e.used_.fits_within(e.capacity())) return false;
+    if (e.task_count_ < 0) return false;
+  }
+  for (const auto& l : links_) {
+    if (l.vc_used_ < 0 || l.vc_used_ > l.vc_capacity_) return false;
+    if (l.bw_used_ < 0 || l.bw_used_ > l.bw_capacity_) return false;
+  }
+  return true;
+}
+
+}  // namespace kairos::platform

@@ -1,0 +1,160 @@
+#include "platform/platform_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace kairos::platform {
+
+namespace {
+
+util::Result<ElementType> type_from(const std::string& token) {
+  if (token == "ARM") return ElementType::kArm;
+  if (token == "FPGA") return ElementType::kFpga;
+  if (token == "DSP") return ElementType::kDsp;
+  if (token == "MEM") return ElementType::kMemory;
+  if (token == "TEST") return ElementType::kTestUnit;
+  if (token == "GEN") return ElementType::kGeneric;
+  return util::Error("unknown element type '" + token + "'");
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    if (std::isspace(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+}  // namespace
+
+std::string write_platform(const Platform& platform) {
+  std::ostringstream out;
+  out << "platform " << sanitize(platform.name()) << "\n";
+  for (const auto& e : platform.elements()) {
+    const auto& c = e.capacity();
+    out << "element " << sanitize(e.name()) << ' ' << to_string(e.type())
+        << ' ' << c.compute() << ' ' << c.memory() << ' ' << c.io() << ' '
+        << c.config();
+    if (e.package() >= 0) out << ' ' << e.package();
+    out << "\n";
+  }
+  // Emit duplex pairs once; leftover one-way links individually.
+  std::vector<bool> emitted(platform.link_count(), false);
+  for (const auto& l : platform.links()) {
+    if (emitted[static_cast<std::size_t>(l.id().value)]) continue;
+    const auto reverse = platform.find_link(l.dst(), l.src());
+    bool as_duplex = false;
+    if (reverse.has_value() &&
+        !emitted[static_cast<std::size_t>(reverse->value)]) {
+      const auto& r = platform.link(*reverse);
+      if (r.vc_capacity() == l.vc_capacity() &&
+          r.bw_capacity() == l.bw_capacity()) {
+        as_duplex = true;
+        emitted[static_cast<std::size_t>(reverse->value)] = true;
+      }
+    }
+    emitted[static_cast<std::size_t>(l.id().value)] = true;
+    out << (as_duplex ? "duplex " : "link ")
+        << sanitize(platform.element(l.src()).name()) << ' '
+        << sanitize(platform.element(l.dst()).name()) << ' '
+        << l.vc_capacity() << ' ' << l.bw_capacity() << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+util::Result<Platform> parse_platform(const std::string& text) {
+  Platform platform;
+  std::map<std::string, ElementId> by_name;
+  bool saw_platform = false;
+  bool saw_end = false;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+
+  auto fail = [&](const std::string& message) -> util::Result<Platform> {
+    return util::Error("line " + std::to_string(line_no) + ": " + message);
+  };
+  auto lookup = [&](const std::string& name)
+      -> util::Result<ElementId> {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return util::Error("unknown element '" + name + "'");
+    }
+    return it->second;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line{util::trim(raw)};
+    if (line.empty()) continue;
+    if (saw_end) return fail("content after 'end'");
+
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+
+    if (keyword == "platform") {
+      std::string name;
+      if (!(ls >> name)) return fail("'platform' requires a name");
+      platform = Platform(name);
+      by_name.clear();
+      saw_platform = true;
+    } else if (keyword == "element") {
+      std::string name;
+      std::string type_token;
+      long compute = 0, memory = 0, io = 0, config = 0;
+      if (!(ls >> name >> type_token >> compute >> memory >> io >> config)) {
+        return fail(
+            "'element' requires: name type compute memory io config "
+            "[package]");
+      }
+      long package = -1;
+      if (!(ls >> package)) package = -1;
+      if (by_name.count(name) != 0) {
+        return fail("duplicate element name '" + name + "'");
+      }
+      const auto type = type_from(type_token);
+      if (!type.ok()) return fail(type.error());
+      if (compute < 0 || memory < 0 || io < 0 || config < 0) {
+        return fail("negative capacity");
+      }
+      by_name[name] = platform.add_element(
+          type.value(), name, ResourceVector(compute, memory, io, config),
+          static_cast<int>(package));
+    } else if (keyword == "link" || keyword == "duplex") {
+      std::string src, dst;
+      long vcs = 0, bw = 0;
+      if (!(ls >> src >> dst >> vcs >> bw)) {
+        return fail("'" + keyword + "' requires: src dst vcs bandwidth");
+      }
+      if (vcs <= 0 || bw < 0) return fail("invalid link capacities");
+      const auto a = lookup(src);
+      if (!a.ok()) return fail(a.error());
+      const auto b = lookup(dst);
+      if (!b.ok()) return fail(b.error());
+      if (a.value() == b.value()) return fail("self-link");
+      if (keyword == "duplex") {
+        platform.add_duplex_link(a.value(), b.value(), static_cast<int>(vcs),
+                                 bw);
+      } else {
+        platform.add_link(a.value(), b.value(), static_cast<int>(vcs), bw);
+      }
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      return fail("unknown directive '" + keyword + "'");
+    }
+  }
+
+  if (!saw_platform) return util::Error("missing 'platform' directive");
+  if (!saw_end) return util::Error("missing 'end' directive");
+  return platform;
+}
+
+}  // namespace kairos::platform

@@ -1,0 +1,34 @@
+// Textual (de)serialization of platform descriptions.
+//
+// The mapping algorithm is explicitly platform-generic (§II: "a generic task
+// mapping algorithm that works on a variety of platforms"); this format lets
+// users describe their own MPSoC instead of the built-in CRISP model.
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   platform <name>
+//   element <name> <type> <compute> <memory> <io> <config> [<package>]
+//   link <src> <dst> <vcs> <bandwidth>      # directed
+//   duplex <a> <b> <vcs> <bandwidth>        # both directions
+//   end
+//
+// <type> is one of ARM, FPGA, DSP, MEM, TEST, GEN. Elements are referenced
+// by name in link directives.
+#pragma once
+
+#include <string>
+
+#include "platform/platform.hpp"
+#include "util/result.hpp"
+
+namespace kairos::platform {
+
+/// Renders a platform in the format above. Round-trips through
+/// parse_platform (allocation state is not serialized — a parsed platform
+/// starts empty).
+std::string write_platform(const Platform& platform);
+
+/// Parses the format above. Errors carry the offending line number.
+util::Result<Platform> parse_platform(const std::string& text);
+
+}  // namespace kairos::platform

@@ -1,0 +1,47 @@
+#include "sdf/buffer_sizing.hpp"
+
+#include <cassert>
+
+namespace kairos::sdf {
+
+BufferSizingResult minimal_buffer_factor(
+    const std::function<SdfGraph(int)>& build, ActorId observed,
+    double required_throughput, int max_factor, ThroughputConfig config) {
+  assert(max_factor >= 1);
+  BufferSizingResult result;
+  const ThroughputAnalyzer analyzer(config);
+
+  auto throughput_at = [&](int factor) {
+    const SdfGraph g = build(factor);
+    return analyzer.analyze(g, observed).throughput;
+  };
+
+  // Exponential probe for a feasible upper bound.
+  int hi = 1;
+  double hi_throughput = throughput_at(hi);
+  while (hi_throughput < required_throughput && hi < max_factor) {
+    hi = std::min(hi * 2, max_factor);
+    hi_throughput = throughput_at(hi);
+  }
+  if (hi_throughput < required_throughput) {
+    return result;  // not satisfiable within max_factor
+  }
+
+  // Binary search the smallest feasible factor in [lo+1, hi].
+  int lo = hi / 2;
+  if (hi == 1) lo = 0;
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (throughput_at(mid) >= required_throughput) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.satisfiable = true;
+  result.buffer_factor = hi;
+  result.throughput = throughput_at(hi);
+  return result;
+}
+
+}  // namespace kairos::sdf

@@ -1,0 +1,36 @@
+// Buffer sizing for throughput-constrained streaming pipelines.
+//
+// The validation builder bounds every channel with a buffer (reverse
+// channel). Larger buffers decouple producer and consumer and raise
+// throughput, at a memory cost on the hosting elements. This module finds
+// the smallest uniform buffer factor meeting a throughput requirement —
+// useful at design time to annotate application specifications (cf. Stuijk
+// et al. [5], whose design-time flow trades buffer space for throughput).
+#pragma once
+
+#include <functional>
+
+#include "sdf/sdf_graph.hpp"
+#include "sdf/throughput.hpp"
+
+namespace kairos::sdf {
+
+struct BufferSizingResult {
+  bool satisfiable = false;
+  /// Smallest buffer factor (tokens per channel as a multiple of the rate)
+  /// reaching the required throughput; meaningful iff satisfiable.
+  int buffer_factor = 0;
+  /// Throughput achieved at that factor.
+  double throughput = 0.0;
+};
+
+/// `build` must construct the SDF graph for a given buffer factor (>= 1);
+/// `observed` selects the actor whose throughput is constrained. Searches
+/// factors in [1, max_factor] by exponential probing + binary search
+/// (throughput is monotone in the buffer factor for these pipelines).
+BufferSizingResult minimal_buffer_factor(
+    const std::function<SdfGraph(int)>& build, ActorId observed,
+    double required_throughput, int max_factor = 64,
+    ThroughputConfig config = {});
+
+}  // namespace kairos::sdf

@@ -1,0 +1,20 @@
+#include "sdf/constraints.hpp"
+
+#include <cassert>
+
+namespace kairos::sdf {
+
+double latency_to_throughput(double latency_bound, int in_flight) {
+  assert(latency_bound > 0.0);
+  assert(in_flight >= 1);
+  return static_cast<double>(in_flight) / latency_bound;
+}
+
+bool satisfies_throughput(const ThroughputResult& result,
+                          double required_throughput) {
+  if (required_throughput <= 0.0) return true;
+  if (result.status == ThroughputStatus::kDeadlock) return false;
+  return result.throughput >= required_throughput;
+}
+
+}  // namespace kairos::sdf

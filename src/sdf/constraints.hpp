@@ -1,0 +1,25 @@
+// Performance-constraint conversion helpers.
+//
+// The paper expresses latency constraints as throughput constraints,
+// following Moreira & Bekooij, "Self-timed scheduling analysis for real-time
+// applications" [12]: for a streaming application processing one token per
+// graph iteration, an end-to-end latency bound L with at most `in_flight`
+// overlapping iterations implies a required throughput of in_flight / L.
+#pragma once
+
+#include "sdf/throughput.hpp"
+
+namespace kairos::sdf {
+
+/// Converts a latency bound into the equivalent throughput constraint
+/// (iterations per time unit). `in_flight` is the number of pipelined
+/// iterations the buffering allows (>= 1).
+double latency_to_throughput(double latency_bound, int in_flight = 1);
+
+/// True iff the analysis outcome satisfies a required throughput.
+/// Budget-exceeded results are accepted optimistically only when the running
+/// estimate meets the bound; deadlocks never satisfy a positive requirement.
+bool satisfies_throughput(const ThroughputResult& result,
+                          double required_throughput);
+
+}  // namespace kairos::sdf

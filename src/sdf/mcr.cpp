@@ -1,0 +1,119 @@
+#include "sdf/mcr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace kairos::sdf {
+
+namespace {
+
+struct Edge {
+  std::size_t src;
+  std::size_t dst;
+  double delay;   // execution time of the source actor
+  double tokens;  // initial tokens normalised by the rate
+};
+
+/// True iff the graph restricted to `edges` (predicate) contains a cycle.
+bool has_cycle(std::size_t n, const std::vector<Edge>& edges,
+               const std::vector<bool>& enabled) {
+  // Kahn-style: repeatedly remove nodes without enabled incoming edges.
+  std::vector<int> indegree(n, 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (enabled[i]) ++indegree[edges[i].dst];
+  }
+  std::vector<std::size_t> stack;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) stack.push_back(v);
+  }
+  std::size_t removed = 0;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    ++removed;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (enabled[i] && edges[i].src == v && --indegree[edges[i].dst] == 0) {
+        stack.push_back(edges[i].dst);
+      }
+    }
+  }
+  return removed != n;
+}
+
+/// Bellman-Ford longest-path positive-cycle detection for weights
+/// delay - lambda * tokens.
+bool positive_cycle(std::size_t n, const std::vector<Edge>& edges,
+                    double lambda) {
+  // Virtual super-source: start all distances at 0.
+  std::vector<double> dist(n, 0.0);
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (const Edge& e : edges) {
+      const double w = e.delay - lambda * e.tokens;
+      if (dist[e.src] + w > dist[e.dst] + 1e-12) {
+        dist[e.dst] = dist[e.src] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;  // still relaxing after n rounds: positive cycle
+}
+
+}  // namespace
+
+McrResult max_cycle_ratio(const SdfGraph& graph) {
+  McrResult result;
+
+  const std::size_t n = graph.actor_count();
+  std::vector<Edge> edges;
+  edges.reserve(graph.channel_count());
+  for (const auto& c : graph.channels()) {
+    if (c.production != c.consumption) return result;  // not applicable
+    if (c.initial_tokens % c.production != 0) return result;
+    edges.push_back(Edge{
+        static_cast<std::size_t>(c.src.value),
+        static_cast<std::size_t>(c.dst.value),
+        static_cast<double>(graph.actor(c.src).exec_time),
+        static_cast<double>(c.initial_tokens / c.production)});
+  }
+  result.applicable = true;
+
+  if (edges.empty() || n == 0) return result;  // acyclic: mcm 0
+
+  // Deadlock: a cycle consisting solely of token-free channels.
+  std::vector<bool> token_free(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    token_free[i] = edges[i].tokens == 0.0;
+  }
+  if (has_cycle(n, edges, token_free)) {
+    result.deadlock = true;
+    return result;
+  }
+
+  // Any cycle at all? (Otherwise MCM is 0 and throughput unbounded by the
+  // graph — not produced by the validation builder, which self-loops every
+  // actor.)
+  std::vector<bool> all(edges.size(), true);
+  if (!has_cycle(n, edges, all)) return result;
+
+  // Binary search for the largest lambda admitting a positive cycle.
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const Edge& e : edges) hi += e.delay;  // cycle mean <= total delay
+  hi = std::max(hi, 1.0);
+  for (int iter = 0; iter < 60 && hi - lo > 1e-10 * std::max(1.0, hi);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (positive_cycle(n, edges, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.mcm = 0.5 * (lo + hi);
+  result.throughput = result.mcm > 0.0 ? 1.0 / result.mcm : 0.0;
+  return result;
+}
+
+}  // namespace kairos::sdf

@@ -1,0 +1,42 @@
+// Maximum-cycle-ratio (MCR) throughput analysis.
+//
+// The paper's validation phase uses state-space exploration, whose runtime
+// "clearly becomes problematic when the complexity of the task graph
+// increases" (§V); the proposed future work moves the expensive analysis out
+// of the admission path. This module implements that direction: for graphs
+// where every channel has equal production and consumption rates and initial
+// tokens divisible by the rate (which holds for every graph the validation
+// phase builds), the self-timed throughput equals 1 / MCM, where
+//
+//   MCM = max over directed cycles C of
+//         (sum of actor execution times on C) / (sum of channel tokens on C)
+//
+// computed here by binary search over lambda with Bellman-Ford positive-
+// cycle detection on edge weights  exec(src) - lambda * tokens.
+#pragma once
+
+#include "sdf/sdf_graph.hpp"
+
+namespace kairos::sdf {
+
+struct McrResult {
+  /// False when the graph is not rate-homogeneous (prod != cons on some
+  /// channel, or tokens not divisible by the rate) — the caller must fall
+  /// back to state-space exploration.
+  bool applicable = false;
+  /// True when a token-free cycle exists: the self-timed execution can
+  /// never fire the cycle (deadlock), throughput 0.
+  bool deadlock = false;
+  /// The maximum cycle mean (time units per token); 0 for acyclic graphs.
+  double mcm = 0.0;
+  /// 1 / mcm; +inf is never produced (acyclic graphs without self-loops
+  /// report throughput 0 as "unbounded/unknown" is not meaningful here —
+  /// the validation builder always adds self-loops, making every actor part
+  /// of a cycle).
+  double throughput = 0.0;
+};
+
+/// Analyzes the graph as described above. O(V * E * log(1/eps)).
+McrResult max_cycle_ratio(const SdfGraph& graph);
+
+}  // namespace kairos::sdf

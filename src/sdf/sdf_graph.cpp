@@ -1,0 +1,139 @@
+#include "sdf/sdf_graph.hpp"
+
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+namespace kairos::sdf {
+
+ActorId SdfGraph::add_actor(std::string name, std::int64_t exec_time) {
+  assert(exec_time >= 0);
+  const ActorId id(static_cast<std::int32_t>(actors_.size()));
+  actors_.push_back(Actor{id, std::move(name), exec_time});
+  in_channels_.emplace_back();
+  out_channels_.emplace_back();
+  return id;
+}
+
+std::int32_t SdfGraph::add_channel(ActorId src, ActorId dst, int production,
+                                   int consumption,
+                                   std::int64_t initial_tokens) {
+  assert(src.valid() && dst.valid());
+  assert(production > 0 && consumption > 0);
+  assert(initial_tokens >= 0);
+  const auto id = static_cast<std::int32_t>(channels_.size());
+  channels_.push_back(
+      SdfChannel{id, src, dst, production, consumption, initial_tokens});
+  out_channels_.at(static_cast<std::size_t>(src.value)).push_back(id);
+  in_channels_.at(static_cast<std::size_t>(dst.value)).push_back(id);
+  return id;
+}
+
+std::int32_t SdfGraph::add_buffered_channel(ActorId src, ActorId dst,
+                                            int rate, std::int64_t capacity) {
+  assert(capacity >= rate && "buffer must hold at least one transfer");
+  const std::int32_t forward = add_channel(src, dst, rate, rate, 0);
+  add_channel(dst, src, rate, rate, capacity);
+  return forward;
+}
+
+void SdfGraph::disable_auto_concurrency(ActorId a) {
+  add_channel(a, a, 1, 1, 1);
+}
+
+util::Result<std::vector<std::int64_t>> SdfGraph::repetition_vector() const {
+  // Propagate rational firing rates over the undirected channel structure;
+  // the balance equation of channel c is rate(src)*prod == rate(dst)*cons.
+  struct Rational {
+    std::int64_t num = 0;
+    std::int64_t den = 1;
+  };
+  auto reduce = [](Rational r) {
+    const std::int64_t g = std::gcd(r.num, r.den);
+    if (g != 0) {
+      r.num /= g;
+      r.den /= g;
+    }
+    return r;
+  };
+
+  std::vector<Rational> rate(actors_.size());
+  std::vector<bool> visited(actors_.size(), false);
+  // Connected component of each actor: disconnected components are
+  // normalised independently (each gets its own smallest integer solution).
+  std::vector<std::size_t> component(actors_.size(), 0);
+  std::size_t component_count = 0;
+
+  for (std::size_t root = 0; root < actors_.size(); ++root) {
+    if (visited[root]) continue;
+    const std::size_t comp = component_count++;
+    component[root] = comp;
+    rate[root] = {1, 1};
+    visited[root] = true;
+    std::deque<std::size_t> queue{root};
+    while (!queue.empty()) {
+      const std::size_t a = queue.front();
+      queue.pop_front();
+      auto relax = [&](std::int32_t cid, bool forward) -> bool {
+        const SdfChannel& c = channels_[static_cast<std::size_t>(cid)];
+        const auto from = static_cast<std::size_t>(
+            (forward ? c.src : c.dst).value);
+        const auto to = static_cast<std::size_t>(
+            (forward ? c.dst : c.src).value);
+        // forward: rate(to) = rate(from) * prod / cons
+        const std::int64_t mul = forward ? c.production : c.consumption;
+        const std::int64_t div = forward ? c.consumption : c.production;
+        const Rational expected =
+            reduce({rate[from].num * mul, rate[from].den * div});
+        if (!visited[to]) {
+          visited[to] = true;
+          component[to] = comp;
+          rate[to] = expected;
+          queue.push_back(to);
+          return true;
+        }
+        return rate[to].num == expected.num && rate[to].den == expected.den;
+      };
+      for (const std::int32_t cid : out_channels_[a]) {
+        if (!relax(cid, true)) {
+          return util::Error("inconsistent SDF graph at channel " +
+                             std::to_string(cid));
+        }
+      }
+      for (const std::int32_t cid : in_channels_[a]) {
+        if (!relax(cid, false)) {
+          return util::Error("inconsistent SDF graph at channel " +
+                             std::to_string(cid));
+        }
+      }
+    }
+  }
+
+  // Scale to the smallest positive integer vector per component: multiply
+  // by the LCM of the component's denominators, then divide by the GCD of
+  // its numerators.
+  std::vector<std::int64_t> lcm_den(component_count, 1);
+  for (std::size_t a = 0; a < actors_.size(); ++a) {
+    auto& l = lcm_den[component[a]];
+    l = std::lcm(l, rate[a].den);
+  }
+  std::vector<std::int64_t> reps(actors_.size(), 0);
+  for (std::size_t a = 0; a < actors_.size(); ++a) {
+    reps[a] = rate[a].num * (lcm_den[component[a]] / rate[a].den);
+    if (reps[a] <= 0) {
+      return util::Error("non-positive repetition count for actor " +
+                         actors_[a].name);
+    }
+  }
+  std::vector<std::int64_t> gcd_num(component_count, 0);
+  for (std::size_t a = 0; a < actors_.size(); ++a) {
+    auto& g = gcd_num[component[a]];
+    g = std::gcd(g, reps[a]);
+  }
+  for (std::size_t a = 0; a < actors_.size(); ++a) {
+    if (gcd_num[component[a]] > 1) reps[a] /= gcd_num[component[a]];
+  }
+  return reps;
+}
+
+}  // namespace kairos::sdf

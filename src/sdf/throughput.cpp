@@ -1,0 +1,149 @@
+#include "sdf/throughput.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace kairos::sdf {
+
+namespace {
+
+/// Hash of a state vector (FNV-1a over the raw words). Collisions are
+/// resolved by storing the full key.
+struct VectorHash {
+  std::size_t operator()(const std::vector<std::int64_t>& v) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::int64_t x : v) {
+      h ^= static_cast<std::uint64_t>(x);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+ThroughputResult ThroughputAnalyzer::analyze(const SdfGraph& graph,
+                                             ActorId observed) const {
+  assert(observed.valid() &&
+         static_cast<std::size_t>(observed.value) < graph.actor_count());
+  for (const auto& a : graph.actors()) {
+    assert(a.exec_time >= 1 && "zero-time actors would create zero-length cycles");
+    (void)a;
+  }
+
+  const std::size_t num_actors = graph.actor_count();
+  const std::size_t num_channels = graph.channel_count();
+
+  std::vector<std::int64_t> tokens(num_channels);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    tokens[c] = graph.channel(static_cast<std::int32_t>(c)).initial_tokens;
+  }
+  // remaining[a] == -1: idle; otherwise time until the firing completes.
+  std::vector<std::int64_t> remaining(num_actors, -1);
+
+  std::int64_t now = 0;
+  std::int64_t observed_firings = 0;
+
+  // state -> (time, observed_firings) at the first visit.
+  std::unordered_map<std::vector<std::int64_t>,
+                     std::pair<std::int64_t, std::int64_t>, VectorHash>
+      seen;
+
+  ThroughputResult result;
+
+  auto can_fire = [&](std::size_t a) {
+    if (remaining[a] >= 0) return false;  // already busy
+    for (const std::int32_t cid : graph.in_channels(ActorId{
+             static_cast<std::int32_t>(a)})) {
+      const SdfChannel& c = graph.channel(cid);
+      if (tokens[static_cast<std::size_t>(cid)] < c.consumption) return false;
+    }
+    return true;
+  };
+
+  auto start_firing = [&](std::size_t a) {
+    for (const std::int32_t cid : graph.in_channels(ActorId{
+             static_cast<std::int32_t>(a)})) {
+      const SdfChannel& c = graph.channel(cid);
+      tokens[static_cast<std::size_t>(cid)] -= c.consumption;
+    }
+    remaining[a] = graph.actor(ActorId{static_cast<std::int32_t>(a)}).exec_time;
+  };
+
+  auto finish_firing = [&](std::size_t a) {
+    for (const std::int32_t cid : graph.out_channels(ActorId{
+             static_cast<std::int32_t>(a)})) {
+      const SdfChannel& c = graph.channel(cid);
+      tokens[static_cast<std::size_t>(cid)] += c.production;
+    }
+    remaining[a] = -1;
+    if (static_cast<std::int32_t>(a) == observed.value) ++observed_firings;
+  };
+
+  while (true) {
+    // Start every enabled firing (self-timed: as soon as possible). A single
+    // pass suffices: starting a firing only consumes tokens, so it can never
+    // enable another actor.
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      if (can_fire(a)) start_firing(a);
+    }
+
+    // Snapshot the state at this stable scheduling point.
+    std::vector<std::int64_t> key;
+    key.reserve(num_channels + num_actors);
+    key.insert(key.end(), tokens.begin(), tokens.end());
+    key.insert(key.end(), remaining.begin(), remaining.end());
+
+    const auto [it, inserted] =
+        seen.emplace(std::move(key), std::make_pair(now, observed_firings));
+    ++result.states_explored;
+    if (!inserted) {
+      const auto [first_time, first_firings] = it->second;
+      result.period = now - first_time;
+      result.firings_in_period = observed_firings - first_firings;
+      if (result.period <= 0) {
+        // A repeated state at the same instant means no time can advance —
+        // treat as deadlock (should not occur with exec_time >= 1).
+        result.status = ThroughputStatus::kDeadlock;
+        result.throughput = 0.0;
+        return result;
+      }
+      result.status = ThroughputStatus::kPeriodic;
+      result.throughput = static_cast<double>(result.firings_in_period) /
+                          static_cast<double>(result.period);
+      return result;
+    }
+    if (result.states_explored >= config_.max_states) {
+      result.status = ThroughputStatus::kBudgetExceeded;
+      result.throughput =
+          now > 0 ? static_cast<double>(observed_firings) /
+                        static_cast<double>(now)
+                  : 0.0;
+      return result;
+    }
+
+    // Advance time to the earliest completion.
+    std::int64_t dt = -1;
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      if (remaining[a] >= 0 && (dt < 0 || remaining[a] < dt)) {
+        dt = remaining[a];
+      }
+    }
+    if (dt < 0) {
+      // Nothing in flight and nothing could start: deadlock.
+      result.status = ThroughputStatus::kDeadlock;
+      result.throughput = 0.0;
+      return result;
+    }
+    now += dt;
+    for (std::size_t a = 0; a < num_actors; ++a) {
+      if (remaining[a] >= 0) {
+        remaining[a] -= dt;
+        if (remaining[a] == 0) finish_firing(a);
+      }
+    }
+  }
+}
+
+}  // namespace kairos::sdf

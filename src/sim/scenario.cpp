@@ -1,0 +1,79 @@
+#include "sim/scenario.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "platform/fragmentation.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::sim {
+
+namespace {
+
+/// Inverse-CDF exponential sample with the given mean.
+double exponential(util::Xoshiro256& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+struct Event {
+  double time;
+  bool is_arrival;                 // false: departure
+  core::AppHandle handle = -1;     // departure only
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+ScenarioStats run_scenario(core::ResourceManager& manager,
+                           const std::vector<graph::Application>& pool,
+                           const ScenarioConfig& config) {
+  assert(!pool.empty());
+  assert(config.arrival_rate > 0.0);
+  assert(config.mean_lifetime > 0.0);
+
+  ScenarioStats stats;
+  util::Xoshiro256 rng(config.seed);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  events.push(Event{exponential(rng, 1.0 / config.arrival_rate), true, -1});
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    if (event.time > config.horizon) break;
+
+    if (event.is_arrival) {
+      ++stats.arrivals;
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pool.size()) - 1));
+      const core::AdmissionReport report = manager.admit(pool[pick]);
+      if (report.admitted) {
+        ++stats.admitted;
+        events.push(Event{event.time + exponential(rng, config.mean_lifetime),
+                          false, report.handle});
+      } else {
+        ++stats.failures[static_cast<std::size_t>(report.failed_phase)];
+      }
+      // Schedule the next arrival.
+      events.push(Event{
+          event.time + exponential(rng, 1.0 / config.arrival_rate), true,
+          -1});
+    } else {
+      const auto removed = manager.remove(event.handle);
+      assert(removed.ok());
+      (void)removed;
+      ++stats.departures;
+    }
+
+    stats.live_applications.add(static_cast<double>(manager.live_count()));
+    stats.fragmentation.add(
+        platform::external_fragmentation(manager.platform()));
+    stats.compute_utilisation.add(platform::resource_utilisation(
+        manager.platform(), platform::ResourceKind::kCompute));
+  }
+  return stats;
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation of a dynamic application mix.
+//
+// The paper's premise (§I) is that "at design-time, it is unknown when, and
+// what combinations of applications are requested to be executed during the
+// life-time of the system" — the resource manager must handle arbitrary
+// arrivals and departures at run time. This module drives a
+// core::ResourceManager with a Poisson arrival process and exponentially
+// distributed application lifetimes, collecting admission statistics and
+// platform-health time series. The sequence benches (Figs. 8/9) only ever
+// fill the platform; this simulator additionally exercises the release path
+// and the resulting fragmentation dynamics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "graph/application.hpp"
+#include "util/stats.hpp"
+
+namespace kairos::sim {
+
+struct ScenarioConfig {
+  double arrival_rate = 0.2;    ///< expected arrivals per time unit
+  double mean_lifetime = 40.0;  ///< expected application lifetime
+  double horizon = 1000.0;      ///< simulated duration
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioStats {
+  long arrivals = 0;
+  long admitted = 0;
+  long departures = 0;
+  std::array<long, 6> failures{};  ///< rejections by core::Phase
+
+  /// Sampled at every event, after processing it.
+  util::RunningStats live_applications;
+  util::RunningStats fragmentation;
+  util::RunningStats compute_utilisation;
+
+  long rejected() const { return arrivals - admitted; }
+  double admission_rate() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(admitted) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+/// Runs one scenario: applications are drawn uniformly from `pool` on each
+/// arrival. The manager's platform is mutated; the caller owns resetting it.
+ScenarioStats run_scenario(core::ResourceManager& manager,
+                           const std::vector<graph::Application>& pool,
+                           const ScenarioConfig& config);
+
+}  // namespace kairos::sim

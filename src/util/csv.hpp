@@ -1,0 +1,29 @@
+// CSV emission so that bench outputs can be post-processed into plots
+// matching the paper's figures.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace kairos::util {
+
+/// Writes rows of cells to a CSV file. Cells containing commas, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; `ok()` reports whether the open succeeded.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV cell (exposed for testing).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace kairos::util

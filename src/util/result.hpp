@@ -1,0 +1,76 @@
+// A minimal expected-like result type.
+//
+// Library code never throws across API boundaries (C++ Core Guidelines E.*
+// applied to an embedded-systems-flavoured library): fallible operations
+// return Result<T> carrying either a value or a human-readable error string.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kairos::util {
+
+/// Error payload: a message plus an optional machine-readable code.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+/// Result<T>: holds either a T or an Error. Inspired by std::expected
+/// (C++23), kept minimal for C++20.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+  /// Value if ok, otherwise the provided fallback.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Specialization-free void result.
+class [[nodiscard]] VoidResult {
+ public:
+  VoidResult() = default;
+  VoidResult(Error error) : error_(std::move(error.message)) {}  // NOLINT
+
+  static VoidResult success() { return VoidResult(); }
+
+  bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+};
+
+}  // namespace kairos::util

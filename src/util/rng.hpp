@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for the Kairos library.
+//
+// All stochastic components of the library (the application generator, the
+// dataset sequence shuffles, synthetic benchmarks) draw their randomness from
+// these generators so that every experiment is reproducible from a printed
+// seed. We deliberately avoid std::mt19937 / std::uniform_int_distribution:
+// their outputs are not guaranteed to be identical across standard library
+// implementations, which would make the benches non-portable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace kairos::util {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator, primarily used to
+/// expand a single user seed into the larger state of Xoshiro256.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the sequence.
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator. Fast, tiny state, excellent
+/// statistical quality, and fully deterministic across platforms.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64-bit output.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (allows use with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  /// Uses Lemire's unbiased bounded technique.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Returns an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. All weights must be non-negative; if the total weight is
+  /// zero, returns 0.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle, deterministic given the generator state.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i)));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace kairos::util

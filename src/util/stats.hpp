@@ -1,0 +1,74 @@
+// Small descriptive-statistics helpers used by the experiment harnesses to
+// aggregate per-sequence measurements (success rates, hop counts,
+// fragmentation percentages, phase runtimes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kairos::util {
+
+/// Streaming accumulator for mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between closest ranks).
+/// p in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& values);
+
+/// A fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first / last bucket. Used by benches to
+/// print distribution sketches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Renders a compact ASCII sketch, one line per bucket.
+  std::vector<std::pair<std::string, std::size_t>> rows() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace kairos::util

@@ -1,0 +1,43 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// reproduces one table or figure of the paper and prints it in a layout a
+// reader can compare against the original.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kairos::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings, render.
+/// Column widths auto-size to the longest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets the alignment of a column (default: right for all).
+  void set_align(std::size_t column, Align align);
+
+  /// Renders the full table including a header separator line.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with `digits` fractional digits.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a percentage (value in [0,1] scaled to 0-100) with two digits.
+std::string fmt_pct(double fraction, int digits = 2);
+
+}  // namespace kairos::util

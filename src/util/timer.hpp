@@ -1,0 +1,52 @@
+// Wall-clock timing helpers for the per-phase runtime measurements that
+// reproduce Fig. 7 and the beamforming case study (§IV-A) of the paper.
+#pragma once
+
+#include <chrono>
+
+namespace kairos::util {
+
+/// A simple monotonic stopwatch. Construction starts the clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in milliseconds since construction / last reset.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds since construction / last reset.
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across several timed sections (e.g. the total
+/// mapping time over a whole dataset run).
+class Accumulator {
+ public:
+  void add_ms(double ms) {
+    total_ms_ += ms;
+    ++count_;
+  }
+
+  double total_ms() const { return total_ms_; }
+  double mean_ms() const { return count_ == 0 ? 0.0 : total_ms_ / count_; }
+  long count() const { return count_; }
+
+ private:
+  double total_ms_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace kairos::util

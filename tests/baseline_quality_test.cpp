@@ -1,0 +1,179 @@
+// Tests for layout_cost, the exhaustive optimal mapper, and the extended
+// mapping objectives (wear leveling, load balancing).
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/resource_manager.hpp"
+#include "platform/builders.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace kairos::core {
+namespace {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementId;
+using platform::ElementType;
+using platform::Platform;
+using platform::ResourceVector;
+
+Implementation impl(std::int64_t compute) {
+  Implementation i;
+  i.name = "v";
+  i.target = ElementType::kGeneric;
+  i.requirement = ResourceVector(compute, 10, 0, 0);
+  i.exec_time = 5;
+  return i;
+}
+
+Application pipeline(int n, std::int64_t compute, std::int64_t bw) {
+  Application app("pipe");
+  TaskId prev;
+  for (int i = 0; i < n; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(compute));
+    if (i > 0) app.add_channel(prev, t, bw);
+    prev = t;
+  }
+  return app;
+}
+
+TEST(LayoutCostTest, CoLocatedPipelineHasZeroCommunication) {
+  Platform p = platform::make_chain(3);
+  const Application app = pipeline(2, 100, 10);
+  const std::vector<ElementId> together{ElementId{1}, ElementId{1}};
+  const std::vector<ElementId> apart{ElementId{0}, ElementId{2}};
+  const CostWeights comm_only = CostWeights::communication_only();
+  EXPECT_DOUBLE_EQ(layout_cost(app, p, together, comm_only), 0.0);
+  EXPECT_DOUBLE_EQ(layout_cost(app, p, apart, comm_only), 20.0);  // bw*2hops
+}
+
+TEST(LayoutCostTest, FragmentationRewardsAdjacentPeers) {
+  Platform p = platform::make_chain(4);
+  const Application app = pipeline(2, 100, 10);
+  const CostWeights frag_only = CostWeights::fragmentation_only();
+  const std::vector<ElementId> adjacent{ElementId{0}, ElementId{1}};
+  const std::vector<ElementId> separated{ElementId{0}, ElementId{3}};
+  EXPECT_LT(layout_cost(app, p, adjacent, frag_only),
+            layout_cost(app, p, separated, frag_only));
+}
+
+TEST(OptimalMapTest, FindsTheObviousOptimum) {
+  // Two heavy tasks with a fat channel on a chain: the optimum is a pair of
+  // adjacent elements.
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kGeneric;
+  Platform p = platform::make_chain(5, cfg);
+  const Application app = pipeline(2, 800, 100);
+  const PinTable pins(app.task_count());
+  OptimalMapConfig config;
+  config.weights = CostWeights::communication_only();
+  const auto result = optimal_map(app, {0, 0}, pins, p, config);
+  ASSERT_TRUE(result.ok) << result.reason;
+  const auto d = p.hop_distances_from(result.element_of[0]);
+  EXPECT_EQ(d[static_cast<std::size_t>(result.element_of[1].value)], 1);
+}
+
+TEST(OptimalMapTest, RespectsCapacities) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kGeneric;
+  Platform p = platform::make_chain(2, cfg);
+  const Application app = pipeline(3, 600, 10);  // three 600s on two 1000s
+  const PinTable pins(app.task_count());
+  const auto result = optimal_map(app, {0, 0, 0}, pins, p, {});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(OptimalMapTest, NeverBeatenByTheHeuristic) {
+  // The incremental mapper's layouts can never have lower layout_cost than
+  // the exhaustive optimum on the same instance.
+  for (std::uint64_t seed = 400; seed < 412; ++seed) {
+    util::Xoshiro256 rng(seed);
+    platform::BuilderConfig cfg;
+    cfg.element_type = ElementType::kGeneric;
+    Platform p = platform::make_mesh(3, 3, cfg);
+    const Application app =
+        pipeline(static_cast<int>(rng.uniform_int(2, 5)),
+                 rng.uniform_int(300, 700), rng.uniform_int(10, 80));
+    const PinTable pins(app.task_count());
+    const std::vector<int> impls(app.task_count(), 0);
+    const CostWeights weights{1.0, 10.0};
+
+    Platform p1 = p;
+    OptimalMapConfig config;
+    config.weights = weights;
+    const auto optimal = optimal_map(app, impls, pins, p1, config);
+    ASSERT_TRUE(optimal.ok) << optimal.reason;
+    const double optimal_cost = layout_cost(app, p1, optimal.element_of,
+                                            weights);
+
+    Platform p2 = p;
+    MapperConfig mapper_config;
+    mapper_config.weights = weights;
+    const IncrementalMapper mapper(mapper_config);
+    const auto heuristic = mapper.map(app, impls, pins, p2);
+    ASSERT_TRUE(heuristic.ok) << heuristic.reason;
+    const double heuristic_cost =
+        layout_cost(app, p2, heuristic.element_of, weights);
+
+    EXPECT_LE(optimal_cost, heuristic_cost + 1e-9) << "seed " << seed;
+  }
+}
+
+// --- extended objectives ---------------------------------------------------------
+
+TEST(ObjectivesTest, WearLevelingSpreadsRepeatedAdmissions) {
+  auto run = [](CostWeights weights) {
+    platform::BuilderConfig cfg;
+    cfg.element_type = ElementType::kGeneric;
+    Platform p = platform::make_mesh(3, 3, cfg);
+    core::KairosConfig config;
+    config.weights = weights;
+    ResourceManager kairos(p, config);
+    // Admit and remove the same small app many times.
+    const Application app = pipeline(2, 300, 10);
+    for (int round = 0; round < 30; ++round) {
+      const auto report = kairos.admit(app);
+      if (report.admitted) {
+        EXPECT_TRUE(kairos.remove(report.handle).ok());
+      }
+    }
+    util::RunningStats wear;
+    for (const auto& e : p.elements()) {
+      wear.add(static_cast<double>(e.wear()));
+    }
+    return wear;
+  };
+
+  CostWeights indifferent = CostWeights::none();
+  CostWeights leveling = CostWeights::none();
+  leveling.wear = 1.0;
+  const auto spread_off = run(indifferent);
+  const auto spread_on = run(leveling);
+  // Same total wear (same number of placements), but lower dispersion with
+  // the wear objective.
+  EXPECT_DOUBLE_EQ(spread_off.sum(), spread_on.sum());
+  EXPECT_LT(spread_on.stddev(), spread_off.stddev());
+}
+
+TEST(ObjectivesTest, LoadBalancingAvoidsHotElements) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kGeneric;
+  Platform p = platform::make_mesh(3, 3, cfg);
+  // Pre-load one element heavily.
+  ASSERT_TRUE(p.allocate(ElementId{0}, ResourceVector(900, 0, 0, 0)));
+
+  core::KairosConfig config;
+  config.weights = CostWeights::none();
+  config.weights.load_balance = 10.0;
+  ResourceManager kairos(p, config);
+  const Application app = pipeline(1, 100, 10);  // fits anywhere
+  const auto report = kairos.admit(app);
+  ASSERT_TRUE(report.admitted);
+  EXPECT_NE(report.layout.placement(TaskId{0}).element, ElementId{0});
+}
+
+}  // namespace
+}  // namespace kairos::core

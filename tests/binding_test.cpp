@@ -1,0 +1,246 @@
+// Unit tests for the binding phase: regret ordering, feasibility against the
+// per-element scratch pool, pins, and pin resolution.
+#include <gtest/gtest.h>
+
+#include "core/binding.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+
+namespace kairos::core {
+namespace {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementId;
+using platform::ElementType;
+using platform::Platform;
+using platform::ResourceVector;
+
+Implementation impl(ElementType target, std::int64_t compute, double cost,
+                    const std::string& name = "v") {
+  Implementation i;
+  i.name = name;
+  i.target = target;
+  i.requirement = ResourceVector(compute, 10, 0, 0);
+  i.cost = cost;
+  i.exec_time = 5;
+  return i;
+}
+
+PinTable no_pins(const Application& app) {
+  return PinTable(app.task_count());
+}
+
+Platform dsp_mesh() {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  return platform::make_mesh(3, 3, cfg);  // nine 1000-compute DSPs
+}
+
+TEST(BindingTest, SelectsCheapestImplementation) {
+  Platform p = dsp_mesh();
+  Application app("a");
+  const TaskId t = app.add_task("t");
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 100, 5.0));
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 100, 2.0));
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 100, 9.0));
+
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_EQ(result.impl_of[0], 1);
+  EXPECT_DOUBLE_EQ(result.total_cost, 2.0);
+}
+
+TEST(BindingTest, SkipsInfeasibleImplementations) {
+  Platform p = dsp_mesh();
+  Application app("a");
+  const TaskId t = app.add_task("t");
+  // Cheapest implementation does not fit any element (compute 2000 > 1000).
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 2000, 1.0));
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 100, 3.0));
+
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.impl_of[0], 1);
+}
+
+TEST(BindingTest, SkipsImplementationsOfAbsentTypes) {
+  Platform p = dsp_mesh();  // no FPGA in this platform
+  Application app("a");
+  const TaskId t = app.add_task("t");
+  app.task_mut(t).add_implementation(impl(ElementType::kFpga, 100, 1.0));
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 100, 2.0));
+
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.impl_of[0], 1);
+}
+
+TEST(BindingTest, FailsWhenNothingFits) {
+  Platform p = dsp_mesh();
+  Application app("a");
+  const TaskId t = app.add_task("big");
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 5000, 1.0));
+
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_task, t);
+  EXPECT_NE(result.reason.find("big"), std::string::npos);
+}
+
+TEST(BindingTest, JointOversubscriptionIsCaught) {
+  // Two tasks, each individually fits the single element, but not together.
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_chain(1, cfg);  // one 1000-compute element
+  Application app("a");
+  for (int i = 0; i < 2; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(ElementType::kDsp, 700, 1.0));
+  }
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BindingTest, TimeSharingWithinOneElementIsAllowed) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_chain(1, cfg);
+  Application app("a");
+  for (int i = 0; i < 3; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(ElementType::kDsp, 300, 1.0));
+  }
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  EXPECT_TRUE(result.ok) << result.reason;
+}
+
+TEST(BindingTest, RegretOrderBindsScarceTasksFirst) {
+  // Element capacity allows only one 800-compute task. Task "flex" could use
+  // a cheap 800 impl or an expensive 100 impl; task "rigid" only has the 800
+  // impl. Regret ordering binds "rigid" first (infinite regret), forcing
+  // "flex" onto its fallback; greedy-by-task-order would starve "rigid".
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_chain(1, cfg);
+  Application app("a");
+  const TaskId flex = app.add_task("flex");
+  app.task_mut(flex).add_implementation(impl(ElementType::kDsp, 800, 1.0));
+  app.task_mut(flex).add_implementation(impl(ElementType::kDsp, 100, 4.0));
+  const TaskId rigid = app.add_task("rigid");
+  app.task_mut(rigid).add_implementation(impl(ElementType::kDsp, 800, 1.0));
+
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, no_pins(app));
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_EQ(result.impl_of[rigid.value], 0);
+  EXPECT_EQ(result.impl_of[flex.value], 1);  // pushed to the fallback
+}
+
+TEST(BindingTest, AccountsForExistingPlatformLoad) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_chain(1, cfg);
+  ASSERT_TRUE(p.allocate(ElementId{0}, ResourceVector(600, 0, 0, 0)));
+
+  Application app("a");
+  const TaskId t = app.add_task("t");
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 500, 1.0));
+  const BindingPhase binding(p);
+  EXPECT_FALSE(binding.bind(app, no_pins(app)).ok);
+}
+
+TEST(BindingTest, PinnedTaskBindsAgainstThePinnedElementOnly) {
+  platform::CrispLayout layout;
+  Platform p = platform::make_crisp_platform(platform::CrispConfig{}, layout);
+  Application app("a");
+  const TaskId t = app.add_task("io");
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 100, 1.0));
+  app.task_mut(t).add_implementation(impl(ElementType::kFpga, 100, 2.0));
+
+  PinTable pins(app.task_count());
+  pins[0] = layout.fpga;
+  const BindingPhase binding(p);
+  const auto result = binding.bind(app, pins);
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_EQ(result.impl_of[0], 1);  // type must match the pinned element
+}
+
+TEST(BindingTest, PinnedTasksShareTheElementHonestly) {
+  platform::CrispLayout layout;
+  Platform p = platform::make_crisp_platform(platform::CrispConfig{}, layout);
+  Application app("a");
+  // The FPGA has 4000 compute; three tasks of 1500 cannot all be pinned.
+  for (int i = 0; i < 3; ++i) {
+    const TaskId t = app.add_task("io" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(ElementType::kFpga, 1500, 1.0));
+  }
+  PinTable pins(app.task_count());
+  for (std::size_t i = 0; i < 3; ++i) pins[i] = layout.fpga;
+  const BindingPhase binding(p);
+  EXPECT_FALSE(binding.bind(app, pins).ok);
+}
+
+// --- pin resolution ----------------------------------------------------------
+
+TEST(ResolvePinsTest, ResolvesByName) {
+  Platform p = platform::make_crisp_platform();
+  Application app("a");
+  const TaskId t = app.add_task("io");
+  app.task_mut(t).add_implementation(impl(ElementType::kFpga, 10, 1.0));
+  app.task_mut(t).set_pinned_name("fpga");
+  const auto pins = resolve_pins(app, p);
+  ASSERT_TRUE(pins.ok()) << pins.error();
+  ASSERT_TRUE(pins.value()[0].has_value());
+  EXPECT_EQ(p.element(*pins.value()[0]).name(), "fpga");
+}
+
+TEST(ResolvePinsTest, UnknownNameFails) {
+  Platform p = platform::make_crisp_platform();
+  Application app("a");
+  const TaskId t = app.add_task("io");
+  app.task_mut(t).add_implementation(impl(ElementType::kFpga, 10, 1.0));
+  app.task_mut(t).set_pinned_name("nonexistent");
+  const auto pins = resolve_pins(app, p);
+  ASSERT_FALSE(pins.ok());
+  EXPECT_NE(pins.error().find("nonexistent"), std::string::npos);
+}
+
+TEST(ResolvePinsTest, ExplicitIdPinsPassThrough) {
+  Platform p = platform::make_crisp_platform();
+  Application app("a");
+  const TaskId t = app.add_task("io");
+  app.task_mut(t).add_implementation(impl(ElementType::kDsp, 10, 1.0));
+  app.task_mut(t).set_pinned(ElementId{3});
+  const auto pins = resolve_pins(app, p);
+  ASSERT_TRUE(pins.ok());
+  EXPECT_EQ(pins.value()[0]->value, 3);
+}
+
+TEST(ResolvePinsTest, OutOfRangeIdFails) {
+  Platform p = platform::make_chain(2);
+  Application app("a");
+  const TaskId t = app.add_task("io");
+  app.task_mut(t).add_implementation(impl(ElementType::kGeneric, 10, 1.0));
+  app.task_mut(t).set_pinned(ElementId{99});
+  EXPECT_FALSE(resolve_pins(app, p).ok());
+}
+
+TEST(ResolvePinsTest, UnpinnedTasksStayEmpty) {
+  Platform p = platform::make_chain(2);
+  Application app("a");
+  app.add_task("t");
+  const auto pins = resolve_pins(app, p);
+  ASSERT_TRUE(pins.ok());
+  EXPECT_FALSE(pins.value()[0].has_value());
+}
+
+}  // namespace
+}  // namespace kairos::core

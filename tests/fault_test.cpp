@@ -1,0 +1,170 @@
+// Tests for fault injection: failed elements and links are avoided by every
+// phase, and the resource manager supports the remove-and-readmit recovery
+// flow the paper's introduction motivates.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.hpp"
+#include "noc/router.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+
+namespace kairos {
+namespace {
+
+using platform::ElementId;
+using platform::ElementType;
+using platform::LinkId;
+using platform::Platform;
+using platform::ResourceVector;
+
+graph::Application dsp_pair_app(std::int64_t compute = 600) {
+  graph::Application app("pair");
+  const graph::TaskId a = app.add_task("a");
+  const graph::TaskId b = app.add_task("b");
+  graph::Implementation impl;
+  impl.name = "v";
+  impl.target = ElementType::kDsp;
+  impl.requirement = ResourceVector(compute, 64, 0, 0);
+  impl.exec_time = 5;
+  app.task_mut(a).add_implementation(impl);
+  app.task_mut(b).add_implementation(impl);
+  app.add_channel(a, b, 20);
+  return app;
+}
+
+TEST(FaultTest, FailedElementsAreExcludedFromAvailability) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_mesh(2, 2, cfg);
+  EXPECT_EQ(p.count_available(ElementType::kDsp,
+                              ResourceVector(100, 0, 0, 0)),
+            4);
+  p.set_element_failed(ElementId{0}, true);
+  p.set_element_failed(ElementId{1}, true);
+  EXPECT_EQ(p.count_available(ElementType::kDsp,
+                              ResourceVector(100, 0, 0, 0)),
+            2);
+  EXPECT_EQ(p.total_free(ElementType::kDsp).compute(), 2000);
+  EXPECT_EQ(p.failed_element_count(), 2);
+  p.set_element_failed(ElementId{0}, false);
+  EXPECT_EQ(p.failed_element_count(), 1);
+}
+
+TEST(FaultTest, RouterAvoidsFailedLinks) {
+  Platform p = platform::make_ring(6);
+  const auto direct = p.find_link(ElementId{0}, ElementId{1});
+  ASSERT_TRUE(direct.has_value());
+  p.set_link_failed(*direct, true);
+  EXPECT_FALSE(p.link_usable(*direct));
+  const noc::Router router;
+  const auto route = router.find_route(p, ElementId{0}, ElementId{1}, 10);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 5);  // the long way around
+}
+
+TEST(FaultTest, RouterAvoidsFailedIntermediateElements) {
+  Platform p = platform::make_chain(4);  // 0-1-2-3
+  p.set_element_failed(ElementId{1}, true);
+  const noc::Router router;
+  // The only path 0 -> 3 passes through the dead element.
+  EXPECT_FALSE(router.find_route(p, ElementId{0}, ElementId{3}, 10)
+                   .has_value());
+}
+
+TEST(FaultTest, MapperAvoidsFailedElements) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_mesh(3, 3, cfg);
+  // Fail everything except elements 7 and 8.
+  for (int i = 0; i < 7; ++i) {
+    p.set_element_failed(ElementId{i}, true);
+  }
+  core::ResourceManager kairos(p);
+  const auto report = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(report.admitted) << report.reason;
+  for (const auto& placement : report.layout.placements()) {
+    EXPECT_GE(placement.element.value, 7);
+  }
+}
+
+TEST(FaultTest, AdmissionFailsWhenAllElementsOfATypeAreDead) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_mesh(2, 2, cfg);
+  for (int i = 0; i < 4; ++i) p.set_element_failed(ElementId{i}, true);
+  core::ResourceManager kairos(p);
+  const auto report = kairos.admit(dsp_pair_app());
+  EXPECT_FALSE(report.admitted);
+  EXPECT_EQ(report.failed_phase, core::Phase::kBinding);
+}
+
+TEST(FaultTest, AppsUsingIdentifiesAffectedApplications) {
+  Platform p = platform::make_crisp_platform();
+  core::ResourceManager kairos(p);
+  const auto r1 = kairos.admit(dsp_pair_app());
+  const auto r2 = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(r1.admitted && r2.admitted);
+  const ElementId victim = r1.layout.placement(graph::TaskId{0}).element;
+  const auto affected = kairos.apps_using(victim);
+  EXPECT_FALSE(affected.empty());
+  for (const auto h : affected) {
+    EXPECT_TRUE(h == r1.handle || h == r2.handle);
+  }
+  // r1 is certainly among them.
+  EXPECT_NE(std::find(affected.begin(), affected.end(), r1.handle),
+            affected.end());
+}
+
+TEST(FaultTest, RecoveryFlowRemapsAroundTheFault) {
+  Platform p = platform::make_crisp_platform();
+  core::ResourceManager kairos(p);
+  const auto report = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(report.admitted);
+  const ElementId victim = report.layout.placement(graph::TaskId{0}).element;
+
+  // Fault hits: release the affected application, mark the element dead,
+  // re-admit.
+  for (const auto h : kairos.apps_using(victim)) {
+    ASSERT_TRUE(kairos.remove(h).ok());
+  }
+  p.set_element_failed(victim, true);
+  const auto retry = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(retry.admitted) << retry.reason;
+  for (const auto& placement : retry.layout.placements()) {
+    EXPECT_NE(placement.element, victim);
+  }
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+TEST(FaultTest, SnapshotsDoNotResurrectFailedElements) {
+  Platform p = platform::make_chain(3);
+  const auto snap = p.snapshot();
+  p.set_element_failed(ElementId{1}, true);
+  p.restore(snap);
+  // Failure is topology state, not allocation state.
+  EXPECT_TRUE(p.element(ElementId{1}).is_failed());
+}
+
+// --- wear tracking -------------------------------------------------------------
+
+TEST(WearTest, WearAccumulatesAcrossClearAllocations) {
+  Platform p = platform::make_chain(2);
+  p.add_task(ElementId{0});
+  p.add_task(ElementId{0});
+  EXPECT_EQ(p.element(ElementId{0}).wear(), 2);
+  p.clear_allocations();
+  EXPECT_EQ(p.element(ElementId{0}).task_count(), 0);
+  EXPECT_EQ(p.element(ElementId{0}).wear(), 2);  // history preserved
+}
+
+TEST(WearTest, RolledBackAttemptsDoNotAge) {
+  Platform p = platform::make_chain(2);
+  {
+    platform::Transaction txn(p);
+    p.add_task(ElementId{0});
+  }
+  EXPECT_EQ(p.element(ElementId{0}).wear(), 0);
+}
+
+}  // namespace
+}  // namespace kairos

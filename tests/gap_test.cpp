@@ -1,0 +1,344 @@
+// Unit and property tests for the knapsack solvers and the Cohen-Katzir-Raz
+// GAP solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gap/gap_solver.hpp"
+#include "gap/knapsack.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::gap {
+namespace {
+
+using platform::ResourceVector;
+
+KnapsackItem item(int id, double profit, std::int64_t compute,
+                  std::int64_t memory = 0) {
+  return KnapsackItem{id, profit, ResourceVector(compute, memory, 0, 0)};
+}
+
+double selection_weighted(const std::vector<KnapsackItem>& items,
+                          const KnapsackSelection& sel,
+                          ResourceVector& used_out) {
+  double profit = 0.0;
+  used_out = ResourceVector{};
+  for (const int id : sel.chosen) {
+    for (const auto& it : items) {
+      if (it.id == id) {
+        profit += it.profit;
+        used_out += it.weight;
+      }
+    }
+  }
+  return profit;
+}
+
+/// Exhaustive optimum for tiny instances.
+double brute_force(const ResourceVector& capacity,
+                   const std::vector<KnapsackItem>& items) {
+  const std::size_t n = items.size();
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    ResourceVector used;
+    double profit = 0.0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      if (mask & (1u << i)) {
+        if (items[i].profit <= 0.0) {
+          feasible = false;
+          break;
+        }
+        used += items[i].weight;
+        profit += items[i].profit;
+        feasible = used.fits_within(capacity);
+      }
+    }
+    if (feasible) best = std::max(best, profit);
+  }
+  return best;
+}
+
+// --- greedy knapsack ---------------------------------------------------------
+
+TEST(GreedyKnapsackTest, TakesEverythingThatFits) {
+  GreedyKnapsackSolver solver;
+  const auto sel = solver.solve(ResourceVector(100, 0, 0, 0),
+                                {item(0, 5, 30), item(1, 3, 30),
+                                 item(2, 2, 30)});
+  EXPECT_EQ(sel.chosen.size(), 3u);
+  EXPECT_DOUBLE_EQ(sel.profit, 10.0);
+}
+
+TEST(GreedyKnapsackTest, RespectsCapacity) {
+  GreedyKnapsackSolver solver;
+  const auto sel = solver.solve(ResourceVector(50, 0, 0, 0),
+                                {item(0, 5, 30), item(1, 4, 30),
+                                 item(2, 3, 30)});
+  ResourceVector used;
+  selection_weighted({item(0, 5, 30), item(1, 4, 30), item(2, 3, 30)}, sel,
+                     used);
+  EXPECT_TRUE(used.fits_within(ResourceVector(50, 0, 0, 0)));
+  EXPECT_EQ(sel.chosen.size(), 1u);
+  EXPECT_EQ(sel.chosen.front(), 0);  // highest profit wins
+}
+
+TEST(GreedyKnapsackTest, IgnoresNonPositiveProfit) {
+  GreedyKnapsackSolver solver;
+  const auto sel = solver.solve(ResourceVector(100, 0, 0, 0),
+                                {item(0, 0.0, 10), item(1, -2.0, 10)});
+  EXPECT_TRUE(sel.chosen.empty());
+}
+
+TEST(GreedyKnapsackTest, IgnoresIndividuallyOversizedItems) {
+  GreedyKnapsackSolver solver;
+  const auto sel = solver.solve(ResourceVector(10, 0, 0, 0),
+                                {item(0, 100.0, 11), item(1, 1.0, 10)});
+  ASSERT_EQ(sel.chosen.size(), 1u);
+  EXPECT_EQ(sel.chosen.front(), 1);
+}
+
+TEST(GreedyKnapsackTest, MultiDimensionalConstraint) {
+  GreedyKnapsackSolver solver;
+  // Item 0 fits compute but not memory; item 1 fits both.
+  const auto sel = solver.solve(ResourceVector(100, 20, 0, 0),
+                                {item(0, 10, 50, 30), item(1, 5, 50, 10)});
+  ASSERT_EQ(sel.chosen.size(), 1u);
+  EXPECT_EQ(sel.chosen.front(), 1);
+}
+
+TEST(GreedyKnapsackTest, SwapPassImprovesNaiveGreedy) {
+  GreedyKnapsackSolver solver;
+  // Density order would pick item 0 (density 1.0 on 60) then nothing fits;
+  // the swap replaces it with item 1 (profit 70 on 100).
+  const std::vector<KnapsackItem> items{item(0, 60, 60), item(1, 70, 100)};
+  const auto sel = solver.solve(ResourceVector(100, 0, 0, 0), items);
+  ASSERT_EQ(sel.chosen.size(), 1u);
+  EXPECT_EQ(sel.chosen.front(), 1);
+  EXPECT_DOUBLE_EQ(sel.profit, 70.0);
+}
+
+TEST(GreedyKnapsackTest, ZeroWeightItemsAlwaysTaken) {
+  GreedyKnapsackSolver solver;
+  const auto sel = solver.solve(ResourceVector(0, 0, 0, 0),
+                                {item(0, 1.0, 0), item(1, 2.0, 0)});
+  EXPECT_EQ(sel.chosen.size(), 2u);
+}
+
+// --- exact knapsack -----------------------------------------------------------
+
+TEST(BranchAndBoundTest, FindsExactOptimum) {
+  BranchAndBoundKnapsackSolver solver;
+  // Classic trap: greedy by density picks {0}, optimum is {1,2}.
+  const std::vector<KnapsackItem> items{item(0, 60, 60), item(1, 50, 50),
+                                        item(2, 50, 50)};
+  const auto sel = solver.solve(ResourceVector(100, 0, 0, 0), items);
+  EXPECT_DOUBLE_EQ(sel.profit, 100.0);
+  EXPECT_EQ(sel.chosen.size(), 2u);
+}
+
+TEST(BranchAndBoundTest, EmptyInstance) {
+  BranchAndBoundKnapsackSolver solver;
+  const auto sel = solver.solve(ResourceVector(10, 0, 0, 0), {});
+  EXPECT_TRUE(sel.chosen.empty());
+  EXPECT_DOUBLE_EQ(sel.profit, 0.0);
+}
+
+// Property: on random instances, exact matches brute force and greedy is
+// feasible and within the expected factor of optimal.
+class KnapsackPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackPropertyTest, ExactMatchesBruteForceAndGreedyIsFeasible) {
+  util::Xoshiro256 rng(GetParam());
+  const ResourceVector capacity(100, 80, 0, 0);
+  std::vector<KnapsackItem> items;
+  const int n = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(item(i, rng.uniform_real(-1.0, 20.0),
+                         rng.uniform_int(0, 70), rng.uniform_int(0, 60)));
+  }
+
+  BranchAndBoundKnapsackSolver exact;
+  GreedyKnapsackSolver greedy;
+  const auto exact_sel = exact.solve(capacity, items);
+  const auto greedy_sel = greedy.solve(capacity, items);
+
+  const double optimum = brute_force(capacity, items);
+  EXPECT_NEAR(exact_sel.profit, optimum, 1e-9);
+
+  ResourceVector used;
+  const double greedy_profit = selection_weighted(items, greedy_sel, used);
+  EXPECT_TRUE(used.fits_within(capacity));
+  EXPECT_NEAR(greedy_profit, greedy_sel.profit, 1e-9);
+  EXPECT_LE(greedy_sel.profit, exact_sel.profit + 1e-9);
+  // The greedy-with-swap heuristic stays within a constant factor on these
+  // instances (it is a 2-approximation for single-dimension knapsack).
+  if (optimum > 0.0) {
+    EXPECT_GE(greedy_sel.profit, 0.3 * optimum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 40));
+
+// --- GAP solver -----------------------------------------------------------------
+
+TEST(GapSolverTest, AssignsTasksToFirstFeasibleElement) {
+  GreedyKnapsackSolver knapsack;
+  GapSolver gap(2, knapsack);
+  GapElement e0;
+  e0.element = 10;
+  e0.capacity = ResourceVector(100, 0, 0, 0);
+  e0.options = {{0, 5.0, ResourceVector(60, 0, 0, 0)},
+                {1, 5.0, ResourceVector(60, 0, 0, 0)}};
+  gap.process_element(e0);
+  // Only one of the two fits.
+  EXPECT_EQ(gap.unassigned_count(), 1);
+  EXPECT_FALSE(gap.all_assigned());
+
+  GapElement e1 = e0;
+  e1.element = 11;
+  gap.process_element(e1);
+  EXPECT_TRUE(gap.all_assigned());
+  EXPECT_NE(gap.assignment(0), gap.assignment(1));
+}
+
+TEST(GapSolverTest, StealsOnlyWhenCheaper) {
+  GreedyKnapsackSolver knapsack;
+  GapSolver gap(1, knapsack);
+
+  GapElement expensive;
+  expensive.element = 1;
+  expensive.capacity = ResourceVector(100, 0, 0, 0);
+  expensive.options = {{0, 9.0, ResourceVector(10, 0, 0, 0)}};
+  gap.process_element(expensive);
+  EXPECT_EQ(gap.assignment(0), 1);
+  EXPECT_DOUBLE_EQ(gap.cost(0), 9.0);
+
+  GapElement worse;
+  worse.element = 2;
+  worse.capacity = ResourceVector(100, 0, 0, 0);
+  worse.options = {{0, 12.0, ResourceVector(10, 0, 0, 0)}};
+  gap.process_element(worse);
+  EXPECT_EQ(gap.assignment(0), 1);  // not stolen
+
+  GapElement better;
+  better.element = 3;
+  better.capacity = ResourceVector(100, 0, 0, 0);
+  better.options = {{0, 4.0, ResourceVector(10, 0, 0, 0)}};
+  gap.process_element(better);
+  EXPECT_EQ(gap.assignment(0), 3);  // stolen by the cheaper element
+  EXPECT_DOUBLE_EQ(gap.cost(0), 4.0);
+}
+
+TEST(GapSolverTest, UnassignedTasksDominateRemapping) {
+  // One element that can hold a single task, offered both an unassigned task
+  // with high cost and a chance to steal an assigned task with a small
+  // improvement: picking the unmapped task must win (the paper: "picking a
+  // yet unmapped task is more beneficial than remapping").
+  GreedyKnapsackSolver knapsack;
+  GapSolver gap(2, knapsack);
+
+  GapElement first;
+  first.element = 1;
+  first.capacity = ResourceVector(50, 0, 0, 0);
+  first.options = {{0, 10.0, ResourceVector(50, 0, 0, 0)}};
+  gap.process_element(first);
+  ASSERT_EQ(gap.assignment(0), 1);
+
+  GapElement second;
+  second.element = 2;
+  second.capacity = ResourceVector(50, 0, 0, 0);
+  second.options = {{0, 1.0, ResourceVector(50, 0, 0, 0)},   // steal: saves 9
+                    {1, 500.0, ResourceVector(50, 0, 0, 0)}};  // unmapped
+  gap.process_element(second);
+  EXPECT_EQ(gap.assignment(0), 1);
+  EXPECT_EQ(gap.assignment(1), 2);
+  EXPECT_TRUE(gap.all_assigned());
+}
+
+TEST(GapSolverTest, InfeasibleOptionsAreNeverOffered) {
+  GreedyKnapsackSolver knapsack;
+  GapSolver gap(1, knapsack);
+  GapElement e;
+  e.element = 1;
+  e.capacity = ResourceVector(10, 0, 0, 0);
+  e.options = {{0, 1.0, ResourceVector(20, 0, 0, 0)}};  // does not fit
+  gap.process_element(e);
+  EXPECT_EQ(gap.assignment(0), -1);
+  EXPECT_DOUBLE_EQ(gap.cost(0), kUnassignedCost);
+}
+
+TEST(GapSolverTest, TotalAssignedCost) {
+  GreedyKnapsackSolver knapsack;
+  GapSolver gap(2, knapsack);
+  GapElement e;
+  e.element = 0;
+  e.capacity = ResourceVector(100, 0, 0, 0);
+  e.options = {{0, 3.0, ResourceVector(10, 0, 0, 0)},
+               {1, 4.0, ResourceVector(10, 0, 0, 0)}};
+  gap.process_element(e);
+  EXPECT_DOUBLE_EQ(gap.total_assigned_cost(), 7.0);
+}
+
+// Property: GAP never over-packs a bin within a single element's knapsack.
+class GapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GapPropertyTest, PerElementCapacityRespected) {
+  util::Xoshiro256 rng(GetParam());
+  GreedyKnapsackSolver knapsack;
+  const int tasks = static_cast<int>(rng.uniform_int(2, 10));
+  const int elements = static_cast<int>(rng.uniform_int(1, 6));
+  GapSolver gap(tasks, knapsack);
+
+  std::vector<GapElement> bins;
+  for (int e = 0; e < elements; ++e) {
+    GapElement bin;
+    bin.element = e;
+    bin.capacity = ResourceVector(rng.uniform_int(20, 120),
+                                  rng.uniform_int(20, 120), 0, 0);
+    for (int t = 0; t < tasks; ++t) {
+      if (rng.bernoulli(0.8)) {
+        bin.options.push_back(
+            {t, rng.uniform_real(0.5, 30.0),
+             ResourceVector(rng.uniform_int(1, 60), rng.uniform_int(1, 60),
+                            0, 0)});
+      }
+    }
+    gap.process_element(bin);
+    bins.push_back(std::move(bin));
+  }
+
+  // Reconstruct per-element load of the *final* assignment. Because CKR
+  // processes each bin once and later steals only shrink a bin's load, the
+  // final load of every bin must fit its capacity.
+  for (const auto& bin : bins) {
+    ResourceVector load;
+    for (int t = 0; t < tasks; ++t) {
+      if (gap.assignment(t) == bin.element) {
+        for (const auto& option : bin.options) {
+          if (option.task == t) load += option.weight;
+        }
+      }
+    }
+    EXPECT_TRUE(load.fits_within(bin.capacity));
+  }
+
+  // Costs are consistent: every assigned task's c1 equals the option cost of
+  // its element.
+  for (int t = 0; t < tasks; ++t) {
+    const int e = gap.assignment(t);
+    if (e < 0) continue;
+    bool found = false;
+    for (const auto& option : bins[static_cast<std::size_t>(e)].options) {
+      if (option.task == t && option.cost == gap.cost(t)) found = true;
+    }
+    EXPECT_TRUE(found) << "task " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GapPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace kairos::gap

@@ -1,0 +1,237 @@
+// Tests for the TGFF-like application generator, the Table-I datasets and
+// the beamforming case-study builder.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/beamforming.hpp"
+#include "gen/datasets.hpp"
+#include "gen/generator.hpp"
+#include "platform/crisp.hpp"
+
+namespace kairos::gen {
+namespace {
+
+using graph::Application;
+using graph::TaskId;
+using platform::ElementType;
+
+TEST(GeneratorTest, ProducesRequestedStructure) {
+  GeneratorConfig cfg;
+  cfg.input_tasks = 2;
+  cfg.internal_tasks = 5;
+  cfg.output_tasks = 1;
+  util::Xoshiro256 rng(1);
+  const Application app = generate_application(cfg, rng, "demo");
+  EXPECT_EQ(app.name(), "demo");
+  EXPECT_EQ(app.task_count(), 8u);
+  EXPECT_TRUE(app.validate().ok());
+}
+
+TEST(GeneratorTest, InputTasksHaveNoProducersOutputsNoConsumers) {
+  GeneratorConfig cfg;
+  cfg.input_tasks = 2;
+  cfg.internal_tasks = 4;
+  cfg.output_tasks = 2;
+  util::Xoshiro256 rng(2);
+  const Application app = generate_application(cfg, rng, "a");
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(app.in_channels(TaskId{static_cast<std::int32_t>(i)}).empty());
+  }
+  for (std::size_t i = 6; i < 8; ++i) {
+    EXPECT_TRUE(
+        app.out_channels(TaskId{static_cast<std::int32_t>(i)}).empty());
+  }
+}
+
+TEST(GeneratorTest, EveryNonIoTaskIsWired) {
+  GeneratorConfig cfg;
+  cfg.input_tasks = 1;
+  cfg.internal_tasks = 8;
+  cfg.output_tasks = 1;
+  util::Xoshiro256 rng(3);
+  const Application app = generate_application(cfg, rng, "a");
+  for (const auto& task : app.tasks()) {
+    const bool is_input = task.id().value == 0;
+    const bool is_output =
+        task.id().value == static_cast<std::int32_t>(app.task_count()) - 1;
+    if (!is_input) EXPECT_FALSE(app.in_channels(task.id()).empty());
+    if (!is_output) EXPECT_FALSE(app.out_channels(task.id()).empty());
+  }
+}
+
+TEST(GeneratorTest, IntensityBoundsAreRespected) {
+  GeneratorConfig cfg;
+  cfg.internal_tasks = 20;
+  cfg.min_intensity = 0.7;
+  cfg.max_intensity = 1.0;
+  cfg.io_on_boundary = false;
+  util::Xoshiro256 rng(4);
+  const Application app = generate_application(cfg, rng, "a");
+  for (const auto& task : app.tasks()) {
+    for (const auto& impl : task.implementations()) {
+      const auto compute = impl.requirement.compute();
+      EXPECT_GE(compute, static_cast<std::int64_t>(0.7 * 1000) - 1);
+      EXPECT_LE(compute, 1000);
+    }
+  }
+}
+
+TEST(GeneratorTest, BandwidthBoundsAreRespected) {
+  GeneratorConfig cfg;
+  cfg.internal_tasks = 10;
+  cfg.min_bandwidth = 111;
+  cfg.max_bandwidth = 222;
+  util::Xoshiro256 rng(5);
+  const Application app = generate_application(cfg, rng, "a");
+  for (const auto& channel : app.channels()) {
+    EXPECT_GE(channel.bandwidth, 111);
+    EXPECT_LE(channel.bandwidth, 222);
+  }
+}
+
+TEST(GeneratorTest, BoundaryIoImplementationsArePresent) {
+  GeneratorConfig cfg;
+  cfg.io_on_boundary = true;
+  util::Xoshiro256 rng(6);
+  const Application app = generate_application(cfg, rng, "a");
+  EXPECT_EQ(app.task(TaskId{0}).implementations().front().target,
+            ElementType::kFpga);
+  const auto last =
+      TaskId{static_cast<std::int32_t>(app.task_count()) - 1};
+  EXPECT_EQ(app.task(last).implementations().front().target,
+            ElementType::kArm);
+  // Fallback DSP implementations exist as well.
+  EXPECT_GE(app.task(TaskId{0}).implementations().size(), 2u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  util::Xoshiro256 rng1(7);
+  util::Xoshiro256 rng2(7);
+  const Application a = generate_application(cfg, rng1, "x");
+  const Application b = generate_application(cfg, rng2, "x");
+  ASSERT_EQ(a.channel_count(), b.channel_count());
+  for (std::size_t c = 0; c < a.channel_count(); ++c) {
+    EXPECT_EQ(a.channels()[c].src, b.channels()[c].src);
+    EXPECT_EQ(a.channels()[c].bandwidth, b.channels()[c].bandwidth);
+  }
+}
+
+// --- datasets -------------------------------------------------------------------
+
+TEST(DatasetTest, SpecsMatchThePaper) {
+  const auto cs = dataset_spec(DatasetKind::kCommunicationSmall);
+  EXPECT_FALSE(cs.computation);
+  EXPECT_EQ(cs.min_tasks, 3);
+  EXPECT_EQ(cs.max_tasks, 5);
+  const auto cl = dataset_spec(DatasetKind::kComputationLarge);
+  EXPECT_TRUE(cl.computation);
+  EXPECT_EQ(cl.min_tasks, 11);
+  EXPECT_EQ(cl.max_tasks, 16);
+  EXPECT_EQ(dataset_spec(DatasetKind::kCommunicationMedium).min_tasks, 6);
+  EXPECT_EQ(dataset_spec(DatasetKind::kCommunicationMedium).max_tasks, 10);
+}
+
+TEST(DatasetTest, SizesStayWithinTheBand) {
+  const auto apps = make_dataset(DatasetKind::kComputationMedium, 50, 11);
+  ASSERT_EQ(apps.size(), 50u);
+  for (const auto& app : apps) {
+    EXPECT_GE(app.task_count(), 6u);
+    EXPECT_LE(app.task_count(), 10u);
+  }
+}
+
+TEST(DatasetTest, DeterministicPerSeed) {
+  const auto a = make_dataset(DatasetKind::kCommunicationSmall, 10, 3);
+  const auto b = make_dataset(DatasetKind::kCommunicationSmall, 10, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].task_count(), b[i].task_count());
+    EXPECT_EQ(a[i].channel_count(), b[i].channel_count());
+  }
+}
+
+TEST(DatasetTest, FilterKeepsOnlyAdmissibleApps) {
+  const platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  config.validation_rejects = false;
+  auto apps = make_dataset(DatasetKind::kCommunicationLarge, 30, 5);
+  const auto kept = filter_admissible(apps, crisp, config);
+  EXPECT_LE(kept.size(), apps.size());
+  // Every kept application really is admissible on an empty platform.
+  platform::Platform scratch = crisp;
+  for (const auto& app : kept) {
+    scratch.clear_allocations();
+    core::ResourceManager manager(scratch, config);
+    EXPECT_TRUE(manager.admit(app).admitted) << app.name();
+  }
+}
+
+// --- beamforming -----------------------------------------------------------------
+
+TEST(BeamformingTest, HasExactly53TasksInDefaultShape) {
+  const Application app = make_beamforming_application();
+  EXPECT_EQ(app.task_count(), 53u);
+  EXPECT_TRUE(app.validate().ok());
+  EXPECT_TRUE(app.is_connected());
+}
+
+TEST(BeamformingTest, RequiresAll45Dsps) {
+  const Application app = make_beamforming_application();
+  int dsp_tasks = 0;
+  for (const auto& task : app.tasks()) {
+    if (task.implementations().front().target == ElementType::kDsp) {
+      ++dsp_tasks;
+      // Exclusive occupancy: more than half a 1000-unit DSP tile.
+      EXPECT_GT(task.implementations().front().requirement.compute(), 500);
+    }
+  }
+  EXPECT_EQ(dsp_tasks, 45);
+}
+
+TEST(BeamformingTest, UsesEveryElementTypeOfThePlatform) {
+  const Application app = make_beamforming_application();
+  std::set<ElementType> targets;
+  for (const auto& task : app.tasks()) {
+    targets.insert(task.implementations().front().target);
+  }
+  EXPECT_TRUE(targets.count(ElementType::kFpga));
+  EXPECT_TRUE(targets.count(ElementType::kArm));
+  EXPECT_TRUE(targets.count(ElementType::kDsp));
+  EXPECT_TRUE(targets.count(ElementType::kMemory));
+  EXPECT_TRUE(targets.count(ElementType::kTestUnit));
+}
+
+TEST(BeamformingTest, ScalesWithConfig) {
+  BeamformingConfig cfg;
+  cfg.packages = 2;
+  cfg.workers_per_package = 3;
+  const Application app = make_beamforming_application(cfg);
+  // 1 adc + 1 combine + 1 monitor + 2*(1 dist + 1 scatter + 3 workers).
+  EXPECT_EQ(app.task_count(), 13u);
+  EXPECT_TRUE(app.validate().ok());
+}
+
+TEST(BeamformingTest, AdmittedOnCrispWithCombinedObjectives) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  core::ResourceManager kairos(crisp, config);
+  const auto report = kairos.admit(make_beamforming_application());
+  EXPECT_TRUE(report.admitted) << report.reason;
+}
+
+TEST(BeamformingTest, RejectedWithDisabledCostFunction) {
+  // Fig. 10: "Disabling either one of the objectives never gives a
+  // successful result."
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = core::CostWeights::none();
+  core::ResourceManager kairos(crisp, config);
+  EXPECT_FALSE(kairos.admit(make_beamforming_application()).admitted);
+}
+
+}  // namespace
+}  // namespace kairos::gen

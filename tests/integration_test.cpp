@@ -1,0 +1,199 @@
+// Integration and system-level property tests: whole-workflow behaviour over
+// the six synthetic datasets on the CRISP platform.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "graph/app_io.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+#include "util/rng.hpp"
+
+namespace kairos {
+namespace {
+
+core::KairosConfig default_config() {
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  config.validation_rejects = false;  // as in §IV of the paper
+  return config;
+}
+
+TEST(IntegrationTest, SequencesKeepPlatformInvariants) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationMedium, 40, 17);
+  for (const auto& app : apps) {
+    kairos.admit(app);
+    ASSERT_TRUE(crisp.invariants_hold());
+  }
+}
+
+TEST(IntegrationTest, AdmissionDecisionsAreDeterministic) {
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kComputationMedium, 25, 23);
+  std::vector<bool> first;
+  std::vector<bool> second;
+  for (int run = 0; run < 2; ++run) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::ResourceManager kairos(crisp, default_config());
+    auto& verdicts = run == 0 ? first : second;
+    for (const auto& app : apps) {
+      verdicts.push_back(kairos.admit(app).admitted);
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(IntegrationTest, RejectionsNeverMutateThePlatform) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationLarge, 40, 31);
+  for (const auto& app : apps) {
+    const auto before = crisp.snapshot();
+    const auto report = kairos.admit(app);
+    if (!report.admitted) {
+      const auto after = crisp.snapshot();
+      for (std::size_t i = 0; i < before.elements.size(); ++i) {
+        ASSERT_EQ(before.elements[i].used, after.elements[i].used);
+        ASSERT_EQ(before.elements[i].task_count, after.elements[i].task_count);
+      }
+      for (std::size_t i = 0; i < before.links.size(); ++i) {
+        ASSERT_EQ(before.links[i].vc_used, after.links[i].vc_used);
+        ASSERT_EQ(before.links[i].bw_used, after.links[i].bw_used);
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, RemovingEverythingRestoresEmptyPlatform) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  const auto pristine = crisp.snapshot();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 30, 41);
+  std::vector<core::AppHandle> handles;
+  for (const auto& app : apps) {
+    const auto report = kairos.admit(app);
+    if (report.admitted) handles.push_back(report.handle);
+  }
+  ASSERT_FALSE(handles.empty());
+  // Remove in a scrambled order.
+  util::Xoshiro256 rng(5);
+  rng.shuffle(handles);
+  for (const auto h : handles) {
+    ASSERT_TRUE(kairos.remove(h).ok());
+  }
+  const auto after = crisp.snapshot();
+  for (std::size_t i = 0; i < pristine.elements.size(); ++i) {
+    EXPECT_EQ(pristine.elements[i].used, after.elements[i].used);
+  }
+  for (std::size_t i = 0; i < pristine.links.size(); ++i) {
+    EXPECT_EQ(pristine.links[i].bw_used, after.links[i].bw_used);
+  }
+  EXPECT_DOUBLE_EQ(platform::external_fragmentation(crisp), 0.0);
+}
+
+TEST(IntegrationTest, RemovalMakesRoomForNewAdmissions) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kComputationSmall, 60, 43);
+  // Fill until the first rejection.
+  std::vector<core::AppHandle> handles;
+  std::size_t rejected_at = apps.size();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto report = kairos.admit(apps[i]);
+    if (!report.admitted) {
+      rejected_at = i;
+      break;
+    }
+    handles.push_back(report.handle);
+  }
+  ASSERT_LT(rejected_at, apps.size()) << "platform never saturated";
+  ASSERT_FALSE(handles.empty());
+  // Remove a few and retry the rejected application.
+  for (int k = 0; k < 3 && !handles.empty(); ++k) {
+    ASSERT_TRUE(kairos.remove(handles.back()).ok());
+    handles.pop_back();
+  }
+  EXPECT_TRUE(kairos.admit(apps[rejected_at]).admitted);
+}
+
+TEST(IntegrationTest, LayoutsRespectElementTypes) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationMedium, 20, 47);
+  for (const auto& app : apps) {
+    const auto report = kairos.admit(app);
+    if (!report.admitted) continue;
+    for (const auto& task : app.tasks()) {
+      const auto& placement = report.layout.placement(task.id());
+      const auto& impl = task.implementations().at(
+          static_cast<std::size_t>(placement.impl_index));
+      EXPECT_EQ(crisp.element(placement.element).type(), impl.target);
+    }
+  }
+}
+
+TEST(IntegrationTest, FragmentationStaysBounded) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationMedium, 40, 53);
+  for (const auto& app : apps) kairos.admit(app);
+  const double frag = platform::external_fragmentation(crisp);
+  EXPECT_GE(frag, 0.0);
+  EXPECT_LE(frag, 1.0);
+}
+
+TEST(IntegrationTest, CostFunctionChangesLayouts) {
+  // The resource manager "can be steered by altering the cost function"
+  // (§V): different weights should produce observably different layouts on
+  // at least one application of a diverse set.
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationMedium, 10, 59);
+  bool any_difference = false;
+  for (const auto& app : apps) {
+    platform::Platform p1 = platform::make_crisp_platform();
+    platform::Platform p2 = platform::make_crisp_platform();
+    auto cfg1 = default_config();
+    cfg1.weights = core::CostWeights::communication_only();
+    auto cfg2 = default_config();
+    cfg2.weights = core::CostWeights::fragmentation_only();
+    core::ResourceManager k1(p1, cfg1);
+    core::ResourceManager k2(p2, cfg2);
+    const auto r1 = k1.admit(app);
+    const auto r2 = k2.admit(app);
+    if (!r1.admitted || !r2.admitted) continue;
+    for (const auto& task : app.tasks()) {
+      if (r1.layout.placement(task.id()).element !=
+          r2.layout.placement(task.id()).element) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(IntegrationTest, SerializedAppsSurviveTheFullWorkflow) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp, default_config());
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 5, 61);
+  for (const auto& app : apps) {
+    const auto parsed = graph::parse_application(graph::write_application(app));
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    platform::Platform fresh = platform::make_crisp_platform();
+    core::ResourceManager k1(fresh, default_config());
+    platform::Platform fresh2 = platform::make_crisp_platform();
+    core::ResourceManager k2(fresh2, default_config());
+    EXPECT_EQ(k1.admit(app).admitted, k2.admit(parsed.value()).admitted);
+  }
+}
+
+}  // namespace
+}  // namespace kairos

@@ -1,0 +1,106 @@
+// Tests for ExecutionLayout accounting, CsvWriter file output, and the
+// remaining util surfaces exercised by the bench harnesses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/layout.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kairos {
+namespace {
+
+TEST(ExecutionLayoutTest, HopAccounting) {
+  core::ExecutionLayout layout(3, 2);
+  layout.place(graph::TaskId{0}, platform::ElementId{5}, 0);
+  layout.place(graph::TaskId{1}, platform::ElementId{5}, 1);
+  layout.place(graph::TaskId{2}, platform::ElementId{7}, 0);
+
+  noc::Route route;
+  route.links = {platform::LinkId{0}, platform::LinkId{1}};
+  layout.set_route(graph::ChannelId{0}, route, 50);
+  layout.set_route(graph::ChannelId{1}, noc::Route{}, 50);  // co-located
+
+  EXPECT_EQ(layout.total_hops(), 2);
+  EXPECT_DOUBLE_EQ(layout.average_hops(), 1.0);
+  EXPECT_EQ(layout.distinct_elements(), 2);
+  EXPECT_EQ(layout.placement(graph::TaskId{1}).impl_index, 1);
+  EXPECT_EQ(layout.route(graph::ChannelId{0}).bandwidth, 50);
+}
+
+TEST(ExecutionLayoutTest, EmptyLayout) {
+  core::ExecutionLayout layout;
+  EXPECT_DOUBLE_EQ(layout.average_hops(), 0.0);
+  EXPECT_EQ(layout.distinct_elements(), 0);
+}
+
+TEST(CsvWriterTest, WritesEscapedRowsToDisk) {
+  const std::string path = "/tmp/kairos_csv_test.csv";
+  {
+    util::CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.write_row({"name", "value"});
+    csv.write_row({"with,comma", "with \"quote\""});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(),
+            "name,value\n\"with,comma\",\"with \"\"quote\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ReportsOpenFailure) {
+  util::CsvWriter csv("/nonexistent-dir/x.csv");
+  EXPECT_FALSE(csv.ok());
+}
+
+TEST(TableTest, AlignmentIsConfigurable) {
+  util::Table t({"k", "v"});
+  t.set_align(1, util::Align::kLeft);
+  t.add_row({"a", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  // Left-aligned short value keeps trailing padding before the separator.
+  EXPECT_NE(out.find("| 1  |"), std::string::npos);
+}
+
+TEST(HistogramTest, RowsRenderAllBuckets) {
+  util::Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const auto rows = h.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].second, 1u);
+  EXPECT_EQ(rows[1].second, 2u);
+  EXPECT_EQ(rows[3].second, 0u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  util::Stopwatch watch;
+  // Burn a little CPU deterministically.
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x += static_cast<double>(i) * 1e-9;
+  EXPECT_GT(watch.elapsed_us(), 0.0);
+  EXPECT_GE(watch.elapsed_ms() * 1000.0, watch.elapsed_us() * 0.5);
+  watch.reset();
+  EXPECT_LT(watch.elapsed_ms(), 1000.0);
+}
+
+TEST(AccumulatorTest, MeansAcrossSections) {
+  util::Accumulator acc;
+  acc.add_ms(2.0);
+  acc.add_ms(4.0);
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_DOUBLE_EQ(acc.total_ms(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.mean_ms(), 3.0);
+}
+
+}  // namespace
+}  // namespace kairos

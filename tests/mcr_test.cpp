@@ -1,0 +1,184 @@
+// Tests for the maximum-cycle-ratio analyzer and the buffer-sizing search,
+// including property tests that MCR agrees with state-space exploration.
+#include <gtest/gtest.h>
+
+#include "sdf/buffer_sizing.hpp"
+#include "sdf/mcr.hpp"
+#include "sdf/throughput.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::sdf {
+namespace {
+
+TEST(McrTest, SingleSelfLoop) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 4);
+  g.disable_auto_concurrency(a);
+  const auto r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_NEAR(r.mcm, 4.0, 1e-6);
+  EXPECT_NEAR(r.throughput, 0.25, 1e-6);
+}
+
+TEST(McrTest, TwoActorCycle) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 1);
+  const auto r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.mcm, 8.0, 1e-6);
+}
+
+TEST(McrTest, TwoTokensHalveTheRatio) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 2);
+  const auto r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.applicable);
+  // Cycle ratio (3+5)/2 = 4, but the self-timed bound is the slowest actor
+  // only when auto-concurrency is disabled; without self-loops MCR is 4.
+  EXPECT_NEAR(r.mcm, 4.0, 1e-6);
+}
+
+TEST(McrTest, DeadlockOnTokenFreeCycle) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 0);
+  const auto r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_TRUE(r.deadlock);
+}
+
+TEST(McrTest, MultiRateGraphNotApplicable) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 3, 0);
+  EXPECT_FALSE(max_cycle_ratio(g).applicable);
+}
+
+TEST(McrTest, NonDivisibleTokensNotApplicable) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 2, 3);  // 3 tokens at rate 2
+  EXPECT_FALSE(max_cycle_ratio(g).applicable);
+}
+
+TEST(McrTest, EqualRatesWithDivisibleTokensNormalise) {
+  // Rate-4 edges carrying multiples of 4 tokens behave like rate-1 edges
+  // with a quarter of the tokens.
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  g.add_channel(a, b, 4, 4, 0);
+  g.add_channel(b, a, 4, 4, 4);
+  const auto r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_NEAR(r.mcm, 8.0, 1e-6);
+}
+
+TEST(McrTest, AcyclicGraphHasZeroMcm) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  g.add_channel(a, b, 1, 1, 0);
+  const auto r = max_cycle_ratio(g);
+  ASSERT_TRUE(r.applicable);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_DOUBLE_EQ(r.mcm, 0.0);
+}
+
+// Property: on random pipelines with explicit self-loops and buffered
+// channels, MCR throughput equals the state-space analyzer's throughput.
+class McrAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McrAgreementTest, MatchesStateSpaceThroughput) {
+  util::Xoshiro256 rng(GetParam());
+  SdfGraph g;
+  const int stages = static_cast<int>(rng.uniform_int(2, 7));
+  std::vector<ActorId> actors;
+  for (int i = 0; i < stages; ++i) {
+    actors.push_back(
+        g.add_actor("a" + std::to_string(i), rng.uniform_int(1, 9)));
+    g.disable_auto_concurrency(actors.back());
+    if (i > 0) {
+      g.add_buffered_channel(actors[static_cast<std::size_t>(i - 1)],
+                             actors.back(), 1, rng.uniform_int(1, 4));
+    }
+  }
+  const auto mcr = max_cycle_ratio(g);
+  ASSERT_TRUE(mcr.applicable);
+  ASSERT_FALSE(mcr.deadlock);
+
+  const ThroughputAnalyzer analyzer;
+  const auto exact = analyzer.analyze(g, actors.back());
+  ASSERT_EQ(exact.status, ThroughputStatus::kPeriodic);
+  EXPECT_NEAR(mcr.throughput, exact.throughput, 1e-6)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPipelines, McrAgreementTest,
+                         ::testing::Range<std::uint64_t>(300, 340));
+
+// --- buffer sizing -------------------------------------------------------------
+
+namespace {
+
+SdfGraph producer_consumer(int buffer_factor, int exec_p, int exec_c) {
+  SdfGraph g;
+  const ActorId p = g.add_actor("p", exec_p);
+  const ActorId c = g.add_actor("c", exec_c);
+  g.disable_auto_concurrency(p);
+  g.disable_auto_concurrency(c);
+  g.add_buffered_channel(p, c, 1, buffer_factor);
+  return g;
+}
+
+}  // namespace
+
+TEST(BufferSizingTest, FindsMinimalFactor) {
+  // Producer 2, consumer 3: factor 1 serialises (1/5), factor >= 2 reaches
+  // the consumer-limited 1/3.
+  const auto result = minimal_buffer_factor(
+      [](int f) { return producer_consumer(f, 2, 3); }, ActorId{1},
+      1.0 / 3.0 - 1e-9);
+  ASSERT_TRUE(result.satisfiable);
+  EXPECT_EQ(result.buffer_factor, 2);
+  EXPECT_NEAR(result.throughput, 1.0 / 3.0, 1e-9);
+}
+
+TEST(BufferSizingTest, FactorOneSufficesForLooseRequirement) {
+  const auto result = minimal_buffer_factor(
+      [](int f) { return producer_consumer(f, 2, 3); }, ActorId{1}, 0.1);
+  ASSERT_TRUE(result.satisfiable);
+  EXPECT_EQ(result.buffer_factor, 1);
+}
+
+TEST(BufferSizingTest, ImpossibleRequirementReportsUnsatisfiable) {
+  const auto result = minimal_buffer_factor(
+      [](int f) { return producer_consumer(f, 2, 3); }, ActorId{1},
+      0.9, /*max_factor=*/16);
+  EXPECT_FALSE(result.satisfiable);
+}
+
+TEST(BufferSizingTest, MonotoneAcrossFactors) {
+  const ThroughputAnalyzer analyzer;
+  double previous = 0.0;
+  for (int f = 1; f <= 6; ++f) {
+    const auto g = producer_consumer(f, 3, 4);
+    const double t = analyzer.analyze(g, ActorId{1}).throughput;
+    EXPECT_GE(t, previous - 1e-12) << "factor " << f;
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace kairos::sdf

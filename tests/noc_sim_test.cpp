@@ -1,0 +1,207 @@
+// Tests for the packet-level NoC simulator and for defragmentation.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "noc/simulator.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+
+namespace kairos {
+namespace {
+
+using noc::NocSimulator;
+using noc::Route;
+using noc::Router;
+using noc::SimConfig;
+using noc::TrafficStream;
+using platform::ElementId;
+using platform::Platform;
+
+TrafficStream stream_on(const Platform& p, ElementId src, ElementId dst,
+                        std::int64_t bandwidth) {
+  const Router router;
+  auto route = router.find_route(p, src, dst, bandwidth);
+  EXPECT_TRUE(route.has_value());
+  return TrafficStream{route.value_or(Route{}), bandwidth};
+}
+
+TEST(NocSimTest, UncontendedLatencyIsHopsTimesFlits) {
+  Platform p = platform::make_chain(4);
+  SimConfig config;
+  config.packet_flits = 8;
+  config.horizon = 4000;
+  const NocSimulator sim(p, config);
+  const auto result =
+      sim.simulate({stream_on(p, ElementId{0}, ElementId{3}, 100)});
+  ASSERT_EQ(result.streams.size(), 1u);
+  const auto& s = result.streams[0];
+  EXPECT_GT(s.delivered, 0);
+  EXPECT_DOUBLE_EQ(s.ideal_latency, 24.0);  // 3 hops x 8 flits
+  EXPECT_DOUBLE_EQ(s.latency.mean(), 24.0);  // no contention
+  EXPECT_NEAR(s.slowdown(), 1.0, 1e-9);
+}
+
+TEST(NocSimTest, CoLocatedStreamDeliversInstantly) {
+  Platform p = platform::make_chain(2);
+  const NocSimulator sim(p);
+  const auto result = sim.simulate({TrafficStream{Route{}, 100}});
+  EXPECT_EQ(result.streams[0].hops, 0);
+  EXPECT_EQ(result.total_delivered, 0);  // nothing to transport
+  EXPECT_DOUBLE_EQ(result.max_link_utilisation(), 0.0);
+}
+
+TEST(NocSimTest, ContentionSlowsSharedLinks) {
+  // Two streams whose combined demand oversubscribes the shared links
+  // (0.8 + 0.8 of capacity — the simulator is exercised beyond what the
+  // routing phase would ever reserve) must queue and slow down.
+  Platform p = platform::make_chain(4);
+  const auto s1 = stream_on(p, ElementId{0}, ElementId{3}, 800);
+  const auto s2 = stream_on(p, ElementId{1}, ElementId{3}, 800);
+  const NocSimulator sim(p);
+  const auto contended = sim.simulate({s1, s2});
+  const auto alone = sim.simulate({s1});
+  EXPECT_GE(contended.streams[0].latency.mean(),
+            alone.streams[0].latency.mean());
+  EXPECT_GT(contended.mean_slowdown(), 1.0);
+}
+
+TEST(NocSimTest, UtilisationTracksBandwidthShare) {
+  Platform p = platform::make_chain(2);  // one duplex pair, bw 1000
+  const NocSimulator sim(p);
+  // A stream reserving half the link capacity keeps it ~50% busy.
+  const auto result =
+      sim.simulate({stream_on(p, ElementId{0}, ElementId{1}, 500)});
+  EXPECT_NEAR(result.max_link_utilisation(), 0.5, 0.05);
+}
+
+TEST(NocSimTest, HigherBandwidthInjectsMorePackets) {
+  Platform p = platform::make_chain(3);
+  const NocSimulator sim(p);
+  const auto light =
+      sim.simulate({stream_on(p, ElementId{0}, ElementId{2}, 100)});
+  const auto heavy =
+      sim.simulate({stream_on(p, ElementId{0}, ElementId{2}, 800)});
+  EXPECT_GT(heavy.total_delivered, light.total_delivered);
+}
+
+TEST(NocSimTest, AdmittedLayoutSimulatesWithoutOverload) {
+  // Routes come with virtual-channel bandwidth reservations, so simulating
+  // an admitted layout must keep every link at (or below) full utilisation.
+  Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  config.validation_rejects = false;
+  core::ResourceManager kairos(crisp, config);
+  const auto apps =
+      gen::make_dataset(gen::DatasetKind::kCommunicationMedium, 10, 83);
+
+  std::vector<TrafficStream> streams;
+  for (const auto& app : apps) {
+    const auto report = kairos.admit(app);
+    if (!report.admitted) continue;
+    for (const auto& route : report.layout.routes()) {
+      streams.push_back(TrafficStream{route.route, route.bandwidth});
+    }
+  }
+  ASSERT_FALSE(streams.empty());
+  const NocSimulator sim(crisp);
+  const auto result = sim.simulate(streams);
+  EXPECT_GT(result.total_delivered, 0);
+  // Reservations cap the offered load at link capacity; allow small
+  // transient backlog from arrival jitter.
+  EXPECT_LE(result.max_link_utilisation(), 1.1);
+}
+
+// --- defragmentation --------------------------------------------------------
+
+graph::Application small_dsp_app(int tasks) {
+  graph::Application app("frag");
+  graph::TaskId prev;
+  for (int i = 0; i < tasks; ++i) {
+    const graph::TaskId t = app.add_task("t" + std::to_string(i));
+    graph::Implementation impl;
+    impl.name = "v";
+    impl.target = platform::ElementType::kDsp;
+    impl.requirement = platform::ResourceVector(600, 64, 0, 0);
+    impl.exec_time = 5;
+    app.task_mut(t).add_implementation(impl);
+    if (i > 0) app.add_channel(prev, t, 20);
+    prev = t;
+  }
+  return app;
+}
+
+TEST(DefragmentTest, EmptyManagerIsTrivially0k) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp);
+  const auto report = kairos.defragment();
+  EXPECT_TRUE(report.performed);
+  EXPECT_EQ(report.applications, 0);
+}
+
+TEST(DefragmentTest, ReducesFragmentationAfterChurn) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  core::ResourceManager kairos(crisp, config);
+
+  // Create fragmentation: admit many small apps, remove every other one.
+  std::vector<core::AppHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    const auto report = kairos.admit(small_dsp_app(2));
+    if (report.admitted) handles.push_back(report.handle);
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    ASSERT_TRUE(kairos.remove(handles[i]).ok());
+  }
+
+  const double before = platform::external_fragmentation(crisp);
+  const auto report = kairos.defragment();
+  ASSERT_TRUE(report.performed);
+  EXPECT_DOUBLE_EQ(report.fragmentation_before, before);
+  EXPECT_LE(report.fragmentation_after, report.fragmentation_before + 1e-9);
+  EXPECT_TRUE(crisp.invariants_hold());
+}
+
+TEST(DefragmentTest, HandlesStayValid) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager kairos(crisp);
+  const auto r1 = kairos.admit(small_dsp_app(2));
+  const auto r2 = kairos.admit(small_dsp_app(3));
+  ASSERT_TRUE(r1.admitted && r2.admitted);
+  const auto report = kairos.defragment();
+  ASSERT_TRUE(report.performed);
+  EXPECT_EQ(kairos.live_count(), 2u);
+  // The original handles still work.
+  EXPECT_TRUE(kairos.remove(r1.handle).ok());
+  EXPECT_TRUE(kairos.remove(r2.handle).ok());
+  EXPECT_EQ(kairos.live_count(), 0u);
+}
+
+TEST(DefragmentTest, PlatformBooksBalanceAfterwards) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  const auto pristine = crisp.snapshot();
+  core::ResourceManager kairos(crisp);
+  std::vector<core::AppHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    const auto report = kairos.admit(small_dsp_app(2));
+    if (report.admitted) handles.push_back(report.handle);
+  }
+  kairos.defragment();
+  for (const auto h : kairos.live_handles()) {
+    ASSERT_TRUE(kairos.remove(h).ok());
+  }
+  const auto after = crisp.snapshot();
+  for (std::size_t i = 0; i < pristine.elements.size(); ++i) {
+    EXPECT_EQ(pristine.elements[i].used, after.elements[i].used);
+    EXPECT_EQ(pristine.elements[i].task_count, after.elements[i].task_count);
+  }
+  for (std::size_t i = 0; i < pristine.links.size(); ++i) {
+    EXPECT_EQ(pristine.links[i].vc_used, after.links[i].vc_used);
+  }
+}
+
+}  // namespace
+}  // namespace kairos

@@ -1,0 +1,182 @@
+// Unit tests for the NoC router: BFS and Dijkstra route search, virtual
+// channel and bandwidth accounting.
+#include <gtest/gtest.h>
+
+#include "noc/router.hpp"
+#include "platform/builders.hpp"
+
+namespace kairos::noc {
+namespace {
+
+using platform::ElementId;
+using platform::LinkId;
+using platform::Platform;
+
+TEST(RouterTest, SameElementNeedsNoLinks) {
+  Platform p = platform::make_chain(3);
+  Router router;
+  const auto route = router.find_route(p, ElementId{1}, ElementId{1}, 10);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 0);
+}
+
+TEST(RouterTest, BfsFindsShortestPathOnChain) {
+  Platform p = platform::make_chain(5);
+  Router router;
+  const auto route = router.find_route(p, ElementId{0}, ElementId{4}, 10);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 4);
+}
+
+TEST(RouterTest, BfsFindsShortestPathOnMesh) {
+  Platform p = platform::make_mesh(4, 4);
+  Router router;
+  // Manhattan distance between opposite corners of a 4x4 mesh is 6.
+  const auto route = router.find_route(p, ElementId{0}, ElementId{15}, 10);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 6);
+}
+
+TEST(RouterTest, RouteIsContiguous) {
+  Platform p = platform::make_mesh(3, 3);
+  Router router;
+  const auto route = router.find_route(p, ElementId{0}, ElementId{8}, 10);
+  ASSERT_TRUE(route.has_value());
+  ElementId cursor{0};
+  for (const LinkId l : route->links) {
+    EXPECT_EQ(p.link(l).src(), cursor);
+    cursor = p.link(l).dst();
+  }
+  EXPECT_EQ(cursor, ElementId{8});
+}
+
+TEST(RouterTest, AvoidsSaturatedLinks) {
+  Platform p = platform::make_ring(6);
+  Router router;
+  // Saturate the direct clockwise link 0 -> 1.
+  const auto direct = p.find_link(ElementId{0}, ElementId{1});
+  ASSERT_TRUE(direct.has_value());
+  while (p.link(*direct).can_carry(10)) {
+    ASSERT_TRUE(p.allocate_channel(*direct, 10));
+  }
+  const auto route = router.find_route(p, ElementId{0}, ElementId{1}, 10);
+  ASSERT_TRUE(route.has_value());
+  // Forced the long way around the ring.
+  EXPECT_EQ(route->hops(), 5);
+}
+
+TEST(RouterTest, FailsWhenNoCapacityAnywhere) {
+  Platform p = platform::make_chain(2);
+  Router router;
+  const auto l = p.find_link(ElementId{0}, ElementId{1});
+  ASSERT_TRUE(l.has_value());
+  while (p.link(*l).can_carry(10)) {
+    ASSERT_TRUE(p.allocate_channel(*l, 10));
+  }
+  EXPECT_FALSE(router.find_route(p, ElementId{0}, ElementId{1}, 10)
+                   .has_value());
+}
+
+TEST(RouterTest, BandwidthTooLargeForAnyLink) {
+  platform::BuilderConfig cfg;
+  cfg.bw_capacity = 100;
+  Platform p = platform::make_chain(3, cfg);
+  Router router;
+  EXPECT_FALSE(router.find_route(p, ElementId{0}, ElementId{2}, 101)
+                   .has_value());
+  EXPECT_TRUE(router.find_route(p, ElementId{0}, ElementId{2}, 100)
+                  .has_value());
+}
+
+TEST(RouterTest, AllocateRouteReservesEveryLink) {
+  Platform p = platform::make_chain(4);
+  Router router;
+  const auto route =
+      router.allocate_route(p, ElementId{0}, ElementId{3}, 25);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 3);
+  for (const LinkId l : route->links) {
+    EXPECT_EQ(p.link(l).vc_used(), 1);
+    EXPECT_EQ(p.link(l).bw_used(), 25);
+  }
+  Router::release_route(p, *route, 25);
+  for (const LinkId l : route->links) {
+    EXPECT_EQ(p.link(l).vc_used(), 0);
+    EXPECT_EQ(p.link(l).bw_used(), 0);
+  }
+}
+
+TEST(RouterTest, AllocateRouteFailureLeavesPlatformUntouched) {
+  Platform p = platform::make_chain(2);
+  Router router;
+  const auto l = p.find_link(ElementId{0}, ElementId{1});
+  while (p.link(*l).can_carry(10)) {
+    ASSERT_TRUE(p.allocate_channel(*l, 10));
+  }
+  const auto before = p.snapshot();
+  EXPECT_FALSE(router.allocate_route(p, ElementId{0}, ElementId{1}, 10)
+                   .has_value());
+  const auto after = p.snapshot();
+  EXPECT_EQ(before.links.size(), after.links.size());
+  for (std::size_t i = 0; i < before.links.size(); ++i) {
+    EXPECT_EQ(before.links[i].vc_used, after.links[i].vc_used);
+    EXPECT_EQ(before.links[i].bw_used, after.links[i].bw_used);
+  }
+}
+
+TEST(RouterTest, DijkstraMatchesBfsHopCountOnEmptyPlatform) {
+  Platform p = platform::make_mesh(5, 5);
+  const Router bfs(RoutingStrategy::kBreadthFirst);
+  const Router dijkstra(RoutingStrategy::kDijkstra);
+  for (int dst = 1; dst < 25; dst += 3) {
+    const auto a = bfs.find_route(p, ElementId{0}, ElementId{dst}, 10);
+    const auto b = dijkstra.find_route(p, ElementId{0}, ElementId{dst}, 10);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->hops(), b->hops()) << "dst " << dst;
+  }
+}
+
+TEST(RouterTest, DijkstraPrefersUnloadedDetour) {
+  // Two equal-length paths 0->1->3 and 0->2->3; load 0->1 heavily.
+  Platform p;
+  const ElementId n0 = p.add_element(platform::ElementType::kGeneric, "0",
+                                     platform::ResourceVector(1, 1, 1, 1));
+  const ElementId n1 = p.add_element(platform::ElementType::kGeneric, "1",
+                                     platform::ResourceVector(1, 1, 1, 1));
+  const ElementId n2 = p.add_element(platform::ElementType::kGeneric, "2",
+                                     platform::ResourceVector(1, 1, 1, 1));
+  const ElementId n3 = p.add_element(platform::ElementType::kGeneric, "3",
+                                     platform::ResourceVector(1, 1, 1, 1));
+  p.add_duplex_link(n0, n1, 8, 1000);
+  p.add_duplex_link(n1, n3, 8, 1000);
+  p.add_duplex_link(n0, n2, 8, 1000);
+  p.add_duplex_link(n2, n3, 8, 1000);
+  ASSERT_TRUE(p.allocate_channel(*p.find_link(n0, n1), 900));
+
+  const Router dijkstra(RoutingStrategy::kDijkstra);
+  const auto route = dijkstra.find_route(p, n0, n3, 50);
+  ASSERT_TRUE(route.has_value());
+  ASSERT_EQ(route->hops(), 2);
+  EXPECT_EQ(p.link(route->links.front()).dst(), n2);
+}
+
+TEST(RouterTest, StrategyNames) {
+  EXPECT_EQ(to_string(RoutingStrategy::kBreadthFirst), "BFS");
+  EXPECT_EQ(to_string(RoutingStrategy::kDijkstra), "Dijkstra");
+}
+
+TEST(RouterTest, DirectedLinksAreRespected) {
+  Platform p;
+  const ElementId a = p.add_element(platform::ElementType::kGeneric, "a",
+                                    platform::ResourceVector(1, 1, 1, 1));
+  const ElementId b = p.add_element(platform::ElementType::kGeneric, "b",
+                                    platform::ResourceVector(1, 1, 1, 1));
+  p.add_link(a, b, 4, 100);  // one direction only
+  Router router;
+  EXPECT_TRUE(router.find_route(p, a, b, 10).has_value());
+  EXPECT_FALSE(router.find_route(p, b, a, 10).has_value());
+}
+
+}  // namespace
+}  // namespace kairos::noc

@@ -1,0 +1,111 @@
+// Tests for the textual platform description format.
+#include <gtest/gtest.h>
+
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "platform/platform_io.hpp"
+
+namespace kairos::platform {
+namespace {
+
+TEST(PlatformIoTest, RoundTripMesh) {
+  const Platform original = make_mesh(3, 2);
+  const std::string text = write_platform(original);
+  const auto parsed = parse_platform(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const Platform& copy = parsed.value();
+  EXPECT_EQ(copy.name(), original.name());
+  EXPECT_EQ(copy.element_count(), original.element_count());
+  EXPECT_EQ(copy.link_count(), original.link_count());
+  for (std::size_t i = 0; i < original.element_count(); ++i) {
+    const ElementId id{static_cast<std::int32_t>(i)};
+    EXPECT_EQ(copy.element(id).name(), original.element(id).name());
+    EXPECT_EQ(copy.element(id).type(), original.element(id).type());
+    EXPECT_EQ(copy.element(id).capacity(), original.element(id).capacity());
+  }
+}
+
+TEST(PlatformIoTest, RoundTripCrispPreservesTopology) {
+  const Platform original = make_crisp_platform();
+  const auto parsed = parse_platform(write_platform(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const Platform& copy = parsed.value();
+  EXPECT_EQ(copy.element_count(), original.element_count());
+  EXPECT_EQ(copy.link_count(), original.link_count());
+  EXPECT_EQ(copy.diameter(), original.diameter());
+  // Per-element degree is preserved.
+  for (std::size_t i = 0; i < original.element_count(); ++i) {
+    const ElementId id{static_cast<std::int32_t>(i)};
+    EXPECT_EQ(copy.degree(id), original.degree(id)) << i;
+  }
+  // Packages survive.
+  EXPECT_EQ(copy.element(ElementId{2}).package(),
+            original.element(ElementId{2}).package());
+}
+
+TEST(PlatformIoTest, ParsesHandWrittenDescription) {
+  const std::string text = R"(
+# two DSPs and a memory
+platform tiny
+element dsp0 DSP 1000 512 16 8
+element dsp1 DSP 1000 512 16 8
+element mem  MEM 0 8192 4 0 3
+duplex dsp0 dsp1 4 1000
+link dsp1 mem 2 500
+end
+)";
+  const auto parsed = parse_platform(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const Platform& p = parsed.value();
+  EXPECT_EQ(p.element_count(), 3u);
+  EXPECT_EQ(p.link_count(), 3u);  // duplex = 2 + 1 one-way
+  EXPECT_EQ(p.element(ElementId{2}).package(), 3);
+  EXPECT_TRUE(p.find_link(ElementId{1}, ElementId{2}).has_value());
+  EXPECT_FALSE(p.find_link(ElementId{2}, ElementId{1}).has_value());
+}
+
+TEST(PlatformIoTest, ErrorsCarryLineNumbers) {
+  const auto r = parse_platform(
+      "platform x\nelement a DSP 1 1 1 1\nlink a ghost 4 100\nend\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 3"), std::string::npos);
+  EXPECT_NE(r.error().find("ghost"), std::string::npos);
+}
+
+TEST(PlatformIoTest, RejectsDuplicateElementNames) {
+  const auto r = parse_platform(
+      "platform x\nelement a DSP 1 1 1 1\nelement a DSP 1 1 1 1\nend\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PlatformIoTest, RejectsUnknownType) {
+  const auto r = parse_platform("platform x\nelement a GPU 1 1 1 1\nend\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("GPU"), std::string::npos);
+}
+
+TEST(PlatformIoTest, RejectsSelfLink) {
+  const auto r = parse_platform(
+      "platform x\nelement a DSP 1 1 1 1\nlink a a 4 100\nend\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PlatformIoTest, RejectsMissingEnd) {
+  EXPECT_FALSE(parse_platform("platform x\n").ok());
+}
+
+TEST(PlatformIoTest, RejectsNegativeCapacity) {
+  EXPECT_FALSE(
+      parse_platform("platform x\nelement a DSP -1 1 1 1\nend\n").ok());
+}
+
+TEST(PlatformIoTest, ParsedPlatformIsUsable) {
+  const auto parsed = parse_platform(write_platform(make_ring(5)));
+  ASSERT_TRUE(parsed.ok());
+  Platform p = parsed.value();
+  EXPECT_TRUE(p.allocate(ElementId{0}, ResourceVector(100, 0, 0, 0)));
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+}  // namespace
+}  // namespace kairos::platform

@@ -1,0 +1,299 @@
+// Tests for the Kairos resource manager: the four-phase workflow, admission
+// atomicity, removal, failure classification, and baseline mappers.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/resource_manager.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+
+namespace kairos::core {
+namespace {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementType;
+using platform::Platform;
+using platform::ResourceVector;
+
+Implementation impl(ElementType target, std::int64_t compute,
+                    std::int64_t memory = 32, double cost = 1.0,
+                    std::int64_t exec_time = 5) {
+  Implementation i;
+  i.name = "v";
+  i.target = target;
+  i.requirement = ResourceVector(compute, memory, 0, 0);
+  i.cost = cost;
+  i.exec_time = exec_time;
+  return i;
+}
+
+/// in(FPGA) -> work0(DSP) -> work1(DSP) -> out(ARM) on CRISP.
+Application make_stream_app(std::int64_t bandwidth = 40) {
+  Application app("stream");
+  const TaskId in = app.add_task("in");
+  app.task_mut(in).add_implementation(impl(ElementType::kFpga, 400));
+  const TaskId w0 = app.add_task("w0");
+  app.task_mut(w0).add_implementation(impl(ElementType::kDsp, 600));
+  const TaskId w1 = app.add_task("w1");
+  app.task_mut(w1).add_implementation(impl(ElementType::kDsp, 600));
+  const TaskId out = app.add_task("out");
+  app.task_mut(out).add_implementation(impl(ElementType::kArm, 200));
+  app.add_channel(in, w0, bandwidth);
+  app.add_channel(w0, w1, bandwidth);
+  app.add_channel(w1, out, bandwidth);
+  return app;
+}
+
+bool snapshots_equal(const platform::Snapshot& a,
+                     const platform::Snapshot& b) {
+  if (a.elements.size() != b.elements.size()) return false;
+  if (a.links.size() != b.links.size()) return false;
+  for (std::size_t i = 0; i < a.elements.size(); ++i) {
+    if (!(a.elements[i].used == b.elements[i].used)) return false;
+    if (a.elements[i].task_count != b.elements[i].task_count) return false;
+  }
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    if (a.links[i].vc_used != b.links[i].vc_used) return false;
+    if (a.links[i].bw_used != b.links[i].bw_used) return false;
+  }
+  return true;
+}
+
+TEST(ResourceManagerTest, AdmitsAndReportsAllPhases) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  const auto report = kairos.admit(make_stream_app());
+  ASSERT_TRUE(report.admitted) << report.reason;
+  EXPECT_EQ(report.failed_phase, Phase::kNone);
+  EXPECT_GT(report.handle, 0);
+  EXPECT_GE(report.times.binding_ms, 0.0);
+  EXPECT_GT(report.times.total_ms(), 0.0);
+  EXPECT_GT(report.throughput, 0.0);
+  EXPECT_EQ(kairos.live_count(), 1u);
+  // Layout places heterogeneous tasks on matching element types.
+  EXPECT_EQ(p.element(report.layout.placement(TaskId{0}).element).type(),
+            ElementType::kFpga);
+  EXPECT_EQ(p.element(report.layout.placement(TaskId{3}).element).type(),
+            ElementType::kArm);
+}
+
+TEST(ResourceManagerTest, RemoveRestoresThePlatformExactly) {
+  Platform p = platform::make_crisp_platform();
+  const auto before = p.snapshot();
+  ResourceManager kairos(p);
+  const auto report = kairos.admit(make_stream_app());
+  ASSERT_TRUE(report.admitted);
+  EXPECT_FALSE(snapshots_equal(before, p.snapshot()));
+  ASSERT_TRUE(kairos.remove(report.handle).ok());
+  EXPECT_TRUE(snapshots_equal(before, p.snapshot()));
+  EXPECT_EQ(kairos.live_count(), 0u);
+}
+
+TEST(ResourceManagerTest, RemoveUnknownHandleFails) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  EXPECT_FALSE(kairos.remove(42).ok());
+}
+
+TEST(ResourceManagerTest, RejectedAdmissionLeavesNoResidue) {
+  platform::CrispConfig cfg;
+  cfg.packages = 1;  // tiny platform: 9 DSPs
+  Platform p = platform::make_crisp_platform(cfg);
+  const auto before = p.snapshot();
+  ResourceManager kairos(p);
+
+  Application big("big");
+  for (int i = 0; i < 20; ++i) {
+    const TaskId t = big.add_task("t" + std::to_string(i));
+    big.task_mut(t).add_implementation(impl(ElementType::kDsp, 900));
+    if (i > 0) big.add_channel(TaskId{i - 1}, t, 10);
+  }
+  const auto report = kairos.admit(big);
+  EXPECT_FALSE(report.admitted);
+  EXPECT_EQ(report.failed_phase, Phase::kBinding);
+  EXPECT_TRUE(snapshots_equal(before, p.snapshot()));
+}
+
+TEST(ResourceManagerTest, MalformedApplicationFailsInSpecification) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  Application bad("bad");
+  bad.add_task("no-impl");
+  const auto report = kairos.admit(bad);
+  EXPECT_FALSE(report.admitted);
+  EXPECT_EQ(report.failed_phase, Phase::kSpecification);
+}
+
+TEST(ResourceManagerTest, UnknownPinFailsInSpecification) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  Application app = make_stream_app();
+  app.task_mut(TaskId{0}).set_pinned_name("ghost-element");
+  const auto report = kairos.admit(app);
+  EXPECT_FALSE(report.admitted);
+  EXPECT_EQ(report.failed_phase, Phase::kSpecification);
+  EXPECT_NE(report.reason.find("ghost-element"), std::string::npos);
+}
+
+TEST(ResourceManagerTest, ValidationRejectionIsAtomic) {
+  Platform p = platform::make_crisp_platform();
+  const auto before = p.snapshot();
+  KairosConfig config;
+  config.validation_rejects = true;
+  ResourceManager kairos(p, config);
+  Application app = make_stream_app();
+  app.set_throughput_constraint(1000.0);  // impossible
+  const auto report = kairos.admit(app);
+  EXPECT_FALSE(report.admitted);
+  EXPECT_EQ(report.failed_phase, Phase::kValidation);
+  EXPECT_TRUE(snapshots_equal(before, p.snapshot()));
+}
+
+TEST(ResourceManagerTest, ValidationRejectionCanBeDisabled) {
+  // §IV: "we do not reject applications in the validation phase".
+  Platform p = platform::make_crisp_platform();
+  KairosConfig config;
+  config.validation_rejects = false;
+  ResourceManager kairos(p, config);
+  Application app = make_stream_app();
+  app.set_throughput_constraint(1000.0);
+  const auto report = kairos.admit(app);
+  EXPECT_TRUE(report.admitted);
+  EXPECT_GT(report.times.validation_ms, 0.0);  // phase still ran
+}
+
+TEST(ResourceManagerTest, ValidationPhaseCanBeSkipped) {
+  Platform p = platform::make_crisp_platform();
+  KairosConfig config;
+  config.validation_enabled = false;
+  ResourceManager kairos(p, config);
+  const auto report = kairos.admit(make_stream_app());
+  EXPECT_TRUE(report.admitted);
+  EXPECT_DOUBLE_EQ(report.times.validation_ms, 0.0);
+}
+
+TEST(ResourceManagerTest, SequentialAdmissionUntilSaturation) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  int admitted = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (kairos.admit(make_stream_app()).admitted) ++admitted;
+  }
+  // The CRISP platform holds a limited number of these; at least a few but
+  // not all sixty.
+  EXPECT_GE(admitted, 3);
+  EXPECT_LT(admitted, 60);
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+TEST(ResourceManagerTest, AdmitRemoveChurnIsLossless) {
+  Platform p = platform::make_crisp_platform();
+  const auto pristine = p.snapshot();
+  ResourceManager kairos(p);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<AppHandle> handles;
+    for (int i = 0; i < 5; ++i) {
+      const auto report = kairos.admit(make_stream_app());
+      if (report.admitted) handles.push_back(report.handle);
+    }
+    EXPECT_FALSE(handles.empty());
+    for (const AppHandle h : handles) {
+      ASSERT_TRUE(kairos.remove(h).ok());
+    }
+    EXPECT_TRUE(snapshots_equal(pristine, p.snapshot())) << "round " << round;
+  }
+}
+
+TEST(ResourceManagerTest, LiveHandlesAreTracked) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  const auto r1 = kairos.admit(make_stream_app());
+  const auto r2 = kairos.admit(make_stream_app());
+  ASSERT_TRUE(r1.admitted && r2.admitted);
+  const auto handles = kairos.live_handles();
+  EXPECT_EQ(handles.size(), 2u);
+  ASSERT_TRUE(kairos.remove(r1.handle).ok());
+  EXPECT_EQ(kairos.live_handles().size(), 1u);
+  EXPECT_EQ(kairos.live_handles().front(), r2.handle);
+}
+
+TEST(PhaseTest, Names) {
+  EXPECT_EQ(to_string(Phase::kBinding), "binding");
+  EXPECT_EQ(to_string(Phase::kMapping), "mapping");
+  EXPECT_EQ(to_string(Phase::kRouting), "routing");
+  EXPECT_EQ(to_string(Phase::kValidation), "validation");
+  EXPECT_EQ(to_string(Phase::kNone), "none");
+  EXPECT_EQ(to_string(Phase::kSpecification), "specification");
+}
+
+// --- baselines ---------------------------------------------------------------
+
+TEST(BaselinesTest, FirstFitMapsSimpleApp) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_mesh(3, 3, cfg);
+  Application app("a");
+  for (int i = 0; i < 4; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(ElementType::kDsp, 400));
+  }
+  const PinTable pins(app.task_count());
+  const auto result = first_fit_map(app, {0, 0, 0, 0}, pins, p);
+  ASSERT_TRUE(result.ok);
+  // First fit packs the earliest elements: two tasks per 1000-compute DSP.
+  EXPECT_EQ(result.element_of[0], result.element_of[1]);
+  EXPECT_EQ(result.element_of[2], result.element_of[3]);
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+TEST(BaselinesTest, FirstFitFailsAtomically) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_chain(1, cfg);
+  Application app("a");
+  for (int i = 0; i < 3; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(ElementType::kDsp, 600));
+  }
+  const auto before = p.snapshot();
+  const PinTable pins(app.task_count());
+  const auto result = first_fit_map(app, {0, 0, 0}, pins, p);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(snapshots_equal(before, p.snapshot()));
+}
+
+TEST(BaselinesTest, RandomMapIsDeterministicPerSeed) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p1 = platform::make_mesh(4, 4, cfg);
+  Platform p2 = platform::make_mesh(4, 4, cfg);
+  Application app("a");
+  for (int i = 0; i < 6; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    app.task_mut(t).add_implementation(impl(ElementType::kDsp, 300));
+  }
+  const PinTable pins(app.task_count());
+  const std::vector<int> impls(app.task_count(), 0);
+  const auto r1 = random_map(app, impls, pins, p1, 77);
+  const auto r2 = random_map(app, impls, pins, p2, 77);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.element_of, r2.element_of);
+}
+
+TEST(BaselinesTest, PinsAreHonored) {
+  platform::CrispLayout layout;
+  Platform p = platform::make_crisp_platform(platform::CrispConfig{}, layout);
+  Application app("a");
+  const TaskId t = app.add_task("io");
+  app.task_mut(t).add_implementation(impl(ElementType::kFpga, 100));
+  PinTable pins(1);
+  pins[0] = layout.fpga;
+  const auto result = first_fit_map(app, {0}, pins, p);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.element_of[0], layout.fpga);
+}
+
+}  // namespace
+}  // namespace kairos::core

@@ -1,0 +1,262 @@
+// Unit tests for the SDF substrate: graph construction, repetition vectors,
+// and throughput analysis by self-timed state-space exploration.
+#include <gtest/gtest.h>
+
+#include "sdf/constraints.hpp"
+#include "sdf/sdf_graph.hpp"
+#include "sdf/throughput.hpp"
+
+namespace kairos::sdf {
+namespace {
+
+TEST(SdfGraphTest, Construction) {
+  SdfGraph g("test");
+  const ActorId a = g.add_actor("a", 5);
+  const ActorId b = g.add_actor("b", 3);
+  const auto c = g.add_channel(a, b, 2, 3, 1);
+  EXPECT_EQ(g.actor_count(), 2u);
+  EXPECT_EQ(g.channel_count(), 1u);
+  EXPECT_EQ(g.channel(c).production, 2);
+  EXPECT_EQ(g.channel(c).consumption, 3);
+  EXPECT_EQ(g.channel(c).initial_tokens, 1);
+  EXPECT_EQ(g.out_channels(a).size(), 1u);
+  EXPECT_EQ(g.in_channels(b).size(), 1u);
+}
+
+TEST(RepetitionVectorTest, HomogeneousGraphIsAllOnes) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1);
+  const auto reps = g.repetition_vector();
+  ASSERT_TRUE(reps.ok());
+  EXPECT_EQ(reps.value(), (std::vector<std::int64_t>{1, 1}));
+}
+
+TEST(RepetitionVectorTest, MultiRate) {
+  // a produces 2 per firing, b consumes 3: a fires 3x per 2 firings of b.
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 2, 3);
+  const auto reps = g.repetition_vector();
+  ASSERT_TRUE(reps.ok());
+  EXPECT_EQ(reps.value(), (std::vector<std::int64_t>{3, 2}));
+}
+
+TEST(RepetitionVectorTest, ChainOfRates) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  const ActorId c = g.add_actor("c", 1);
+  g.add_channel(a, b, 1, 2);  // b fires half as often
+  g.add_channel(b, c, 4, 1);  // c fires 4x as often as b
+  const auto reps = g.repetition_vector();
+  ASSERT_TRUE(reps.ok());
+  EXPECT_EQ(reps.value(), (std::vector<std::int64_t>{2, 1, 4}));
+}
+
+TEST(RepetitionVectorTest, InconsistentCycleRejected) {
+  // a->b with 1:1 but b->a with 2:1 cannot balance.
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1);
+  g.add_channel(b, a, 2, 1, 2);
+  const auto reps = g.repetition_vector();
+  EXPECT_FALSE(reps.ok());
+  EXPECT_FALSE(g.is_consistent());
+}
+
+TEST(RepetitionVectorTest, DisconnectedComponentsAreIndependent) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  const ActorId c = g.add_actor("c", 1);
+  const ActorId d = g.add_actor("d", 1);
+  g.add_channel(a, b, 2, 1);
+  g.add_channel(c, d, 1, 3);
+  const auto reps = g.repetition_vector();
+  ASSERT_TRUE(reps.ok());
+  EXPECT_EQ(reps.value(), (std::vector<std::int64_t>{1, 2, 3, 1}));
+}
+
+TEST(RepetitionVectorTest, SelfLoopIsConsistent) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  g.disable_auto_concurrency(a);
+  EXPECT_TRUE(g.is_consistent());
+}
+
+// --- throughput ------------------------------------------------------------
+
+/// Two-actor pipeline with bounded buffer; the slower actor dominates.
+TEST(ThroughputTest, PipelineThroughputIsBoundByTheSlowestActor) {
+  SdfGraph g;
+  const ActorId fast = g.add_actor("fast", 2);
+  const ActorId slow = g.add_actor("slow", 10);
+  g.disable_auto_concurrency(fast);
+  g.disable_auto_concurrency(slow);
+  g.add_buffered_channel(fast, slow, 1, 2);
+
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, slow);
+  EXPECT_EQ(result.status, ThroughputStatus::kPeriodic);
+  EXPECT_DOUBLE_EQ(result.throughput, 0.1);  // one firing per 10 time units
+}
+
+TEST(ThroughputTest, SingleActorWithSelfLoop) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 4);
+  g.disable_auto_concurrency(a);
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, a);
+  EXPECT_EQ(result.status, ThroughputStatus::kPeriodic);
+  EXPECT_DOUBLE_EQ(result.throughput, 0.25);
+}
+
+TEST(ThroughputTest, CycleThroughputMatchesCycleTime) {
+  // a(3) -> b(5) -> a with one token circulating: period 8.
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 1);
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, a);
+  EXPECT_EQ(result.status, ThroughputStatus::kPeriodic);
+  EXPECT_DOUBLE_EQ(result.throughput, 1.0 / 8.0);
+}
+
+TEST(ThroughputTest, TwoTokensDoubleCycleThroughput) {
+  // Same cycle with two circulating tokens: both actors can be busy, and
+  // the bottleneck actor (5) limits throughput to 1/5.
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 3);
+  const ActorId b = g.add_actor("b", 5);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 2);
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, a);
+  EXPECT_EQ(result.status, ThroughputStatus::kPeriodic);
+  EXPECT_DOUBLE_EQ(result.throughput, 0.2);
+}
+
+TEST(ThroughputTest, DeadlockDetected) {
+  // Cycle with no initial tokens can never fire.
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.add_channel(a, b, 1, 1, 0);
+  g.add_channel(b, a, 1, 1, 0);
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, a);
+  EXPECT_EQ(result.status, ThroughputStatus::kDeadlock);
+  EXPECT_DOUBLE_EQ(result.throughput, 0.0);
+}
+
+TEST(ThroughputTest, MultiRatePipeline) {
+  // a produces 2 tokens consumed 1-by-1 by b (b twice as frequent).
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 4);
+  const ActorId b = g.add_actor("b", 1);
+  g.disable_auto_concurrency(a);
+  g.disable_auto_concurrency(b);
+  g.add_channel(a, b, 2, 1, 0);
+  g.add_channel(b, a, 1, 2, 4);  // buffer for 2 a-firings
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, b);
+  EXPECT_EQ(result.status, ThroughputStatus::kPeriodic);
+  // b fires twice per a firing; a needs 4 time units and b 2x1 in parallel.
+  EXPECT_DOUBLE_EQ(result.throughput, 0.5);
+}
+
+TEST(ThroughputTest, BudgetExceededReportsEstimate) {
+  SdfGraph g;
+  const ActorId a = g.add_actor("a", 1);
+  const ActorId b = g.add_actor("b", 1);
+  g.disable_auto_concurrency(a);
+  g.disable_auto_concurrency(b);
+  g.add_buffered_channel(a, b, 1, 4);
+  ThroughputConfig config;
+  config.max_states = 2;  // far too small to find the period
+  const ThroughputAnalyzer analyzer(config);
+  const auto result = analyzer.analyze(g, b);
+  EXPECT_EQ(result.status, ThroughputStatus::kBudgetExceeded);
+  EXPECT_EQ(result.states_explored, 2);
+}
+
+TEST(ThroughputTest, BufferSizeLimitsPipelining) {
+  // With a tiny buffer the producer stalls on the consumer; with a large
+  // buffer both run at their own rate. Producer period 2, consumer 3.
+  auto build = [](std::int64_t buffer) {
+    SdfGraph g;
+    const ActorId p = g.add_actor("p", 2);
+    const ActorId c = g.add_actor("c", 3);
+    g.disable_auto_concurrency(p);
+    g.disable_auto_concurrency(c);
+    g.add_buffered_channel(p, c, 1, buffer);
+    return g;
+  };
+  ThroughputAnalyzer analyzer;
+  const SdfGraph tight = build(1);
+  const SdfGraph roomy = build(8);
+  const auto t_tight =
+      analyzer.analyze(tight, ActorId{1});
+  const auto t_roomy =
+      analyzer.analyze(roomy, ActorId{1});
+  EXPECT_EQ(t_roomy.status, ThroughputStatus::kPeriodic);
+  // Roomy buffering reaches the consumer-limited rate 1/3; a buffer of one
+  // token serialises producer and consumer (rate 1/5).
+  EXPECT_DOUBLE_EQ(t_roomy.throughput, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(t_tight.throughput, 1.0 / 5.0);
+}
+
+// --- constraints -------------------------------------------------------------
+
+TEST(ConstraintsTest, LatencyToThroughput) {
+  EXPECT_DOUBLE_EQ(latency_to_throughput(10.0), 0.1);
+  EXPECT_DOUBLE_EQ(latency_to_throughput(10.0, 4), 0.4);
+}
+
+TEST(ConstraintsTest, SatisfiesThroughput) {
+  ThroughputResult r;
+  r.status = ThroughputStatus::kPeriodic;
+  r.throughput = 0.5;
+  EXPECT_TRUE(satisfies_throughput(r, 0.4));
+  EXPECT_TRUE(satisfies_throughput(r, 0.5));
+  EXPECT_FALSE(satisfies_throughput(r, 0.6));
+  EXPECT_TRUE(satisfies_throughput(r, 0.0));  // no constraint
+  r.status = ThroughputStatus::kDeadlock;
+  r.throughput = 0.0;
+  EXPECT_FALSE(satisfies_throughput(r, 0.1));
+  EXPECT_TRUE(satisfies_throughput(r, 0.0));
+}
+
+// Property sweep: for a simple producer/consumer, measured throughput always
+// equals 1/max(exec_p, exec_c) when buffers are ample.
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PipelinePropertyTest, ThroughputIsBottleneckRate) {
+  const auto [ep, ec] = GetParam();
+  SdfGraph g;
+  const ActorId p = g.add_actor("p", ep);
+  const ActorId c = g.add_actor("c", ec);
+  g.disable_auto_concurrency(p);
+  g.disable_auto_concurrency(c);
+  g.add_buffered_channel(p, c, 1, 6);
+  ThroughputAnalyzer analyzer;
+  const auto result = analyzer.analyze(g, c);
+  ASSERT_EQ(result.status, ThroughputStatus::kPeriodic);
+  EXPECT_DOUBLE_EQ(result.throughput, 1.0 / std::max(ep, ec));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExecTimes, PipelinePropertyTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 7}, std::pair{7, 2},
+                      std::pair{5, 5}, std::pair{1, 13}, std::pair{13, 1},
+                      std::pair{3, 4}, std::pair{9, 6}));
+
+}  // namespace
+}  // namespace kairos::sdf

@@ -1,0 +1,104 @@
+// Tests for the dynamic-workload scenario simulator.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "platform/crisp.hpp"
+#include "sim/scenario.hpp"
+
+namespace kairos::sim {
+namespace {
+
+std::vector<graph::Application> small_pool() {
+  return gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 20, 71);
+}
+
+core::KairosConfig config() {
+  core::KairosConfig c;
+  c.weights = {4.0, 100.0};
+  c.validation_rejects = false;
+  return c;
+}
+
+TEST(ScenarioTest, RunsToHorizonAndBalancesBooks) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager manager(crisp, config());
+  ScenarioConfig scenario;
+  scenario.horizon = 500.0;
+  scenario.seed = 1;
+  const ScenarioStats stats = run_scenario(manager, small_pool(), scenario);
+  EXPECT_GT(stats.arrivals, 0);
+  EXPECT_EQ(stats.arrivals, stats.admitted + stats.rejected());
+  // Departures never exceed admissions; leftovers are still live.
+  EXPECT_LE(stats.departures, stats.admitted);
+  EXPECT_EQ(static_cast<long>(manager.live_count()),
+            stats.admitted - stats.departures);
+  EXPECT_TRUE(crisp.invariants_hold());
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  ScenarioConfig scenario;
+  scenario.horizon = 300.0;
+  scenario.seed = 99;
+  long admitted[2];
+  for (int run = 0; run < 2; ++run) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::ResourceManager manager(crisp, config());
+    admitted[run] = run_scenario(manager, small_pool(), scenario).admitted;
+  }
+  EXPECT_EQ(admitted[0], admitted[1]);
+}
+
+TEST(ScenarioTest, HigherArrivalRateMeansMoreRejections) {
+  ScenarioConfig calm;
+  calm.arrival_rate = 0.05;
+  calm.horizon = 600.0;
+  calm.seed = 7;
+  ScenarioConfig storm = calm;
+  storm.arrival_rate = 1.0;
+
+  double rates[2];
+  int i = 0;
+  for (const auto& scenario : {calm, storm}) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::ResourceManager manager(crisp, config());
+    rates[i++] = run_scenario(manager, small_pool(), scenario)
+                     .admission_rate();
+  }
+  EXPECT_GT(rates[0], rates[1]);
+}
+
+TEST(ScenarioTest, ShortLifetimesKeepThePlatformEmptier) {
+  ScenarioConfig ephemeral;
+  ephemeral.mean_lifetime = 5.0;
+  ephemeral.horizon = 600.0;
+  ephemeral.seed = 13;
+  ScenarioConfig persistent = ephemeral;
+  persistent.mean_lifetime = 200.0;
+
+  double live[2];
+  int i = 0;
+  for (const auto& scenario : {ephemeral, persistent}) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::ResourceManager manager(crisp, config());
+    live[i++] =
+        run_scenario(manager, small_pool(), scenario).live_applications.mean();
+  }
+  EXPECT_LT(live[0], live[1]);
+}
+
+TEST(ScenarioTest, StatsSeriesArePopulated) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager manager(crisp, config());
+  ScenarioConfig scenario;
+  scenario.horizon = 200.0;
+  const ScenarioStats stats = run_scenario(manager, small_pool(), scenario);
+  EXPECT_GT(stats.fragmentation.count(), 0u);
+  EXPECT_GE(stats.fragmentation.min(), 0.0);
+  EXPECT_LE(stats.fragmentation.max(), 1.0);
+  EXPECT_GE(stats.compute_utilisation.max(), 0.0);
+  EXPECT_LE(stats.compute_utilisation.max(), 1.0);
+}
+
+}  // namespace
+}  // namespace kairos::sim
