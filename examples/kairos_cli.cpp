@@ -5,11 +5,12 @@
 // formats: it loads a platform description and one or more application
 // specifications, admits them in order, and prints the execution layouts.
 //
-//   usage: kairos_cli [--wc <w>] [--wf <w>] [--mcr] [--platform <file>]
-//                     <app-file>...
+//   usage: kairos_cli [--wc <w>] [--wf <w>] [--mcr] [--mapper <name>]
+//                     [--seed <n>] [--platform <file>] <app-file>...
 //
-// Without --platform, the built-in CRISP model is used. Exit code is the
-// number of rejected applications.
+// Without --platform, the built-in CRISP model is used; without --mapper,
+// the paper's incremental mapper. Exit code is the number of rejected
+// applications.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +20,7 @@
 
 #include "core/resource_manager.hpp"
 #include "graph/app_io.hpp"
+#include "mappers/registry.hpp"
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
@@ -34,6 +36,15 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+std::string mapper_list() {
+  std::string out;
+  for (const auto& name : kairos::mappers::available()) {
+    if (!out.empty()) out += "|";
+    out += name;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,13 +53,34 @@ int main(int argc, char** argv) {
   core::KairosConfig config;
   config.weights = {4.0, 100.0};
   std::string platform_path;
+  std::string mapper_name;
+  std::uint64_t seed = 0x5EEDULL;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&](double& out) {
+    std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    bool has_inline_value = false;
+    std::string inline_value;
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      has_inline_value = true;  // "--flag=" stays an (empty) value
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto next_string = [&](std::string& out) {
+      if (has_inline_value) {
+        out = inline_value;
+        return !inline_value.empty();
+      }
       if (i + 1 >= argc) return false;
-      out = std::atof(argv[++i]);
+      out = argv[++i];
+      return true;
+    };
+    auto next_value = [&](double& out) {
+      std::string text;
+      if (!next_string(text)) return false;
+      out = std::atof(text.c_str());
       return true;
     };
     if (arg == "--wc") {
@@ -63,19 +95,49 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--mcr") {
       config.validation.use_mcr = true;
+    } else if (arg == "--mapper") {
+      if (!next_string(mapper_name)) {
+        std::fprintf(stderr, "--mapper requires a strategy name (%s)\n",
+                     mapper_list().c_str());
+        return 64;
+      }
+    } else if (arg == "--seed") {
+      std::string text;
+      if (!next_string(text)) {
+        std::fprintf(stderr, "--seed requires a value\n");
+        return 64;
+      }
+      seed = static_cast<std::uint64_t>(std::strtoull(text.c_str(), nullptr,
+                                                      10));
     } else if (arg == "--platform") {
-      if (i + 1 >= argc) {
+      if (!next_string(platform_path)) {
         std::fprintf(stderr, "--platform requires a file\n");
         return 64;
       }
-      platform_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
-                  "[--platform file] <app-file>...\n");
+                  "[--mapper <%s>] [--seed n] "
+                  "[--platform file] <app-file>...\n",
+                  mapper_list().c_str());
       return 0;
     } else {
       app_paths.push_back(arg);
     }
+  }
+
+  if (!mapper_name.empty()) {
+    mappers::MapperOptions options;
+    options.weights = config.weights;
+    options.bonuses = config.bonuses;
+    options.extra_rings = config.extra_rings;
+    options.exact_knapsack = config.exact_knapsack;
+    options.seed = seed;
+    auto made = mappers::make(mapper_name, options);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.error().c_str());
+      return 64;
+    }
+    config.mapper = std::move(made).value();
   }
 
   platform::Platform platform = platform::make_crisp_platform();
@@ -103,6 +165,7 @@ int main(int argc, char** argv) {
   }
 
   core::ResourceManager kairos(platform, config);
+  std::printf("mapper strategy: %s\n", kairos.mapper().name().c_str());
   int rejected = 0;
   for (const std::string& path : app_paths) {
     std::string text;

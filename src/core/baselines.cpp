@@ -82,7 +82,8 @@ MappingResult random_map(const graph::Application& app,
 
 double layout_cost(const graph::Application& app, const Platform& platform,
                    const std::vector<ElementId>& element_of,
-                   const CostWeights& weights) {
+                   const CostWeights& weights,
+                   const FragmentationBonuses& bonuses) {
   // Exact all-pairs distances from the elements actually used.
   std::vector<std::vector<int>> dist_from(platform.element_count());
   auto distance = [&](ElementId a, ElementId b) {
@@ -104,7 +105,6 @@ double layout_cost(const graph::Application& app, const Platform& platform,
 
   // Final-mapping fragmentation: same discounts as MappingCostModel, but
   // every task evaluated against the complete assignment.
-  const FragmentationBonuses bonuses;
   double fragmentation = 0.0;
   std::vector<int> app_tasks_on(platform.element_count(), 0);
   for (const ElementId e : element_of) {

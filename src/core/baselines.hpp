@@ -36,10 +36,13 @@ MappingResult random_map(const graph::Application& app,
 ///                  cost evaluated against the *final* mapping.
 /// This is the stationary counterpart of the incremental MappingCost of
 /// §III-D (which can only see already-mapped peers and searched distances).
+/// `bonuses` must match the ones the mapper under comparison optimised with
+/// (the default matches the paper's).
 double layout_cost(const graph::Application& app,
                    const platform::Platform& platform,
                    const std::vector<platform::ElementId>& element_of,
-                   const CostWeights& weights);
+                   const CostWeights& weights,
+                   const FragmentationBonuses& bonuses = {});
 
 /// Exhaustive branch-and-bound optimal mapping, minimising layout_cost()
 /// subject to element capacities — the stand-in for the ILP formulation the

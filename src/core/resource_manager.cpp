@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mappers/incremental_mapper.hpp"
 #include "platform/fragmentation.hpp"
 #include "util/timer.hpp"
 
 namespace kairos::core {
+
+ResourceManager::ResourceManager(platform::Platform& platform,
+                                 KairosConfig config)
+    : platform_(&platform), config_(std::move(config)) {
+  if (!config_.mapper) {
+    // Default to the paper's mapper, configured from the legacy knobs so
+    // existing configs behave exactly as before the strategy subsystem.
+    config_.mapper = std::make_shared<mappers::IncrementalStrategy>(
+        MapperConfig{config_.weights, config_.bonuses, config_.extra_rings,
+                     config_.exact_knapsack});
+  }
+}
+
+void ResourceManager::set_mapper(std::shared_ptr<mappers::Mapper> mapper) {
+  assert(mapper != nullptr);
+  config_.mapper = std::move(mapper);
+}
 
 std::string to_string(Phase phase) {
   switch (phase) {
@@ -61,12 +79,8 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
 
   // --- mapping ---------------------------------------------------------------
   watch.reset();
-  const IncrementalMapper mapper(MapperConfig{config_.weights,
-                                              config_.bonuses,
-                                              config_.extra_rings,
-                                              config_.exact_knapsack});
   const MappingResult mapped =
-      mapper.map(app, bound.impl_of, pins.value(), *platform_);
+      config_.mapper->map(app, bound.impl_of, pins.value(), *platform_);
   report.times.mapping_ms = watch.elapsed_ms();
   report.mapping_stats = mapped.stats;
   if (!mapped.ok) {

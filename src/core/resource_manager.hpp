@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,10 @@
 #include "noc/router.hpp"
 #include "platform/platform.hpp"
 #include "util/result.hpp"
+
+namespace kairos::mappers {
+class Mapper;
+}  // namespace kairos::mappers
 
 namespace kairos::core {
 
@@ -79,6 +84,12 @@ struct KairosConfig {
   FragmentationBonuses bonuses{};
   int extra_rings = 1;
   bool exact_knapsack = false;
+  /// The mapping strategy driving the mapping phase. When null, the
+  /// ResourceManager constructs the paper's IncrementalMapper from the
+  /// fields above (preserving all paper-regression behaviour); set it — or
+  /// call ResourceManager::set_mapper — to plug in any strategy from
+  /// mappers::make().
+  std::shared_ptr<mappers::Mapper> mapper;
   noc::RoutingStrategy routing = noc::RoutingStrategy::kBreadthFirst;
   /// The paper's experiments "do not reject applications in the validation
   /// phase" (§IV) because generating sensible constraints automatically is
@@ -93,8 +104,7 @@ struct KairosConfig {
 class ResourceManager {
  public:
   explicit ResourceManager(platform::Platform& platform,
-                           KairosConfig config = {})
-      : platform_(&platform), config_(config) {}
+                           KairosConfig config = {});
 
   /// One resource-allocation attempt for `app` (Fig. 1 run-time half).
   AdmissionReport admit(const graph::Application& app);
@@ -128,6 +138,11 @@ class ResourceManager {
 
   const platform::Platform& platform() const { return *platform_; }
   const KairosConfig& config() const { return config_; }
+
+  /// Swaps the mapping strategy; subsequent admissions (including the
+  /// re-admissions of defragment()) use it. Must not be null.
+  void set_mapper(std::shared_ptr<mappers::Mapper> mapper);
+  const mappers::Mapper& mapper() const { return *config_.mapper; }
 
  private:
   struct LiveApp {

@@ -13,6 +13,7 @@ sdf::SdfGraph ValidationPhase::build_sdf(
   assert(impl_of.size() == app.task_count());
   assert(element_of.size() == app.task_count());
   assert(routes.size() == app.channel_count());
+  (void)element_of;  // only consulted by the size assertion above
 
   sdf::SdfGraph g(app.name());
 

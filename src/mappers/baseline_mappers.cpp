@@ -1,0 +1,33 @@
+#include "mappers/baseline_mappers.hpp"
+
+#include "core/baselines.hpp"
+
+namespace kairos::mappers {
+
+core::MappingResult FirstFitStrategy::map(const graph::Application& app,
+                                          const std::vector<int>& impl_of,
+                                          const core::PinTable& pins,
+                                          platform::Platform& platform) const {
+  core::MappingResult result =
+      core::first_fit_map(app, impl_of, pins, platform);
+  if (result.ok) {
+    result.total_cost =
+        core::layout_cost(app, platform, result.element_of, weights_, bonuses_);
+  }
+  return result;
+}
+
+core::MappingResult RandomStrategy::map(const graph::Application& app,
+                                        const std::vector<int>& impl_of,
+                                        const core::PinTable& pins,
+                                        platform::Platform& platform) const {
+  core::MappingResult result =
+      core::random_map(app, impl_of, pins, platform, seed_);
+  if (result.ok) {
+    result.total_cost =
+        core::layout_cost(app, platform, result.element_of, weights_, bonuses_);
+  }
+  return result;
+}
+
+}  // namespace kairos::mappers

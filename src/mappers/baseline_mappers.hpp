@@ -1,0 +1,56 @@
+// The standalone baselines of core/baselines.cpp (first-fit and random
+// placement without the neighborhood decomposition) behind the strategy
+// interface, so the ablation series of Figs. 8/9 can be selected wherever a
+// Mapper is accepted — the CLI, the scenario simulator, the benches.
+#pragma once
+
+#include <cstdint>
+
+#include "mappers/mapper.hpp"
+
+namespace kairos::mappers {
+
+/// core::first_fit_map: elements in index order, first one that fits. The
+/// adapter additionally prices the resulting layout with the stationary
+/// layout cost (the core baseline leaves total_cost at 0), so strategy
+/// results stay comparable in the portfolio and the matrix bench.
+class FirstFitStrategy final : public Mapper {
+ public:
+  explicit FirstFitStrategy(core::CostWeights weights = {},
+                            core::FragmentationBonuses bonuses = {})
+      : weights_(weights), bonuses_(bonuses) {}
+
+  std::string name() const override { return "first_fit"; }
+
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const override;
+
+ private:
+  core::CostWeights weights_;
+  core::FragmentationBonuses bonuses_;
+};
+
+/// core::random_map: a uniformly random available element per task.
+class RandomStrategy final : public Mapper {
+ public:
+  explicit RandomStrategy(std::uint64_t seed = 0x5EEDULL,
+                          core::CostWeights weights = {},
+                          core::FragmentationBonuses bonuses = {})
+      : seed_(seed), weights_(weights), bonuses_(bonuses) {}
+
+  std::string name() const override { return "random"; }
+
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const override;
+
+ private:
+  std::uint64_t seed_;
+  core::CostWeights weights_;
+  core::FragmentationBonuses bonuses_;
+};
+
+}  // namespace kairos::mappers

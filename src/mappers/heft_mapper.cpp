@@ -1,0 +1,165 @@
+#include "mappers/heft_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "mappers/placement.hpp"
+
+namespace kairos::mappers {
+
+using graph::TaskId;
+using platform::ElementId;
+using platform::Platform;
+using platform::ResourceVector;
+
+core::MappingResult HeftMapper::map(const graph::Application& app,
+                                    const std::vector<int>& impl_of,
+                                    const core::PinTable& pins,
+                                    Platform& platform) const {
+  core::MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  assert(impl_of.size() == app.task_count());
+  assert(pins.size() == app.task_count());
+
+  const auto requirements = requirements_of(app, impl_of);
+  const auto targets = targets_of(app, impl_of);
+
+  // --- priority: SDF load × communication volume --------------------------
+  // load(t) = exec_time of the bound implementation × tokens moved per
+  // firing; volume(t) = total incident channel bandwidth. Pinned tasks rank
+  // first regardless (they are the anchors everything else clusters
+  // around), then decreasing score, id as the deterministic tiebreak.
+  std::vector<double> score(app.task_count(), 0.0);
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    const auto& impl =
+        task.implementations().at(static_cast<std::size_t>(impl_of[idx]));
+    std::int64_t tokens = 0;
+    std::int64_t volume = 0;
+    for (const graph::ChannelId c : app.out_channels(task.id())) {
+      tokens += app.channel(c).tokens;
+      volume += app.channel(c).bandwidth;
+    }
+    for (const graph::ChannelId c : app.in_channels(task.id())) {
+      tokens += app.channel(c).tokens;
+      volume += app.channel(c).bandwidth;
+    }
+    const double load =
+        static_cast<double>(impl.exec_time) * static_cast<double>(tokens + 1);
+    score[idx] = load * static_cast<double>(volume + 1);
+  }
+
+  std::vector<TaskId> order;
+  order.reserve(app.task_count());
+  for (const auto& task : app.tasks()) order.push_back(task.id());
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    const bool pa = pins[static_cast<std::size_t>(a.value)].has_value();
+    const bool pb = pins[static_cast<std::size_t>(b.value)].has_value();
+    if (pa != pb) return pa;
+    return score[static_cast<std::size_t>(a.value)] >
+           score[static_cast<std::size_t>(b.value)];
+  });
+
+  // --- greedy placement on planned free capacities ------------------------
+  std::vector<ResourceVector> free(platform.element_count());
+  std::vector<int> planned_tasks_on(platform.element_count(), 0);
+  for (const auto& e : platform.elements()) {
+    free[static_cast<std::size_t>(e.id().value)] = e.free();
+  }
+
+  DistanceCache distances(platform);
+  std::vector<ElementId> element_of(app.task_count());
+
+  for (const TaskId t : order) {
+    const auto idx = static_cast<std::size_t>(t.value);
+    const auto peers = app.neighbors(t);
+
+    ElementId best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const auto& element : platform.elements()) {
+      const ElementId e = element.id();
+      const auto eidx = static_cast<std::size_t>(e.value);
+      if (!can_host(platform, e, targets[idx], requirements[idx], free[eidx],
+                    pins[idx])) {
+        continue;
+      }
+
+      // Completion cost: communication to placed peers, the fragmentation
+      // price of e's neighborhood under the planned placement, and a small
+      // load-balance term so equal-cost candidates prefer emptier elements.
+      double communication = 0.0;
+      for (const graph::ChannelId c : app.out_channels(t)) {
+        const ElementId peer =
+            element_of[static_cast<std::size_t>(app.channel(c).dst.value)];
+        if (peer.valid()) {
+          communication += static_cast<double>(app.channel(c).bandwidth) *
+                           distances.hops(e, peer);
+        }
+      }
+      for (const graph::ChannelId c : app.in_channels(t)) {
+        const ElementId peer =
+            element_of[static_cast<std::size_t>(app.channel(c).src.value)];
+        if (peer.valid()) {
+          communication += static_cast<double>(app.channel(c).bandwidth) *
+                           distances.hops(peer, e);
+        }
+      }
+
+      double fragmentation = 0.0;
+      for (const ElementId n : platform.neighbors(e)) {
+        const auto nidx = static_cast<std::size_t>(n.value);
+        double bonus = 0.0;
+        bool hosts_peer = false;
+        for (const TaskId peer : peers) {
+          if (element_of[static_cast<std::size_t>(peer.value)] == n) {
+            hosts_peer = true;
+            break;
+          }
+        }
+        if (hosts_peer) {
+          bonus = options_.bonuses.peer;
+        } else if (planned_tasks_on[nidx] > 0) {
+          bonus = options_.bonuses.same_app;
+        } else if (platform.element(n).is_used()) {
+          bonus = options_.bonuses.other_app;
+        }
+        fragmentation += 1.0 - bonus;
+      }
+
+      const double capacity =
+          static_cast<double>(element.capacity().compute()) + 1.0;
+      const double load =
+          static_cast<double>(element.capacity().compute() -
+                              free[eidx].compute()) /
+          capacity;
+
+      const double cost = options_.weights.communication * communication +
+                          options_.weights.fragmentation * fragmentation +
+                          (options_.weights.load_balance + 1e-6) * load;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = e;
+      }
+    }
+
+    if (!best.valid()) {
+      result.reason =
+          "no available element for task '" + app.task(t).name() + "'";
+      return result;
+    }
+    const auto bidx = static_cast<std::size_t>(best.value);
+    free[bidx] -= requirements[idx];
+    ++planned_tasks_on[bidx];
+    element_of[idx] = best;
+    ++result.stats.iterations;
+  }
+
+  // Everything planned on private state; one atomic allocation pass.
+  core::MappingResult committed = commit_assignment(
+      app, impl_of, element_of, platform, options_.weights, options_.bonuses);
+  committed.stats = result.stats;
+  return committed;
+}
+
+}  // namespace kairos::mappers

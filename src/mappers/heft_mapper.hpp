@@ -1,0 +1,46 @@
+// A HEFT-style list mapper (Topcuoglu et al.'s Heterogeneous Earliest
+// Finish Time, transplanted from schedule space to space-only mapping).
+//
+// Classic HEFT prioritises tasks by upward rank (computation + communication
+// along the critical path) and places each on the processor minimising its
+// earliest finish time. Kairos maps spatially — there is no schedule — so
+// both halves translate into the resource-allocation objective of §III-D:
+//
+//  * Priority: the SDF load of a task (execution time per firing of the
+//    bound implementation, times the tokens it moves) weighted by its
+//    communication volume (total incident channel bandwidth). Heavy,
+//    chatty tasks place first, while the platform is still empty enough to
+//    cluster them.
+//  * Placement: the element of lowest completion cost — communication to
+//    already-placed peers (bandwidth × exact hop distance) plus the
+//    fragmentation price of the element, the stationary analogue of the
+//    incremental mapper's MappingCost.
+//
+// Unlike the incremental mapper, the list mapper sees the whole application
+// up front and pays no search-ring machinery — a fast, greedy, global
+// baseline that is usually better than first-fit and cheaper than SA.
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace kairos::mappers {
+
+class HeftMapper final : public Mapper {
+ public:
+  explicit HeftMapper(MapperOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "heft"; }
+
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const override;
+
+  const MapperOptions& options() const { return options_; }
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace kairos::mappers

@@ -1,0 +1,37 @@
+// The paper's incremental GAP-based mapper (§III) behind the strategy
+// interface. A thin adapter: delegates to core::IncrementalMapper verbatim,
+// so mappers::make("incremental") reproduces the seed mapper bit-for-bit —
+// the paper-regression tests pin this.
+#pragma once
+
+#include "core/mapping.hpp"
+#include "mappers/mapper.hpp"
+
+namespace kairos::mappers {
+
+class IncrementalStrategy final : public Mapper {
+ public:
+  explicit IncrementalStrategy(core::MapperConfig config = {})
+      : mapper_(config) {}
+
+  explicit IncrementalStrategy(const MapperOptions& options)
+      : mapper_(core::MapperConfig{options.weights, options.bonuses,
+                                   options.extra_rings,
+                                   options.exact_knapsack}) {}
+
+  std::string name() const override { return "incremental"; }
+
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const override {
+    return mapper_.map(app, impl_of, pins, platform);
+  }
+
+  const core::MapperConfig& config() const { return mapper_.config(); }
+
+ private:
+  core::IncrementalMapper mapper_;
+};
+
+}  // namespace kairos::mappers

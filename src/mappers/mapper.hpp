@@ -1,0 +1,75 @@
+// The pluggable mapper-strategy interface.
+//
+// The paper contributes one run-time spatial mapping heuristic (the
+// incremental GAP-based mapper of §III), but evaluating it only makes sense
+// against competing strategies. This subsystem factors "a mapping strategy"
+// out of the admission pipeline: every strategy consumes the same inputs the
+// incremental mapper does — an application whose implementations were chosen
+// by the binding phase, the resolved pin table, and the mutable platform —
+// and produces the same core::MappingResult. core::ResourceManager holds a
+// strategy behind this interface, so new mappers (and meta-mappers racing
+// several strategies) plug in without touching binding, routing or
+// validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "core/cost_model.hpp"
+#include "core/mapping.hpp"
+#include "graph/application.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::mappers {
+
+/// Knobs shared by the registered strategies. Strategies read the subset
+/// that applies to them and ignore the rest, so one options struct can be
+/// threaded from a config file or CLI flag to any strategy.
+struct MapperOptions {
+  core::CostWeights weights{};
+  core::FragmentationBonuses bonuses{};
+
+  /// Incremental mapper: extra search rings / exact knapsack (see
+  /// core::MapperConfig).
+  int extra_rings = 1;
+  bool exact_knapsack = false;
+
+  /// Seed for the stochastic strategies (random, sa). Deterministic per
+  /// seed.
+  std::uint64_t seed = 0x5EEDULL;
+
+  /// Simulated annealing: total trial moves, geometric cooling factor, and
+  /// moves evaluated per temperature step.
+  int sa_iterations = 4000;
+  double sa_cooling = 0.95;
+  int sa_moves_per_temperature = 32;
+
+  /// Portfolio: registry names of the strategies to race (empty selects the
+  /// built-in default set) and whether to race them on worker threads.
+  std::vector<std::string> portfolio{};
+  bool portfolio_parallel = true;
+};
+
+/// Abstract mapping strategy: assign every task of `app` to a platform
+/// element. Contract (identical to core::IncrementalMapper::map):
+///  * `impl_of` holds the implementation index the binding phase chose per
+///    task; `pins` the resolved fixed locations.
+///  * On success the task resource demands are left allocated on `platform`
+///    (and task-hosting counters registered); on failure the platform is
+///    restored to its entry state.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// The registry name of the strategy ("incremental", "sa", ...).
+  virtual std::string name() const = 0;
+
+  virtual core::MappingResult map(const graph::Application& app,
+                                  const std::vector<int>& impl_of,
+                                  const core::PinTable& pins,
+                                  platform::Platform& platform) const = 0;
+};
+
+}  // namespace kairos::mappers

@@ -1,0 +1,143 @@
+#include "mappers/placement.hpp"
+
+#include <cassert>
+
+#include "core/baselines.hpp"
+
+namespace kairos::mappers {
+
+using graph::TaskId;
+using platform::ElementId;
+using platform::Platform;
+using platform::ResourceVector;
+
+std::vector<ResourceVector> requirements_of(const graph::Application& app,
+                                            const std::vector<int>& impl_of) {
+  std::vector<ResourceVector> out;
+  out.reserve(app.task_count());
+  for (const auto& task : app.tasks()) {
+    out.push_back(task.implementations()
+                      .at(static_cast<std::size_t>(
+                          impl_of[static_cast<std::size_t>(task.id().value)]))
+                      .requirement);
+  }
+  return out;
+}
+
+std::vector<platform::ElementType> targets_of(const graph::Application& app,
+                                              const std::vector<int>& impl_of) {
+  std::vector<platform::ElementType> out;
+  out.reserve(app.task_count());
+  for (const auto& task : app.tasks()) {
+    out.push_back(task.implementations()
+                      .at(static_cast<std::size_t>(
+                          impl_of[static_cast<std::size_t>(task.id().value)]))
+                      .target);
+  }
+  return out;
+}
+
+bool can_host(const Platform& platform, ElementId e,
+              platform::ElementType target, const ResourceVector& requirement,
+              const ResourceVector& free,
+              const std::optional<ElementId>& pin) {
+  if (pin.has_value() && *pin != e) return false;
+  const auto& element = platform.element(e);
+  return !element.is_failed() && element.type() == target &&
+         requirement.fits_within(free);
+}
+
+DistanceCache::DistanceCache(const Platform& platform)
+    : platform_(&platform),
+      rows_(platform.element_count()),
+      penalty_(2 * (platform.diameter() + 1)) {}
+
+int DistanceCache::hops(ElementId from, ElementId to) {
+  auto& row = rows_[static_cast<std::size_t>(from.value)];
+  if (row.empty()) row = platform_->hop_distances_from(from);
+  const int d = row[static_cast<std::size_t>(to.value)];
+  return d < 0 ? penalty_ : d;
+}
+
+double assignment_cost(const graph::Application& app, const Platform& platform,
+                       const std::vector<ElementId>& element_of,
+                       const core::CostWeights& weights,
+                       const core::FragmentationBonuses& bonuses,
+                       DistanceCache& distances) {
+  double communication = 0.0;
+  for (const auto& channel : app.channels()) {
+    const ElementId src =
+        element_of[static_cast<std::size_t>(channel.src.value)];
+    const ElementId dst =
+        element_of[static_cast<std::size_t>(channel.dst.value)];
+    if (!src.valid() || !dst.valid()) continue;
+    communication +=
+        static_cast<double>(channel.bandwidth) * distances.hops(src, dst);
+  }
+
+  std::vector<int> app_tasks_on(platform.element_count(), 0);
+  for (const ElementId e : element_of) {
+    if (e.valid()) ++app_tasks_on[static_cast<std::size_t>(e.value)];
+  }
+  double fragmentation = 0.0;
+  for (const auto& task : app.tasks()) {
+    const ElementId e = element_of[static_cast<std::size_t>(task.id().value)];
+    if (!e.valid()) continue;
+    const auto peers = app.neighbors(task.id());
+    for (const ElementId n : platform.neighbors(e)) {
+      double bonus = 0.0;
+      bool hosts_peer = false;
+      for (const TaskId peer : peers) {
+        if (element_of[static_cast<std::size_t>(peer.value)] == n) {
+          hosts_peer = true;
+          break;
+        }
+      }
+      if (hosts_peer) {
+        bonus = bonuses.peer;
+      } else if (app_tasks_on[static_cast<std::size_t>(n.value)] > 0) {
+        bonus = bonuses.same_app;
+      } else if (platform.element(n).is_used()) {
+        bonus = bonuses.other_app;
+      }
+      fragmentation += 1.0 - bonus;
+    }
+  }
+
+  return weights.communication * communication +
+         weights.fragmentation * fragmentation;
+}
+
+core::MappingResult commit_assignment(const graph::Application& app,
+                                      const std::vector<int>& impl_of,
+                                      const std::vector<ElementId>& element_of,
+                                      Platform& platform,
+                                      const core::CostWeights& weights,
+                                      const core::FragmentationBonuses& bonuses) {
+  core::MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  assert(element_of.size() == app.task_count());
+
+  platform::Transaction txn(platform);
+  const auto requirements = requirements_of(app, impl_of);
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    const ElementId e = element_of[idx];
+    if (!e.valid() || !platform.allocate(e, requirements[idx])) {
+      result.element_of.assign(app.task_count(), ElementId{});
+      result.reason =
+          "assignment for task '" + task.name() + "' cannot be allocated";
+      return result;  // txn rolls back on scope exit
+    }
+    platform.add_task(e);
+    result.element_of[idx] = e;
+  }
+
+  result.ok = true;
+  result.total_cost =
+      core::layout_cost(app, platform, element_of, weights, bonuses);
+  txn.commit();
+  return result;
+}
+
+}  // namespace kairos::mappers

@@ -1,0 +1,71 @@
+// Shared scaffolding for the list/search strategies of src/mappers/: element
+// feasibility tests, cached hop distances, a stationary layout-cost
+// evaluator, and the atomic commit of a complete assignment onto the
+// platform. The construction strategies (heft, sa, portfolio) plan on
+// private state and only touch the platform through commit_assignment, which
+// makes every trial allocation rollback-safe by construction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "core/cost_model.hpp"
+#include "core/mapping.hpp"
+#include "graph/application.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::mappers {
+
+/// Requirement vector of the implementation chosen for each task.
+std::vector<platform::ResourceVector> requirements_of(
+    const graph::Application& app, const std::vector<int>& impl_of);
+
+/// Target element type of the implementation chosen for each task.
+std::vector<platform::ElementType> targets_of(const graph::Application& app,
+                                              const std::vector<int>& impl_of);
+
+/// av(e, t) against an explicit free-capacity vector (strategies plan on
+/// their own copy of the free capacities rather than on the live platform).
+bool can_host(const platform::Platform& platform, platform::ElementId e,
+              platform::ElementType target,
+              const platform::ResourceVector& requirement,
+              const platform::ResourceVector& free,
+              const std::optional<platform::ElementId>& pin);
+
+/// Lazily-filled exact hop-distance rows over the platform. Unreachable
+/// pairs report a penalty distance worse than any real route (matching
+/// core::layout_cost).
+class DistanceCache {
+ public:
+  explicit DistanceCache(const platform::Platform& platform);
+
+  int hops(platform::ElementId from, platform::ElementId to);
+
+ private:
+  const platform::Platform* platform_;
+  std::vector<std::vector<int>> rows_;
+  int penalty_;
+};
+
+/// Stationary cost of a complete (or partial: unassigned tasks are skipped)
+/// assignment — the same objective as core::layout_cost, evaluated through a
+/// shared DistanceCache so iterative strategies can afford it per move.
+double assignment_cost(const graph::Application& app,
+                       const platform::Platform& platform,
+                       const std::vector<platform::ElementId>& element_of,
+                       const core::CostWeights& weights,
+                       const core::FragmentationBonuses& bonuses,
+                       DistanceCache& distances);
+
+/// Atomically allocates a complete assignment on the platform and wraps it
+/// in a MappingResult whose total_cost is core::layout_cost under `weights`
+/// and `bonuses`. If any allocation fails (the assignment overcommits an
+/// element), nothing is allocated and the result reports the offending task.
+core::MappingResult commit_assignment(
+    const graph::Application& app, const std::vector<int>& impl_of,
+    const std::vector<platform::ElementId>& element_of,
+    platform::Platform& platform, const core::CostWeights& weights,
+    const core::FragmentationBonuses& bonuses = {});
+
+}  // namespace kairos::mappers

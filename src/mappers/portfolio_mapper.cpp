@@ -1,0 +1,118 @@
+#include "mappers/portfolio_mapper.hpp"
+
+#include <future>
+#include <limits>
+
+#include "core/baselines.hpp"
+#include "mappers/placement.hpp"
+#include "mappers/registry.hpp"
+
+namespace kairos::mappers {
+
+using platform::ElementId;
+using platform::Platform;
+
+PortfolioMapper::PortfolioMapper(MapperOptions options)
+    : options_(std::move(options)) {
+  std::vector<std::string> names = options_.portfolio;
+  if (names.empty()) {
+    names = {"incremental", "heft", "sa", "first_fit"};
+  }
+  for (const auto& name : names) {
+    if (name == "portfolio") continue;  // no recursive portfolios
+    auto made = make(name, options_);
+    if (made.ok()) {
+      strategies_.push_back(std::move(made).value());
+    } else if (config_error_.empty()) {
+      // Remembered and surfaced by map(): silently racing fewer strategies
+      // than configured would misreport what was compared.
+      config_error_ = made.error();
+    }
+  }
+}
+
+std::vector<std::string> PortfolioMapper::strategy_names() const {
+  std::vector<std::string> out;
+  out.reserve(strategies_.size());
+  for (const auto& s : strategies_) out.push_back(s->name());
+  return out;
+}
+
+core::MappingResult PortfolioMapper::map(const graph::Application& app,
+                                         const std::vector<int>& impl_of,
+                                         const core::PinTable& pins,
+                                         Platform& platform) const {
+  core::MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  if (!config_error_.empty()) {
+    result.reason = "portfolio misconfigured: " + config_error_;
+    return result;
+  }
+  if (strategies_.empty()) {
+    result.reason = "portfolio contains no strategies";
+    return result;
+  }
+
+  // Each trial runs on its own platform copy; the real platform stays
+  // untouched until the winner commits.
+  auto run_trial = [&](const Mapper& strategy) {
+    Platform copy = platform;
+    return strategy.map(app, impl_of, pins, copy);
+  };
+
+  std::vector<core::MappingResult> trials(strategies_.size());
+  if (options_.portfolio_parallel && strategies_.size() > 1) {
+    std::vector<std::future<core::MappingResult>> futures;
+    futures.reserve(strategies_.size());
+    for (const auto& strategy : strategies_) {
+      futures.push_back(std::async(std::launch::async, [&run_trial,
+                                                        &strategy]() {
+        return run_trial(*strategy);
+      }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      trials[i] = futures[i].get();
+    }
+  } else {
+    for (std::size_t i = 0; i < strategies_.size(); ++i) {
+      trials[i] = run_trial(*strategies_[i]);
+    }
+  }
+
+  // Score feasible trials uniformly (strategies report incomparable
+  // total_costs — the incremental mapper's is incremental, the others'
+  // stationary) with the stationary layout cost on the real platform.
+  int winner = -1;
+  double winner_cost = std::numeric_limits<double>::infinity();
+  std::string first_failure;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (!trials[i].ok) {
+      if (first_failure.empty()) {
+        first_failure = strategies_[i]->name() + ": " + trials[i].reason;
+      }
+      continue;
+    }
+    const double cost =
+        core::layout_cost(app, platform, trials[i].element_of,
+                          options_.weights, options_.bonuses);
+    if (cost < winner_cost) {
+      winner_cost = cost;
+      winner = static_cast<int>(i);
+    }
+  }
+
+  if (winner < 0) {
+    result.reason = "no strategy in the portfolio found a feasible "
+                    "assignment (first failure — " +
+                    first_failure + ")";
+    return result;
+  }
+
+  core::MappingResult committed = commit_assignment(
+      app, impl_of, trials[static_cast<std::size_t>(winner)].element_of,
+      platform, options_.weights, options_.bonuses);
+  committed.stats = trials[static_cast<std::size_t>(winner)].stats;
+  return committed;
+}
+
+}  // namespace kairos::mappers

@@ -1,0 +1,45 @@
+// Portfolio meta-mapper: race several strategies, commit the cheapest.
+//
+// Algorithm-portfolio selection for the mapping phase: each inner strategy
+// runs against its own copy of the platform (optionally on a worker thread
+// via std::async — the copies make the runs trivially thread-safe), the
+// feasible results are scored with the stationary layout cost on the *real*
+// platform state, and only the winner's assignment is committed atomically.
+// The real platform is never touched by the losing trials, so the portfolio
+// inherits the rollback-safety of commit_assignment. A single slow or
+// failing strategy costs wall-clock but never correctness: if any inner
+// strategy finds a feasible assignment, the portfolio succeeds.
+#pragma once
+
+#include <memory>
+
+#include "mappers/mapper.hpp"
+
+namespace kairos::mappers {
+
+class PortfolioMapper final : public Mapper {
+ public:
+  /// Builds the inner strategies from options.portfolio via the registry
+  /// (an empty list selects incremental, heft, sa and first_fit).
+  /// "portfolio" itself is skipped to keep construction non-recursive; any
+  /// unknown name is remembered and makes every map() call fail, so a
+  /// misconfigured portfolio cannot silently race fewer strategies.
+  explicit PortfolioMapper(MapperOptions options = {});
+
+  std::string name() const override { return "portfolio"; }
+
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const override;
+
+  /// The strategies actually raced (after default-expansion and filtering).
+  std::vector<std::string> strategy_names() const;
+
+ private:
+  MapperOptions options_;
+  std::vector<std::shared_ptr<Mapper>> strategies_;
+  std::string config_error_;
+};
+
+}  // namespace kairos::mappers

@@ -1,0 +1,77 @@
+#include "mappers/registry.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "mappers/baseline_mappers.hpp"
+#include "mappers/heft_mapper.hpp"
+#include "mappers/incremental_mapper.hpp"
+#include "mappers/portfolio_mapper.hpp"
+#include "mappers/sa_mapper.hpp"
+
+namespace kairos::mappers {
+
+namespace {
+
+using Factory =
+    std::function<std::shared_ptr<Mapper>(const MapperOptions&)>;
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> table = {
+      {"incremental",
+       [](const MapperOptions& o) {
+         return std::make_shared<IncrementalStrategy>(o);
+       }},
+      {"first_fit",
+       [](const MapperOptions& o) {
+         return std::make_shared<FirstFitStrategy>(o.weights, o.bonuses);
+       }},
+      {"random",
+       [](const MapperOptions& o) {
+         return std::make_shared<RandomStrategy>(o.seed, o.weights,
+                                                 o.bonuses);
+       }},
+      {"heft",
+       [](const MapperOptions& o) { return std::make_shared<HeftMapper>(o); }},
+      {"sa",
+       [](const MapperOptions& o) { return std::make_shared<SaMapper>(o); }},
+      {"portfolio",
+       [](const MapperOptions& o) {
+         return std::make_shared<PortfolioMapper>(o);
+       }},
+  };
+  return table;
+}
+
+}  // namespace
+
+util::Result<std::shared_ptr<Mapper>> make(const std::string& name,
+                                           const MapperOptions& options) {
+  const auto& table = registry();
+  const auto it = table.find(name);
+  if (it == table.end()) {
+    std::string known;
+    for (const auto& [n, _] : table) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return util::Error("unknown mapper strategy '" + name + "' (known: " +
+                       known + ")");
+  }
+  return it->second(options);
+}
+
+std::vector<std::string> available() {
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const auto& [name, _] : registry()) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_registered(const std::string& name) {
+  return registry().count(name) > 0;
+}
+
+}  // namespace kairos::mappers

@@ -1,0 +1,29 @@
+// The mapper-strategy registry: string name -> constructed strategy.
+//
+// Every component that lets a user choose a mapping strategy (the CLI's
+// --mapper flag, the scenario simulator, the strategy-matrix bench) resolves
+// the choice here, so adding a strategy is one registration and zero touched
+// call sites.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mappers/mapper.hpp"
+#include "util/result.hpp"
+
+namespace kairos::mappers {
+
+/// Constructs the strategy registered under `name` with the given options.
+/// Fails with the list of known names when `name` is not registered.
+util::Result<std::shared_ptr<Mapper>> make(const std::string& name,
+                                           const MapperOptions& options = {});
+
+/// The registered strategy names, sorted.
+std::vector<std::string> available();
+
+/// True iff `name` is registered.
+bool is_registered(const std::string& name);
+
+}  // namespace kairos::mappers

@@ -1,0 +1,171 @@
+#include "mappers/sa_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mappers/placement.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::mappers {
+
+using graph::TaskId;
+using platform::ElementId;
+using platform::Platform;
+using platform::ResourceVector;
+
+core::MappingResult SaMapper::map(const graph::Application& app,
+                                  const std::vector<int>& impl_of,
+                                  const core::PinTable& pins,
+                                  Platform& platform) const {
+  core::MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  assert(impl_of.size() == app.task_count());
+  assert(pins.size() == app.task_count());
+
+  const auto requirements = requirements_of(app, impl_of);
+  const auto targets = targets_of(app, impl_of);
+  util::Xoshiro256 rng(options_.seed);
+  DistanceCache distances(platform);
+
+  // Private planning state: free capacities and the current assignment.
+  std::vector<ResourceVector> free(platform.element_count());
+  for (const auto& e : platform.elements()) {
+    free[static_cast<std::size_t>(e.id().value)] = e.free();
+  }
+
+  // --- initial feasible assignment: first fit -----------------------------
+  std::vector<ElementId> current(app.task_count());
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    ElementId chosen;
+    for (const auto& e : platform.elements()) {
+      if (can_host(platform, e.id(), targets[idx], requirements[idx],
+                   free[static_cast<std::size_t>(e.id().value)], pins[idx])) {
+        chosen = e.id();
+        break;
+      }
+    }
+    if (!chosen.valid()) {
+      result.reason =
+          "no available element for task '" + task.name() + "'";
+      return result;
+    }
+    free[static_cast<std::size_t>(chosen.value)] -= requirements[idx];
+    current[idx] = chosen;
+  }
+
+  auto evaluate = [&](const std::vector<ElementId>& element_of) {
+    return assignment_cost(app, platform, element_of, options_.weights,
+                           options_.bonuses, distances);
+  };
+
+  // Tasks the neighborhood may touch (pinned tasks stay put).
+  std::vector<std::size_t> movable;
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    if (!pins[t].has_value()) movable.push_back(t);
+  }
+
+  double current_cost = evaluate(current);
+  std::vector<ElementId> best = current;
+  double best_cost = current_cost;
+  const double initial_cost = std::max(current_cost, 1.0);
+
+  if (!movable.empty()) {
+    // Geometric cooling from T=1 down over the configured move budget.
+    const int per_temperature = std::max(1, options_.sa_moves_per_temperature);
+    const int steps =
+        std::max(1, options_.sa_iterations / per_temperature);
+    double temperature = 1.0;
+
+    for (int step = 0; step < steps; ++step) {
+      for (int i = 0; i < per_temperature; ++i) {
+        ++result.stats.iterations;
+        const std::size_t t = movable[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(movable.size()) - 1))];
+        const ElementId from = current[t];
+        const auto fidx = static_cast<std::size_t>(from.value);
+
+        // Half the moves relocate t; the other half exchange t with a
+        // same-type peer.
+        const bool try_swap = movable.size() > 1 && rng.bernoulli(0.5);
+
+        if (!try_swap) {
+          // Candidate elements that could host t once it leaves `from`.
+          std::vector<ElementId> candidates;
+          for (const auto& e : platform.elements()) {
+            if (e.id() == from) continue;
+            if (can_host(platform, e.id(), targets[t], requirements[t],
+                         free[static_cast<std::size_t>(e.id().value)],
+                         pins[t])) {
+              candidates.push_back(e.id());
+            }
+          }
+          if (candidates.empty()) continue;
+          const ElementId to = candidates[static_cast<std::size_t>(
+              rng.uniform_int(0,
+                              static_cast<std::int64_t>(candidates.size()) -
+                                  1))];
+          std::vector<ElementId> trial = current;
+          trial[t] = to;
+          const double trial_cost = evaluate(trial);
+          const double delta = trial_cost - current_cost;
+          if (delta < 0.0 ||
+              rng.uniform01() <
+                  std::exp(-2.0 * delta / (temperature * initial_cost))) {
+            free[fidx] += requirements[t];
+            free[static_cast<std::size_t>(to.value)] -= requirements[t];
+            current = std::move(trial);
+            current_cost = trial_cost;
+          }
+        } else {
+          const std::size_t u = movable[static_cast<std::size_t>(
+              rng.uniform_int(0,
+                              static_cast<std::int64_t>(movable.size()) - 1))];
+          if (u == t || targets[u] != targets[t] || current[u] == from) {
+            continue;
+          }
+          const ElementId other = current[u];
+          const auto oidx = static_cast<std::size_t>(other.value);
+          // Feasibility after the exchange: each destination must fit the
+          // incoming requirement once the outgoing one is released.
+          const ResourceVector from_free =
+              free[fidx] + requirements[t] - requirements[u];
+          const ResourceVector other_free =
+              free[oidx] + requirements[u] - requirements[t];
+          if (!requirements[u].fits_within(free[fidx] + requirements[t]) ||
+              !requirements[t].fits_within(free[oidx] + requirements[u])) {
+            continue;
+          }
+          std::vector<ElementId> trial = current;
+          trial[t] = other;
+          trial[u] = from;
+          const double trial_cost = evaluate(trial);
+          const double delta = trial_cost - current_cost;
+          if (delta < 0.0 ||
+              rng.uniform01() <
+                  std::exp(-2.0 * delta / (temperature * initial_cost))) {
+            free[fidx] = from_free;
+            free[oidx] = other_free;
+            current = std::move(trial);
+            current_cost = trial_cost;
+          }
+        }
+
+        if (current_cost < best_cost) {
+          best_cost = current_cost;
+          best = current;
+        }
+      }
+      temperature *= options_.sa_cooling;
+    }
+  }
+
+  // One atomic allocation of the best assignment found.
+  core::MappingResult committed = commit_assignment(
+      app, impl_of, best, platform, options_.weights, options_.bonuses);
+  committed.stats = result.stats;
+  return committed;
+}
+
+}  // namespace kairos::mappers

@@ -1,0 +1,41 @@
+// Simulated-annealing mapper: local search over complete assignments.
+//
+// The incremental mapper of §III is a constructive one-pass heuristic — it
+// never revisits a placement. SA is its iterative counterpart: start from a
+// feasible greedy assignment, then repeatedly perturb it (move one task to
+// another feasible element, or swap two tasks of the same target type),
+// accepting worse assignments with Metropolis probability exp(-Δ/(T·C₀))
+// under a geometric cooling schedule. The objective is the stationary layout
+// cost of the existing cost model (communication bandwidth × hops +
+// discounted fragmentation, the same weights the incremental mapper uses).
+//
+// All trial moves are evaluated against a private copy of the element free
+// capacities — the platform itself is only touched by the final atomic
+// commit of the best assignment found, so a failed or interrupted search
+// leaves no residue (rollback-safe by construction). Deterministic for a
+// given MapperOptions::seed.
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace kairos::mappers {
+
+class SaMapper final : public Mapper {
+ public:
+  explicit SaMapper(MapperOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "sa"; }
+
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const override;
+
+  const MapperOptions& options() const { return options_; }
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace kairos::mappers

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "mappers/registry.hpp"
 #include "platform/fragmentation.hpp"
 #include "util/rng.hpp"
 
@@ -34,6 +35,22 @@ ScenarioStats run_scenario(core::ResourceManager& manager,
   assert(config.mean_lifetime > 0.0);
 
   ScenarioStats stats;
+  if (!config.mapper.empty()) {
+    mappers::MapperOptions options;
+    options.weights = manager.config().weights;
+    options.bonuses = manager.config().bonuses;
+    options.extra_rings = manager.config().extra_rings;
+    options.exact_knapsack = manager.config().exact_knapsack;
+    options.seed = config.seed;
+    auto made = mappers::make(config.mapper, options);
+    if (!made.ok()) {
+      // Fail loudly: running the manager's previous strategy here would
+      // attribute every statistic to a mapper that never executed.
+      stats.mapper_error = made.error();
+      return stats;
+    }
+    manager.set_mapper(std::move(made).value());
+  }
   util::Xoshiro256 rng(config.seed);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
 
@@ -51,6 +68,8 @@ ScenarioStats run_scenario(core::ResourceManager& manager,
       const core::AdmissionReport report = manager.admit(pool[pick]);
       if (report.admitted) {
         ++stats.admitted;
+        stats.mapping_cost.add(report.mapping_cost);
+        stats.mapping_ms.add(report.times.mapping_ms);
         events.push(Event{event.time + exponential(rng, config.mean_lifetime),
                           false, report.handle});
       } else {

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/resource_manager.hpp"
@@ -26,6 +27,11 @@ struct ScenarioConfig {
   double mean_lifetime = 40.0;  ///< expected application lifetime
   double horizon = 1000.0;      ///< simulated duration
   std::uint64_t seed = 1;
+  /// Mapping strategy for the run, resolved through mappers::make() with the
+  /// manager's cost weights (and this config's seed) and installed on the
+  /// manager before the first arrival. Empty keeps whatever strategy the
+  /// manager is already configured with.
+  std::string mapper;
 };
 
 struct ScenarioStats {
@@ -34,10 +40,20 @@ struct ScenarioStats {
   long departures = 0;
   std::array<long, 6> failures{};  ///< rejections by core::Phase
 
+  /// Non-empty iff ScenarioConfig::mapper could not be resolved; the
+  /// scenario then did not run (all counters zero). Checked so a typo in a
+  /// strategy name cannot silently attribute results to the wrong mapper.
+  std::string mapper_error;
+
   /// Sampled at every event, after processing it.
   util::RunningStats live_applications;
   util::RunningStats fragmentation;
   util::RunningStats compute_utilisation;
+
+  /// Per admitted application: the mapping phase's reported cost and
+  /// runtime — the quantities the mapper-strategy matrix compares.
+  util::RunningStats mapping_cost;
+  util::RunningStats mapping_ms;
 
   long rejected() const { return arrivals - admitted; }
   double admission_rate() const {

@@ -1,0 +1,164 @@
+// Tests for ResourceManager::defragment() — in particular the rollback path
+// the seed left untested: a failed re-admission must restore the platform
+// (and the manager's bookkeeping) exactly and keep every AppHandle valid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/resource_manager.hpp"
+#include "mappers/registry.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+#include "snapshot_helpers.hpp"
+
+namespace kairos::core {
+namespace {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementType;
+using platform::Platform;
+using platform::ResourceVector;
+
+Application make_dsp_app(const std::string& name, int tasks,
+                         std::int64_t compute = 400) {
+  Application app(name);
+  TaskId prev;
+  for (int i = 0; i < tasks; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    Implementation impl;
+    impl.target = ElementType::kDsp;
+    impl.requirement = ResourceVector(compute, 64, 0, 0);
+    impl.exec_time = 5;
+    app.task_mut(t).add_implementation(impl);
+    if (i > 0) app.add_channel(prev, t, 20);
+    prev = t;
+  }
+  return app;
+}
+
+using kairos::testing::snapshots_equal;
+
+TEST(DefragTest, EmptyManagerIsANoOp) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  const auto report = kairos.defragment();
+  EXPECT_TRUE(report.performed);
+  EXPECT_EQ(report.applications, 0);
+  EXPECT_DOUBLE_EQ(report.fragmentation_before, report.fragmentation_after);
+}
+
+TEST(DefragTest, SuccessfulPassKeepsHandlesValidAndStateConsistent) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  std::vector<AppHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    const auto report =
+        kairos.admit(make_dsp_app("app" + std::to_string(i), 3));
+    if (report.admitted) handles.push_back(report.handle);
+  }
+  ASSERT_GE(handles.size(), 3u);
+
+  const auto report = kairos.defragment();
+  EXPECT_TRUE(report.performed);
+  EXPECT_EQ(report.applications, static_cast<int>(handles.size()));
+  EXPECT_EQ(kairos.live_count(), handles.size());
+  EXPECT_TRUE(p.invariants_hold());
+
+  // Every original handle still resolves; removal restores the empty state.
+  const auto live = kairos.live_handles();
+  for (const AppHandle h : handles) {
+    EXPECT_NE(std::find(live.begin(), live.end(), h), live.end());
+    ASSERT_TRUE(kairos.remove(h).ok()) << "handle " << h;
+  }
+  EXPECT_EQ(kairos.live_count(), 0u);
+}
+
+// The rollback path: an element failure between admission and the pass makes
+// one re-admission impossible. The pass must restore the pre-defrag platform
+// state exactly and keep all handles (including the victim's) usable.
+TEST(DefragTest, FailedReadmissionRollsBackAtomically) {
+  Platform p = platform::make_crisp_platform();
+  ResourceManager kairos(p);
+  std::vector<AppHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    const auto report =
+        kairos.admit(make_dsp_app("app" + std::to_string(i), 3));
+    ASSERT_TRUE(report.admitted) << report.reason;
+    handles.push_back(report.handle);
+  }
+
+  // Fail enough DSPs that the displaced applications cannot all fit again.
+  // Allocations on the failed elements stay in place — exactly the fault
+  // scenario defragmentation may run into.
+  int failed = 0;
+  for (const auto& e : p.elements()) {
+    if (e.type() == ElementType::kDsp && failed < 42) {
+      p.set_element_failed(e.id(), true);
+      ++failed;
+    }
+  }
+
+  const auto before = p.snapshot();
+  const double frag_before = platform::external_fragmentation(p);
+
+  const auto report = kairos.defragment();
+  EXPECT_FALSE(report.performed);
+  EXPECT_DOUBLE_EQ(report.fragmentation_before, frag_before);
+  EXPECT_DOUBLE_EQ(report.fragmentation_after, frag_before);
+
+  // Platform state is bit-identical to before the pass.
+  EXPECT_TRUE(snapshots_equal(before, p.snapshot()));
+  EXPECT_TRUE(p.invariants_hold());
+
+  // All handles survived the rolled-back pass.
+  EXPECT_EQ(kairos.live_count(), handles.size());
+  for (const AppHandle h : handles) {
+    ASSERT_TRUE(kairos.remove(h).ok()) << "handle " << h;
+  }
+  EXPECT_EQ(kairos.live_count(), 0u);
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+// Defragmentation re-admits through the configured strategy — a pass under a
+// registry strategy is just as atomic.
+TEST(DefragTest, RollbackHoldsUnderRegistryStrategies) {
+  for (const std::string name : {"heft", "sa"}) {
+    Platform p = platform::make_crisp_platform();
+    KairosConfig config;
+    config.weights = {4.0, 100.0};
+    mappers::MapperOptions options;
+    options.weights = config.weights;
+    config.mapper = mappers::make(name, options).value();
+    ResourceManager kairos(p, config);
+
+    std::vector<AppHandle> handles;
+    for (int i = 0; i < 3; ++i) {
+      const auto report =
+          kairos.admit(make_dsp_app("app" + std::to_string(i), 3));
+      ASSERT_TRUE(report.admitted) << name << ": " << report.reason;
+      handles.push_back(report.handle);
+    }
+
+    int failed = 0;
+    for (const auto& e : p.elements()) {
+      if (e.type() == ElementType::kDsp && failed < 42) {
+        p.set_element_failed(e.id(), true);
+        ++failed;
+      }
+    }
+
+    const auto before = p.snapshot();
+    const auto report = kairos.defragment();
+    EXPECT_FALSE(report.performed) << name;
+    EXPECT_TRUE(snapshots_equal(before, p.snapshot())) << name;
+    EXPECT_EQ(kairos.live_count(), handles.size()) << name;
+    for (const AppHandle h : handles) {
+      ASSERT_TRUE(kairos.remove(h).ok()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kairos::core

@@ -55,8 +55,12 @@ TEST(GeneratorTest, EveryNonIoTaskIsWired) {
     const bool is_input = task.id().value == 0;
     const bool is_output =
         task.id().value == static_cast<std::int32_t>(app.task_count()) - 1;
-    if (!is_input) EXPECT_FALSE(app.in_channels(task.id()).empty());
-    if (!is_output) EXPECT_FALSE(app.out_channels(task.id()).empty());
+    if (!is_input) {
+      EXPECT_FALSE(app.in_channels(task.id()).empty());
+    }
+    if (!is_output) {
+      EXPECT_FALSE(app.out_channels(task.id()).empty());
+    }
   }
 }
 

@@ -86,7 +86,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   util::Stopwatch watch;
   // Burn a little CPU deterministically.
   volatile double x = 0.0;
-  for (int i = 0; i < 100000; ++i) x += static_cast<double>(i) * 1e-9;
+  for (int i = 0; i < 100000; ++i) x = x + static_cast<double>(i) * 1e-9;
   EXPECT_GT(watch.elapsed_us(), 0.0);
   EXPECT_GE(watch.elapsed_ms() * 1000.0, watch.elapsed_us() * 0.5);
   watch.reset();

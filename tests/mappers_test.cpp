@@ -1,0 +1,322 @@
+// Tests for the pluggable mapper-strategy subsystem: the registry, the
+// contract every strategy shares (feasible type-correct layouts, allocation
+// on success, atomic rollback on failure), determinism of the stochastic
+// strategies, and the pinned behaviour that mappers::make("incremental")
+// reproduces the seed IncrementalMapper exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/resource_manager.hpp"
+#include "graph/application.hpp"
+#include "mappers/incremental_mapper.hpp"
+#include "mappers/portfolio_mapper.hpp"
+#include "mappers/registry.hpp"
+#include "platform/crisp.hpp"
+#include "snapshot_helpers.hpp"
+
+namespace kairos::mappers {
+namespace {
+
+using graph::Application;
+using graph::Implementation;
+using graph::TaskId;
+using platform::ElementType;
+using platform::Platform;
+using platform::ResourceVector;
+
+/// The quickstart workload: FPGA source -> two DSP filters -> ARM sink.
+Application make_quickstart_app() {
+  Application app("quickstart");
+  const TaskId source = app.add_task("source");
+  const TaskId filter_a = app.add_task("filter_a");
+  const TaskId filter_b = app.add_task("filter_b");
+  const TaskId sink = app.add_task("sink");
+
+  Implementation fpga_io;
+  fpga_io.name = "io";
+  fpga_io.target = ElementType::kFpga;
+  fpga_io.requirement = ResourceVector(500, 128, 2, 4);
+  fpga_io.exec_time = 10;
+  app.task_mut(source).add_implementation(fpga_io);
+
+  auto dsp_impl = [](std::int64_t compute, double cost) {
+    Implementation impl;
+    impl.name = "dsp-v1";
+    impl.target = ElementType::kDsp;
+    impl.requirement = ResourceVector(compute, 128, 1, 1);
+    impl.cost = cost;
+    impl.exec_time = 25;
+    return impl;
+  };
+  app.task_mut(filter_a).add_implementation(dsp_impl(600, 3.0));
+  app.task_mut(filter_a).add_implementation(dsp_impl(300, 5.0));
+  app.task_mut(filter_b).add_implementation(dsp_impl(450, 2.0));
+
+  Implementation arm_sink;
+  arm_sink.name = "host";
+  arm_sink.target = ElementType::kArm;
+  arm_sink.requirement = ResourceVector(200, 512, 1, 0);
+  arm_sink.exec_time = 15;
+  app.task_mut(sink).add_implementation(arm_sink);
+
+  app.add_channel(source, filter_a, 80);
+  app.add_channel(source, filter_b, 80);
+  app.add_channel(filter_a, sink, 40);
+  app.add_channel(filter_b, sink, 40);
+  return app;
+}
+
+/// An application no strategy can place: more DSP demand than one package
+/// offers, with every task forced onto DSPs.
+Application make_infeasible_app() {
+  Application app("too-big");
+  TaskId prev;
+  for (int i = 0; i < 30; ++i) {
+    const TaskId t = app.add_task("t" + std::to_string(i));
+    Implementation impl;
+    impl.target = ElementType::kDsp;
+    impl.requirement = ResourceVector(900, 128, 1, 1);
+    app.task_mut(t).add_implementation(impl);
+    if (i > 0) app.add_channel(prev, t, 10);
+    prev = t;
+  }
+  return app;
+}
+
+MapperOptions paper_options() {
+  MapperOptions options;
+  options.weights = {4.0, 100.0};
+  return options;
+}
+
+using kairos::testing::snapshots_equal;
+
+TEST(MapperRegistryTest, ListsTheExpectedStrategies) {
+  const auto names = available();
+  for (const char* expected : {"incremental", "first_fit", "random", "heft",
+                               "sa", "portfolio"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    EXPECT_TRUE(is_registered(expected)) << expected;
+  }
+}
+
+TEST(MapperRegistryTest, MakeConstructsEveryRegisteredStrategy) {
+  for (const auto& name : available()) {
+    const auto made = make(name, paper_options());
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_EQ(made.value()->name(), name);
+  }
+}
+
+TEST(MapperRegistryTest, UnknownNameFailsWithKnownList) {
+  const auto made = make("simulated-annealing");
+  ASSERT_FALSE(made.ok());
+  EXPECT_NE(made.error().find("unknown mapper strategy"), std::string::npos);
+  EXPECT_NE(made.error().find("incremental"), std::string::npos);
+}
+
+// The registry-coverage contract: every strategy admits the quickstart
+// workload through the full four-phase pipeline on the paper's reference
+// platform, producing a feasible, validation-passing layout.
+TEST(MapperRegistryTest, EveryStrategyAdmitsTheQuickstartWorkload) {
+  const Application app = make_quickstart_app();
+  for (const auto& name : available()) {
+    Platform crisp = platform::make_crisp_platform();
+    core::KairosConfig config;
+    config.weights = {4.0, 100.0};
+    config.mapper = make(name, paper_options()).value();
+    core::ResourceManager kairos(crisp, config);
+
+    const auto report = kairos.admit(app);
+    ASSERT_TRUE(report.admitted) << name << ": " << report.reason;
+    EXPECT_GT(report.throughput, 0.0) << name;
+
+    // Type-correct placement on elements that really hold the allocation.
+    for (const auto& task : app.tasks()) {
+      const auto& placement = report.layout.placement(task.id());
+      ASSERT_TRUE(placement.element.valid()) << name;
+      const auto& impl = task.implementations().at(
+          static_cast<std::size_t>(placement.impl_index));
+      EXPECT_EQ(crisp.element(placement.element).type(), impl.target)
+          << name << " task " << task.name();
+      EXPECT_TRUE(crisp.element(placement.element).is_used()) << name;
+    }
+    EXPECT_TRUE(crisp.invariants_hold()) << name;
+
+    // Removal releases everything the strategy allocated.
+    ASSERT_TRUE(kairos.remove(report.handle).ok()) << name;
+  }
+}
+
+TEST(MapperContractTest, FailuresAreAtomicForEveryStrategy) {
+  const Application app = make_infeasible_app();
+  ASSERT_TRUE(app.validate().ok());
+  for (const auto& name : available()) {
+    platform::CrispConfig cfg;
+    cfg.packages = 1;
+    Platform crisp = platform::make_crisp_platform(cfg);
+    const auto before = crisp.snapshot();
+
+    const auto mapper = make(name, paper_options()).value();
+    const core::PinTable pins(app.task_count());
+    const std::vector<int> impl_of(app.task_count(), 0);
+    const auto result = mapper->map(app, impl_of, pins, crisp);
+    EXPECT_FALSE(result.ok) << name;
+    EXPECT_FALSE(result.reason.empty()) << name;
+    EXPECT_TRUE(snapshots_equal(before, crisp.snapshot())) << name;
+  }
+}
+
+TEST(MapperContractTest, SuccessLeavesDemandsAllocated) {
+  const Application app = make_quickstart_app();
+  for (const auto& name : available()) {
+    Platform crisp = platform::make_crisp_platform();
+    const auto before = crisp.snapshot();
+    const auto pins = core::resolve_pins(app, crisp);
+    ASSERT_TRUE(pins.ok());
+    const core::BindingPhase binding(crisp);
+    const auto bound = binding.bind(app, pins.value());
+    ASSERT_TRUE(bound.ok);
+
+    const auto mapper = make(name, paper_options()).value();
+    const auto result = mapper->map(app, bound.impl_of, pins.value(), crisp);
+    ASSERT_TRUE(result.ok) << name << ": " << result.reason;
+    EXPECT_FALSE(snapshots_equal(before, crisp.snapshot())) << name;
+    EXPECT_TRUE(crisp.invariants_hold()) << name;
+    for (const auto& task : app.tasks()) {
+      EXPECT_TRUE(
+          result.element_of[static_cast<std::size_t>(task.id().value)]
+              .valid())
+          << name << " task " << task.name();
+    }
+  }
+}
+
+// mappers::make("incremental") must reproduce the seed IncrementalMapper
+// bit-for-bit: same elements, same cost, same stats.
+TEST(IncrementalStrategyTest, MatchesTheSeedIncrementalMapperExactly) {
+  const Application app = make_quickstart_app();
+  const core::MapperConfig config{{4.0, 100.0}, {}, 1, false};
+
+  Platform direct_platform = platform::make_crisp_platform();
+  Platform strategy_platform = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, direct_platform);
+  ASSERT_TRUE(pins.ok());
+  const core::BindingPhase binding(direct_platform);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  const core::IncrementalMapper direct(config);
+  const auto direct_result =
+      direct.map(app, bound.impl_of, pins.value(), direct_platform);
+
+  const auto strategy = make("incremental", paper_options()).value();
+  const auto strategy_result =
+      strategy->map(app, bound.impl_of, pins.value(), strategy_platform);
+
+  ASSERT_TRUE(direct_result.ok);
+  ASSERT_TRUE(strategy_result.ok);
+  EXPECT_EQ(direct_result.element_of, strategy_result.element_of);
+  EXPECT_DOUBLE_EQ(direct_result.total_cost, strategy_result.total_cost);
+  EXPECT_EQ(direct_result.stats.iterations, strategy_result.stats.iterations);
+  EXPECT_EQ(direct_result.stats.rings, strategy_result.stats.rings);
+  EXPECT_TRUE(snapshots_equal(direct_platform.snapshot(),
+                              strategy_platform.snapshot()));
+}
+
+TEST(SaMapperTest, DeterministicPerSeedAndNoWorseThanFirstFit) {
+  const Application app = make_quickstart_app();
+
+  auto run = [&](const std::string& name, std::uint64_t seed) {
+    Platform crisp = platform::make_crisp_platform();
+    auto options = paper_options();
+    options.seed = seed;
+    const auto pins = core::resolve_pins(app, crisp);
+    const core::BindingPhase binding(crisp);
+    const auto bound = binding.bind(app, pins.value());
+    return make(name, options).value()->map(app, bound.impl_of, pins.value(),
+                                            crisp);
+  };
+
+  const auto a = run("sa", 7);
+  const auto b = run("sa", 7);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.element_of, b.element_of);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+
+  // SA starts from first fit and only ever keeps improvements of the same
+  // stationary objective, so it can never end up worse.
+  const auto ff = run("first_fit", 7);
+  ASSERT_TRUE(ff.ok);
+  EXPECT_LE(a.total_cost, ff.total_cost);
+}
+
+TEST(PortfolioMapperTest, RacesDefaultStrategiesAndBeatsEachMember) {
+  const Application app = make_quickstart_app();
+  auto options = paper_options();
+  options.portfolio_parallel = true;
+
+  const PortfolioMapper portfolio(options);
+  const auto members = portfolio.strategy_names();
+  EXPECT_GE(members.size(), 3u);
+
+  Platform crisp = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, crisp);
+  const core::BindingPhase binding(crisp);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  const auto result = portfolio.map(app, bound.impl_of, pins.value(), crisp);
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_TRUE(crisp.invariants_hold());
+
+  // The winner's stationary cost is no worse than any member run alone.
+  for (const auto& member : members) {
+    Platform member_platform = platform::make_crisp_platform();
+    const auto member_result =
+        make(member, options).value()->map(app, bound.impl_of, pins.value(),
+                                           member_platform);
+    if (!member_result.ok) continue;
+    const double member_cost = core::layout_cost(
+        app, member_platform, member_result.element_of, options.weights);
+    EXPECT_LE(result.total_cost, member_cost + 1e-9) << member;
+  }
+}
+
+TEST(PortfolioMapperTest, UnknownMemberNameFailsEveryMapLoudly) {
+  auto options = paper_options();
+  options.portfolio = {"first_fit", "heftt"};  // typo'd member
+  const PortfolioMapper portfolio(options);
+
+  const Application app = make_quickstart_app();
+  Platform crisp = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, crisp);
+  const core::BindingPhase binding(crisp);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  const auto before = crisp.snapshot();
+  const auto result = portfolio.map(app, bound.impl_of, pins.value(), crisp);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.reason.find("misconfigured"), std::string::npos);
+  EXPECT_NE(result.reason.find("heftt"), std::string::npos);
+  EXPECT_TRUE(kairos::testing::snapshots_equal(before, crisp.snapshot()));
+}
+
+TEST(PortfolioMapperTest, ExplicitStrategyListIsHonored) {
+  auto options = paper_options();
+  options.portfolio = {"first_fit", "heft", "portfolio"};
+  const PortfolioMapper portfolio(options);
+  // "portfolio" is filtered out (no recursion); the rest are kept in order.
+  EXPECT_EQ(portfolio.strategy_names(),
+            (std::vector<std::string>{"first_fit", "heft"}));
+}
+
+}  // namespace
+}  // namespace kairos::mappers

@@ -6,6 +6,7 @@
 #include "core/resource_manager.hpp"
 #include "platform/builders.hpp"
 #include "platform/crisp.hpp"
+#include "snapshot_helpers.hpp"
 
 namespace kairos::core {
 namespace {
@@ -46,20 +47,7 @@ Application make_stream_app(std::int64_t bandwidth = 40) {
   return app;
 }
 
-bool snapshots_equal(const platform::Snapshot& a,
-                     const platform::Snapshot& b) {
-  if (a.elements.size() != b.elements.size()) return false;
-  if (a.links.size() != b.links.size()) return false;
-  for (std::size_t i = 0; i < a.elements.size(); ++i) {
-    if (!(a.elements[i].used == b.elements[i].used)) return false;
-    if (a.elements[i].task_count != b.elements[i].task_count) return false;
-  }
-  for (std::size_t i = 0; i < a.links.size(); ++i) {
-    if (a.links[i].vc_used != b.links[i].vc_used) return false;
-    if (a.links[i].bw_used != b.links[i].bw_used) return false;
-  }
-  return true;
-}
+using kairos::testing::snapshots_equal;
 
 TEST(ResourceManagerTest, AdmitsAndReportsAllPhases) {
   Platform p = platform::make_crisp_platform();

@@ -3,6 +3,7 @@
 
 #include "core/resource_manager.hpp"
 #include "gen/datasets.hpp"
+#include "mappers/mapper.hpp"
 #include "platform/crisp.hpp"
 #include "sim/scenario.hpp"
 
@@ -98,6 +99,31 @@ TEST(ScenarioTest, StatsSeriesArePopulated) {
   EXPECT_LE(stats.fragmentation.max(), 1.0);
   EXPECT_GE(stats.compute_utilisation.max(), 0.0);
   EXPECT_LE(stats.compute_utilisation.max(), 1.0);
+}
+
+TEST(ScenarioTest, MapperSelectionIsApplied) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager manager(crisp, config());
+  ScenarioConfig scenario;
+  scenario.horizon = 200.0;
+  scenario.mapper = "heft";
+  const ScenarioStats stats = run_scenario(manager, small_pool(), scenario);
+  EXPECT_TRUE(stats.mapper_error.empty()) << stats.mapper_error;
+  EXPECT_GT(stats.arrivals, 0);
+  EXPECT_EQ(manager.mapper().name(), "heft");
+}
+
+TEST(ScenarioTest, UnknownMapperNameFailsLoudlyWithoutRunning) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager manager(crisp, config());
+  ScenarioConfig scenario;
+  scenario.mapper = "anealing";  // typo
+  const ScenarioStats stats = run_scenario(manager, small_pool(), scenario);
+  EXPECT_FALSE(stats.mapper_error.empty());
+  EXPECT_NE(stats.mapper_error.find("anealing"), std::string::npos);
+  EXPECT_EQ(stats.arrivals, 0);
+  // The manager keeps its previous (default) strategy.
+  EXPECT_EQ(manager.mapper().name(), "incremental");
 }
 
 }  // namespace

@@ -1,0 +1,25 @@
+// Shared test helper: structural equality of platform snapshots, used by
+// every suite asserting allocation atomicity (admission, mapping strategies,
+// defragmentation).
+#pragma once
+
+#include "platform/platform.hpp"
+
+namespace kairos::testing {
+
+inline bool snapshots_equal(const platform::Snapshot& a,
+                            const platform::Snapshot& b) {
+  if (a.elements.size() != b.elements.size()) return false;
+  if (a.links.size() != b.links.size()) return false;
+  for (std::size_t i = 0; i < a.elements.size(); ++i) {
+    if (!(a.elements[i].used == b.elements[i].used)) return false;
+    if (a.elements[i].task_count != b.elements[i].task_count) return false;
+  }
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    if (a.links[i].vc_used != b.links[i].vc_used) return false;
+    if (a.links[i].bw_used != b.links[i].bw_used) return false;
+  }
+  return true;
+}
+
+}  // namespace kairos::testing
