@@ -7,18 +7,110 @@
 // only in the strategy driving the mapping phase. Reported per cell:
 // admission rate, mean mapping cost of admitted applications, mean mapping
 // time, mean platform fragmentation, and the wall-clock of the whole run.
+//
+// A second section races SA with full per-move re-evaluation against SA on
+// the incremental DeltaCostEvaluator on a 200+-task generated application:
+// the trajectories must be bit-identical (exit 1 otherwise) and the delta
+// path's speedup is reported.
+//
+// `--smoke` shrinks the matrix and the SA move budget so CI can run the
+// whole binary in seconds.
 #include <cstdio>
+#include <cstring>
 
+#include "core/binding.hpp"
 #include "gen/datasets.hpp"
+#include "gen/generator.hpp"
 #include "mappers/registry.hpp"
+#include "mappers/sa_mapper.hpp"
+#include "platform/builders.hpp"
 #include "platform/crisp.hpp"
 #include "sim/scenario.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+namespace {
+
+/// SA full-re-evaluation vs delta-evaluation on one large application.
+/// Returns false when the two trajectories diverge.
+bool run_delta_speedup(bool smoke) {
   using namespace kairos;
+
+  gen::GeneratorConfig config;
+  config.target = platform::ElementType::kGeneric;
+  config.io_on_boundary = false;
+  config.min_implementations = 1;
+  config.max_implementations = 1;
+  config.input_tasks = 4;
+  config.internal_tasks = 200;
+  config.output_tasks = 4;
+  config.min_intensity = 0.05;
+  config.max_intensity = 0.30;
+  util::Xoshiro256 rng(0xDE17A);
+  const graph::Application app =
+      gen::generate_application(config, rng, "speedup-208");
+  platform::Platform mesh = platform::make_mesh(16, 16);
+
+  mappers::MapperOptions options;
+  options.weights = {4.0, 100.0};
+  options.sa_iterations = smoke ? 4000 : 20000;
+  const std::vector<int> impl_of(app.task_count(), 0);
+  const core::PinTable pins(app.task_count());
+
+  auto race = [&](bool incremental, double& wall_ms) {
+    auto sa_options = options;
+    sa_options.sa_incremental = incremental;
+    platform::Platform copy = mesh;
+    const mappers::SaMapper sa(sa_options);
+    util::Stopwatch watch;
+    auto result = sa.map(app, impl_of, pins, copy);
+    wall_ms = watch.elapsed_ms();
+    return result;
+  };
+
+  double full_ms = 0.0;
+  double delta_ms = 0.0;
+  const auto full = race(false, full_ms);
+  const auto delta = race(true, delta_ms);
+
+  std::printf("SA delta-evaluation race: %zu tasks, %zu channels, %zu-element "
+              "mesh, %d trial moves\n",
+              app.task_count(), app.channel_count(), mesh.element_count(),
+              options.sa_iterations);
+  if (!full.ok || !delta.ok) {
+    std::fprintf(stderr, "speedup race failed to map: %s\n",
+                 (!full.ok ? full.reason : delta.reason).c_str());
+    return false;
+  }
+  if (full.element_of != delta.element_of ||
+      full.total_cost != delta.total_cost) {
+    std::fprintf(stderr,
+                 "BUG: delta-evaluation SA diverged from full re-evaluation "
+                 "(cost %.6f vs %.6f)\n",
+                 delta.total_cost, full.total_cost);
+    return false;
+  }
+  std::printf("  full re-evaluation: %8.1f ms\n", full_ms);
+  std::printf("  delta evaluation:   %8.1f ms\n", delta_ms);
+  std::printf("  speedup:            %8.1fx (identical trajectory, cost "
+              "%.1f)\n\n",
+              delta_ms > 0.0 ? full_ms / delta_ms : 0.0, delta.total_cost);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kairos;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  if (!run_delta_speedup(smoke)) return 1;
 
   struct PlatformSize {
     std::string name;
@@ -29,10 +121,13 @@ int main() {
     PlatformSize small{"crisp-2pkg", {}};
     small.config.packages = 2;
     sizes.push_back(small);
-    PlatformSize full{"crisp-5pkg", {}};
-    sizes.push_back(full);
+    if (!smoke) {
+      PlatformSize full{"crisp-5pkg", {}};
+      sizes.push_back(full);
+    }
   }
-  const std::vector<double> arrival_rates = {0.1, 0.3};
+  const std::vector<double> arrival_rates =
+      smoke ? std::vector<double>{0.3} : std::vector<double>{0.1, 0.3};
 
   core::KairosConfig kairos_config;
   kairos_config.weights = {4.0, 100.0};
@@ -59,8 +154,8 @@ int main() {
     platform::Platform filter_platform =
         platform::make_crisp_platform(size.config);
     auto pool = gen::filter_admissible(
-        gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 40,
-                          0xC0FFEE),
+        gen::make_dataset(gen::DatasetKind::kCommunicationSmall,
+                          smoke ? 20 : 40, 0xC0FFEE),
         filter_platform, kairos_config);
 
     for (const double rate : arrival_rates) {
@@ -71,7 +166,7 @@ int main() {
         sim::ScenarioConfig scenario;
         scenario.arrival_rate = rate;
         scenario.mean_lifetime = 30.0;
-        scenario.horizon = 250.0;
+        scenario.horizon = smoke ? 100.0 : 250.0;
         scenario.seed = 42;
         scenario.mapper = strategy;
 

@@ -6,11 +6,14 @@
 // specifications, admits them in order, and prints the execution layouts.
 //
 //   usage: kairos_cli [--wc <w>] [--wf <w>] [--mcr] [--mapper <name>]
-//                     [--seed <n>] [--platform <file>] <app-file>...
+//                     [--seed <n>] [--sa-full] [--cancel-bound <c>]
+//                     [--platform <file>] <app-file>...
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
-// the paper's incremental mapper. Exit code is the number of rejected
-// applications.
+// the paper's incremental mapper. --sa-full switches SA trial moves back to
+// full re-evaluation (same result, slower — for comparisons); --cancel-bound
+// lets the portfolio cancel losing strategies once a feasible winner costs
+// at most <c>. Exit code is the number of rejected applications.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,6 +58,8 @@ int main(int argc, char** argv) {
   std::string platform_path;
   std::string mapper_name;
   std::uint64_t seed = 0x5EEDULL;
+  bool sa_full = false;
+  double cancel_bound = -1.0;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -109,6 +114,13 @@ int main(int argc, char** argv) {
       }
       seed = static_cast<std::uint64_t>(std::strtoull(text.c_str(), nullptr,
                                                       10));
+    } else if (arg == "--sa-full") {
+      sa_full = true;
+    } else if (arg == "--cancel-bound") {
+      if (!next_value(cancel_bound)) {
+        std::fprintf(stderr, "--cancel-bound requires a value\n");
+        return 64;
+      }
     } else if (arg == "--platform") {
       if (!next_string(platform_path)) {
         std::fprintf(stderr, "--platform requires a file\n");
@@ -116,7 +128,7 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
-                  "[--mapper <%s>] [--seed n] "
+                  "[--mapper <%s>] [--seed n] [--sa-full] [--cancel-bound c] "
                   "[--platform file] <app-file>...\n",
                   mapper_list().c_str());
       return 0;
@@ -132,6 +144,8 @@ int main(int argc, char** argv) {
     options.extra_rings = config.extra_rings;
     options.exact_knapsack = config.exact_knapsack;
     options.seed = seed;
+    options.sa_incremental = !sa_full;
+    options.portfolio_cancel_bound = cancel_bound;
     auto made = mappers::make(mapper_name, options);
     if (!made.ok()) {
       std::fprintf(stderr, "%s\n", made.error().c_str());

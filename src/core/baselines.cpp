@@ -139,6 +139,58 @@ double layout_cost(const graph::Application& app, const Platform& platform,
          weights.fragmentation * fragmentation;
 }
 
+LayoutCostTerms layout_cost_terms(
+    const graph::Application& app, const Platform& platform,
+    const std::vector<ElementId>& element_of) {
+  LayoutCostTerms terms;
+
+  std::vector<std::vector<int>> dist_from(platform.element_count());
+  auto distance = [&](ElementId a, ElementId b) {
+    auto& row = dist_from[static_cast<std::size_t>(a.value)];
+    if (row.empty()) row = platform.hop_distances_from(a);
+    const int d = row[static_cast<std::size_t>(b.value)];
+    return d < 0 ? 2 * (platform.diameter() + 1) : d;
+  };
+
+  for (const auto& channel : app.channels()) {
+    const ElementId src =
+        element_of[static_cast<std::size_t>(channel.src.value)];
+    const ElementId dst =
+        element_of[static_cast<std::size_t>(channel.dst.value)];
+    if (!src.valid() || !dst.valid()) continue;
+    terms.comm_bw_hops +=
+        channel.bandwidth * static_cast<std::int64_t>(distance(src, dst));
+  }
+
+  std::vector<int> app_tasks_on(platform.element_count(), 0);
+  for (const ElementId e : element_of) {
+    if (e.valid()) ++app_tasks_on[static_cast<std::size_t>(e.value)];
+  }
+  for (const auto& task : app.tasks()) {
+    const ElementId e = element_of[static_cast<std::size_t>(task.id().value)];
+    if (!e.valid()) continue;
+    const auto peers = app.neighbors(task.id());
+    for (const ElementId n : platform.neighbors(e)) {
+      ++terms.frag_pairs;
+      bool hosts_peer = false;
+      for (const TaskId peer : peers) {
+        if (element_of[static_cast<std::size_t>(peer.value)] == n) {
+          hosts_peer = true;
+          break;
+        }
+      }
+      if (hosts_peer) {
+        ++terms.peer_pairs;
+      } else if (app_tasks_on[static_cast<std::size_t>(n.value)] > 0) {
+        ++terms.same_app_pairs;
+      } else if (platform.element(n).is_used()) {
+        ++terms.other_app_pairs;
+      }
+    }
+  }
+  return terms;
+}
+
 namespace {
 
 /// DFS state for the exhaustive optimal mapper.

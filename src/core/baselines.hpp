@@ -44,6 +44,17 @@ double layout_cost(const graph::Application& app,
                    const CostWeights& weights,
                    const FragmentationBonuses& bonuses = {});
 
+/// The exact integer term breakdown of layout_cost() (see LayoutCostTerms):
+/// communication as Σ bandwidth × hops and fragmentation as per-category
+/// pair counts, for a complete or partial assignment (unplaced tasks and
+/// channels with an unplaced endpoint are skipped). terms.value(weights,
+/// bonuses) equals layout_cost() up to floating-point summation order; it is
+/// the reference the incremental DeltaCostEvaluator of src/mappers/ is
+/// property-tested against.
+LayoutCostTerms layout_cost_terms(
+    const graph::Application& app, const platform::Platform& platform,
+    const std::vector<platform::ElementId>& element_of);
+
 /// Exhaustive branch-and-bound optimal mapping, minimising layout_cost()
 /// subject to element capacities — the stand-in for the ILP formulation the
 /// paper's §V wants to compare against. Exponential: guarded by

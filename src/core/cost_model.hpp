@@ -53,6 +53,47 @@ struct FragmentationBonuses {
   double other_app = 0.3;  ///< neighbor is used by another application
 };
 
+/// The stationary layout objective broken into exact integer terms.
+///
+/// Both components of the objective are sums whose summands are determined
+/// by *discrete* facts: the communication term sums bandwidth × hop counts
+/// (both integers), and the fragmentation term sums (1 - bonus) over
+/// (task, neighbor-element) pairs where the bonus is one of four categories.
+/// Holding the breakdown as integer counts instead of an accumulated double
+/// makes the objective order-independent: a from-scratch recount and an
+/// incrementally maintained count produce the *same* integers, so value()
+/// produces bit-identical doubles — the property the delta-cost evaluator
+/// of src/mappers/ relies on to keep search trajectories reproducible.
+struct LayoutCostTerms {
+  /// Σ over channels with both endpoints placed of bandwidth × hops.
+  std::int64_t comm_bw_hops = 0;
+  /// Total (task, neighbor-element) pairs over all placed tasks.
+  std::int64_t frag_pairs = 0;
+  /// Pairs whose neighbor hosts a communication peer of the task.
+  std::int64_t peer_pairs = 0;
+  /// Pairs whose neighbor hosts another task of the same application
+  /// (and no peer).
+  std::int64_t same_app_pairs = 0;
+  /// Pairs whose neighbor is used by another application only.
+  std::int64_t other_app_pairs = 0;
+
+  /// The weighted objective. Evaluated as one fixed expression so that equal
+  /// terms always yield the exact same double.
+  double value(const CostWeights& weights,
+               const FragmentationBonuses& bonuses) const {
+    const double fragmentation =
+        static_cast<double>(frag_pairs) -
+        bonuses.peer * static_cast<double>(peer_pairs) -
+        bonuses.same_app * static_cast<double>(same_app_pairs) -
+        bonuses.other_app * static_cast<double>(other_app_pairs);
+    return weights.communication * static_cast<double>(comm_bw_hops) +
+           weights.fragmentation * fragmentation;
+  }
+
+  friend bool operator==(const LayoutCostTerms&,
+                         const LayoutCostTerms&) = default;
+};
+
 class MappingCostModel {
  public:
   MappingCostModel(CostWeights weights, const platform::Platform& platform,

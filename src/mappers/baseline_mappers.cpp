@@ -7,7 +7,8 @@ namespace kairos::mappers {
 core::MappingResult FirstFitStrategy::map(const graph::Application& app,
                                           const std::vector<int>& impl_of,
                                           const core::PinTable& pins,
-                                          platform::Platform& platform) const {
+                                          platform::Platform& platform,
+                                          const StopToken& /*stop*/) const {
   core::MappingResult result =
       core::first_fit_map(app, impl_of, pins, platform);
   if (result.ok) {
@@ -20,7 +21,8 @@ core::MappingResult FirstFitStrategy::map(const graph::Application& app,
 core::MappingResult RandomStrategy::map(const graph::Application& app,
                                         const std::vector<int>& impl_of,
                                         const core::PinTable& pins,
-                                        platform::Platform& platform) const {
+                                        platform::Platform& platform,
+                                        const StopToken& /*stop*/) const {
   core::MappingResult result =
       core::random_map(app, impl_of, pins, platform, seed_);
   if (result.ok) {

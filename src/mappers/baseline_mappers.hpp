@@ -22,10 +22,12 @@ class FirstFitStrategy final : public Mapper {
 
   std::string name() const override { return "first_fit"; }
 
+  using Mapper::map;
   core::MappingResult map(const graph::Application& app,
                           const std::vector<int>& impl_of,
                           const core::PinTable& pins,
-                          platform::Platform& platform) const override;
+                          platform::Platform& platform,
+                          const StopToken& stop) const override;
 
  private:
   core::CostWeights weights_;
@@ -42,10 +44,12 @@ class RandomStrategy final : public Mapper {
 
   std::string name() const override { return "random"; }
 
+  using Mapper::map;
   core::MappingResult map(const graph::Application& app,
                           const std::vector<int>& impl_of,
                           const core::PinTable& pins,
-                          platform::Platform& platform) const override;
+                          platform::Platform& platform,
+                          const StopToken& stop) const override;
 
  private:
   std::uint64_t seed_;

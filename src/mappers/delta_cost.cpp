@@ -1,0 +1,239 @@
+#include "mappers/delta_cost.hpp"
+
+#include <cassert>
+
+namespace kairos::mappers {
+
+using graph::TaskId;
+using platform::ElementId;
+
+DeltaCostEvaluator::DeltaCostEvaluator(
+    const graph::Application& app, const platform::Platform& platform,
+    const core::CostWeights& weights, const core::FragmentationBonuses& bonuses,
+    DistanceCache& distances, const std::vector<ElementId>& initial)
+    : app_(&app),
+      platform_(&platform),
+      weights_(weights),
+      bonuses_(bonuses),
+      distances_(&distances),
+      element_count_(platform.element_count()),
+      peers_(app.task_count()),
+      adjacency_(element_count_ * element_count_, 0),
+      used_by_others_(element_count_, 0),
+      element_of_(app.task_count()),
+      app_tasks_on_(element_count_, 0),
+      tasks_on_(element_count_),
+      peer_count_(app.task_count() * element_count_, 0) {
+  assert(initial.size() == app.task_count());
+  for (const auto& task : app.tasks()) {
+    const auto t = static_cast<std::size_t>(task.id().value);
+    for (const TaskId peer : app.neighbors(task.id())) {
+      peers_[t].push_back(peer.value);
+    }
+  }
+  for (const auto& element : platform.elements()) {
+    const std::size_t e = eidx(element.id());
+    used_by_others_[e] = element.is_used() ? 1 : 0;
+    for (const ElementId n : platform.neighbors(element.id())) {
+      adjacency_[e * element_count_ + eidx(n)] = 1;
+    }
+  }
+  for (std::size_t t = 0; t < initial.size(); ++t) {
+    if (initial[t].valid()) attach(t, initial[t]);
+  }
+}
+
+void DeltaCostEvaluator::bump(Category cat, std::int64_t dir) {
+  switch (cat) {
+    case kPeer:
+      terms_.peer_pairs += dir;
+      break;
+    case kSameApp:
+      terms_.same_app_pairs += dir;
+      break;
+    case kOtherApp:
+      terms_.other_app_pairs += dir;
+      break;
+    case kNone:
+      break;
+  }
+}
+
+void DeltaCostEvaluator::add_pair(std::size_t task, std::size_t element) {
+  ++terms_.frag_pairs;
+  bump(category(task, element), +1);
+}
+
+void DeltaCostEvaluator::remove_pair(std::size_t task, std::size_t element) {
+  bump(category(task, element), -1);
+  --terms_.frag_pairs;
+}
+
+void DeltaCostEvaluator::detach(std::size_t task) {
+  const ElementId at = element_of_[task];
+  assert(at.valid() && "detach of an unplaced task");
+  const std::size_t a = eidx(at);
+  const TaskId tid{static_cast<std::int32_t>(task)};
+
+  // Communication: channels towards still-placed peers lose their term.
+  for (const graph::ChannelId cid : app_->out_channels(tid)) {
+    const auto& c = app_->channel(cid);
+    const ElementId dst = element_of_[static_cast<std::size_t>(c.dst.value)];
+    if (dst.valid()) {
+      terms_.comm_bw_hops -=
+          c.bandwidth * static_cast<std::int64_t>(distances_->hops(at, dst));
+    }
+  }
+  for (const graph::ChannelId cid : app_->in_channels(tid)) {
+    const auto& c = app_->channel(cid);
+    const ElementId src = element_of_[static_cast<std::size_t>(c.src.value)];
+    if (src.valid()) {
+      terms_.comm_bw_hops -=
+          c.bandwidth * static_cast<std::int64_t>(distances_->hops(src, at));
+    }
+  }
+
+  // The task's own fragmentation pairs disappear.
+  for (const ElementId n : platform_->neighbors(at)) {
+    remove_pair(task, eidx(n));
+  }
+  element_of_[task] = ElementId{};
+  auto& hosted = tasks_on_[a];
+  for (std::size_t i = 0; i < hosted.size(); ++i) {
+    if (hosted[i] == static_cast<std::int32_t>(task)) {
+      hosted[i] = hosted.back();
+      hosted.pop_back();
+      break;
+    }
+  }
+
+  // Peers stop seeing this task on `a`; their pair facing `a` may lose the
+  // peer bonus. Each counter mutation is wrapped by a retag of the affected
+  // pair so the category ledger tracks the state arrays exactly.
+  for (const std::int32_t w : peers_[task]) {
+    const auto wt = static_cast<std::size_t>(w);
+    const ElementId we = element_of_[wt];
+    const bool counted = we.valid() && adjacent(eidx(we), a);
+    if (counted) bump(category(wt, a), -1);
+    --peer_count_[wt * element_count_ + a];
+    if (counted) bump(category(wt, a), +1);
+  }
+
+  // If `a` just ran out of this application's tasks, every pair that faces
+  // `a` may drop from the same-app category.
+  if (app_tasks_on_[a] == 1) {
+    for (const ElementId n : platform_->neighbors(at)) {
+      for (const std::int32_t u : tasks_on_[eidx(n)]) {
+        bump(category(static_cast<std::size_t>(u), a), -1);
+      }
+    }
+    app_tasks_on_[a] = 0;
+    for (const ElementId n : platform_->neighbors(at)) {
+      for (const std::int32_t u : tasks_on_[eidx(n)]) {
+        bump(category(static_cast<std::size_t>(u), a), +1);
+      }
+    }
+  } else {
+    --app_tasks_on_[a];
+  }
+}
+
+void DeltaCostEvaluator::attach(std::size_t task, ElementId to) {
+  assert(!element_of_[task].valid() && "attach of a placed task");
+  assert(to.valid());
+  const std::size_t b = eidx(to);
+  const TaskId tid{static_cast<std::int32_t>(task)};
+
+  // Peers start seeing this task on `to`.
+  for (const std::int32_t w : peers_[task]) {
+    const auto wt = static_cast<std::size_t>(w);
+    const ElementId we = element_of_[wt];
+    const bool counted = we.valid() && adjacent(eidx(we), b);
+    if (counted) bump(category(wt, b), -1);
+    ++peer_count_[wt * element_count_ + b];
+    if (counted) bump(category(wt, b), +1);
+  }
+
+  // If `to` was empty of this application, pairs facing it may gain the
+  // same-app category.
+  if (app_tasks_on_[b] == 0) {
+    for (const ElementId n : platform_->neighbors(to)) {
+      for (const std::int32_t u : tasks_on_[eidx(n)]) {
+        bump(category(static_cast<std::size_t>(u), b), -1);
+      }
+    }
+    app_tasks_on_[b] = 1;
+    for (const ElementId n : platform_->neighbors(to)) {
+      for (const std::int32_t u : tasks_on_[eidx(n)]) {
+        bump(category(static_cast<std::size_t>(u), b), +1);
+      }
+    }
+  } else {
+    ++app_tasks_on_[b];
+  }
+
+  element_of_[task] = to;
+  tasks_on_[b].push_back(static_cast<std::int32_t>(task));
+  for (const ElementId n : platform_->neighbors(to)) {
+    add_pair(task, eidx(n));
+  }
+
+  for (const graph::ChannelId cid : app_->out_channels(tid)) {
+    const auto& c = app_->channel(cid);
+    const ElementId dst = element_of_[static_cast<std::size_t>(c.dst.value)];
+    if (dst.valid()) {
+      terms_.comm_bw_hops +=
+          c.bandwidth * static_cast<std::int64_t>(distances_->hops(to, dst));
+    }
+  }
+  for (const graph::ChannelId cid : app_->in_channels(tid)) {
+    const auto& c = app_->channel(cid);
+    const ElementId src = element_of_[static_cast<std::size_t>(c.src.value)];
+    if (src.valid()) {
+      terms_.comm_bw_hops +=
+          c.bandwidth * static_cast<std::int64_t>(distances_->hops(src, to));
+    }
+  }
+}
+
+double DeltaCostEvaluator::apply_move(TaskId t, ElementId to) {
+  const auto task = static_cast<std::size_t>(t.value);
+  assert(element_of_[task].valid() && element_of_[task] != to);
+  last_ = LastOp{LastOp::kMove, t.value, -1, element_of_[task], ElementId{}};
+  detach(task);
+  attach(task, to);
+  return total();
+}
+
+double DeltaCostEvaluator::apply_swap(TaskId t, TaskId u) {
+  const auto a = static_cast<std::size_t>(t.value);
+  const auto b = static_cast<std::size_t>(u.value);
+  assert(a != b && element_of_[a].valid() && element_of_[b].valid());
+  last_ = LastOp{LastOp::kSwap, t.value, u.value, element_of_[a],
+                 element_of_[b]};
+  detach(a);
+  detach(b);
+  attach(a, last_.from_u);
+  attach(b, last_.from_t);
+  return total();
+}
+
+void DeltaCostEvaluator::undo() {
+  assert(last_.kind != LastOp::kNothing && "undo without a pending op");
+  const LastOp op = last_;
+  last_ = LastOp{};
+  if (op.kind == LastOp::kMove) {
+    const auto task = static_cast<std::size_t>(op.t);
+    detach(task);
+    attach(task, op.from_t);
+  } else if (op.kind == LastOp::kSwap) {
+    const auto a = static_cast<std::size_t>(op.t);
+    const auto b = static_cast<std::size_t>(op.u);
+    detach(a);
+    detach(b);
+    attach(a, op.from_t);
+    attach(b, op.from_u);
+  }
+}
+
+}  // namespace kairos::mappers

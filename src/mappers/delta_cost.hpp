@@ -1,0 +1,140 @@
+// Incremental delta-cost engine for the search mappers.
+//
+// The iterative strategies (sa, tabu) explore thousands of single-task moves
+// and pairwise swaps per admission. Re-running the full stationary objective
+// after every trial move costs O(channels + tasks × platform-degree); this
+// evaluator maintains the exact integer term breakdown of the objective
+// (core::LayoutCostTerms) under moves and answers "what does the assignment
+// cost after moving task t to element p" in O(degree(t)) amortised — the
+// cached state it updates per move is exactly the state the move touches:
+//
+//  * communication: only the channels incident to the moved task change, so
+//    Σ bandwidth × hops is adjusted by the moved endpoints only;
+//  * fragmentation: the moved task's own (task, neighbor-element) pairs are
+//    recategorised, the pairs of its communication peers that can see the
+//    vacated/occupied element are retagged, and — only when an element
+//    becomes empty of this application's tasks or stops being empty — the
+//    pairs of tasks on the adjacent elements are retagged.
+//
+// Because every cached quantity is an integer (pair counts per bonus
+// category, Σ bandwidth × hops) and the final objective is one fixed
+// floating-point expression over those integers, the incremental totals are
+// *bit-identical* to a from-scratch recount: a search driven by this
+// evaluator takes exactly the accept/reject decisions of one driven by full
+// re-evaluation. apply_move/apply_swap mutate the cached state and undo()
+// reverts the latest application, so rejected trial moves leave no residue.
+//
+// The evaluator snapshots which elements are used by *other* applications at
+// construction (the platform is not mutated while a strategy plans), and
+// holds no platform allocation state — capacity feasibility stays the
+// caller's job, as in the rest of src/mappers/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "graph/application.hpp"
+#include "mappers/placement.hpp"
+#include "platform/platform.hpp"
+
+namespace kairos::mappers {
+
+class DeltaCostEvaluator {
+ public:
+  /// Builds the cached state for `initial` (entries may be invalid =
+  /// unplaced; unplaced tasks contribute nothing, matching
+  /// assignment_cost). `distances` must outlive the evaluator and is shared
+  /// with the owning strategy so hop rows are discovered once.
+  DeltaCostEvaluator(const graph::Application& app,
+                     const platform::Platform& platform,
+                     const core::CostWeights& weights,
+                     const core::FragmentationBonuses& bonuses,
+                     DistanceCache& distances,
+                     const std::vector<platform::ElementId>& initial);
+
+  /// The objective of the current assignment — bit-identical to
+  /// assignment_cost(app, platform, assignment(), weights, bonuses).
+  double total() const { return terms_.value(weights_, bonuses_); }
+
+  const core::LayoutCostTerms& terms() const { return terms_; }
+  const std::vector<platform::ElementId>& assignment() const {
+    return element_of_;
+  }
+
+  /// Moves task t (currently placed) to element `to` and returns the new
+  /// total. O(degree(t) + platform-degree of the two elements) amortised.
+  double apply_move(graph::TaskId t, platform::ElementId to);
+
+  /// Exchanges the elements of two placed tasks and returns the new total.
+  double apply_swap(graph::TaskId t, graph::TaskId u);
+
+  /// Reverts the most recent apply_move/apply_swap (one level — call it
+  /// before the next application). Restores the cached state exactly: all
+  /// state is integer-valued, so revert is not subject to rounding drift.
+  void undo();
+
+ private:
+  enum Category : int { kNone = 0, kPeer, kSameApp, kOtherApp };
+  struct LastOp {
+    enum Kind { kNothing, kMove, kSwap } kind = kNothing;
+    std::int32_t t = -1;
+    std::int32_t u = -1;
+    platform::ElementId from_t;
+    platform::ElementId from_u;
+  };
+
+  std::size_t eidx(platform::ElementId e) const {
+    return static_cast<std::size_t>(e.value);
+  }
+
+  bool adjacent(std::size_t a, std::size_t b) const {
+    return adjacency_[a * element_count_ + b] != 0;
+  }
+
+  Category category(std::size_t task, std::size_t element) const {
+    if (peer_count_[task * element_count_ + element] > 0) return kPeer;
+    if (app_tasks_on_[element] > 0) return kSameApp;
+    if (used_by_others_[element] != 0) return kOtherApp;
+    return kNone;
+  }
+
+  /// Adjusts the bonus-category counters by `dir` for one counted pair.
+  void bump(Category cat, std::int64_t dir);
+
+  void add_pair(std::size_t task, std::size_t element);
+  void remove_pair(std::size_t task, std::size_t element);
+
+  /// Removes a placed task from the cached state (making it unplaced).
+  void detach(std::size_t task);
+
+  /// Places a currently-unplaced task on `to`.
+  void attach(std::size_t task, platform::ElementId to);
+
+  const graph::Application* app_;
+  const platform::Platform* platform_;
+  core::CostWeights weights_;
+  core::FragmentationBonuses bonuses_;
+  DistanceCache* distances_;
+
+  std::size_t element_count_ = 0;
+  /// Distinct communication peers per task (precomputed adjacency lists).
+  std::vector<std::vector<std::int32_t>> peers_;
+  /// Symmetric element adjacency, flattened E×E.
+  std::vector<std::uint8_t> adjacency_;
+  /// Elements hosting tasks of other applications (snapshot; the platform is
+  /// not mutated while the owning strategy plans).
+  std::vector<std::uint8_t> used_by_others_;
+
+  std::vector<platform::ElementId> element_of_;
+  std::vector<int> app_tasks_on_;
+  /// Tasks of this application per element (unordered; swap-erase removal).
+  std::vector<std::vector<std::int32_t>> tasks_on_;
+  /// peer_count_[t * E + e]: placed communication peers of task t on e.
+  std::vector<std::int32_t> peer_count_;
+
+  core::LayoutCostTerms terms_;
+  LastOp last_;
+};
+
+}  // namespace kairos::mappers

@@ -16,7 +16,8 @@ using platform::ResourceVector;
 core::MappingResult HeftMapper::map(const graph::Application& app,
                                     const std::vector<int>& impl_of,
                                     const core::PinTable& pins,
-                                    Platform& platform) const {
+                                    Platform& platform,
+                                    const StopToken& /*stop*/) const {
   core::MappingResult result;
   result.element_of.assign(app.task_count(), ElementId{});
   assert(impl_of.size() == app.task_count());

@@ -32,10 +32,12 @@ class HeftMapper final : public Mapper {
 
   std::string name() const override { return "heft"; }
 
+  using Mapper::map;
   core::MappingResult map(const graph::Application& app,
                           const std::vector<int>& impl_of,
                           const core::PinTable& pins,
-                          platform::Platform& platform) const override;
+                          platform::Platform& platform,
+                          const StopToken& stop) const override;
 
   const MapperOptions& options() const { return options_; }
 

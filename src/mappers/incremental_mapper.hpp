@@ -21,10 +21,12 @@ class IncrementalStrategy final : public Mapper {
 
   std::string name() const override { return "incremental"; }
 
+  using Mapper::map;
   core::MappingResult map(const graph::Application& app,
                           const std::vector<int>& impl_of,
                           const core::PinTable& pins,
-                          platform::Platform& platform) const override {
+                          platform::Platform& platform,
+                          const StopToken& /*stop*/) const override {
     return mapper_.map(app, impl_of, pins, platform);
   }
 

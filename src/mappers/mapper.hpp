@@ -12,7 +12,9 @@
 // validation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,49 @@
 #include "platform/platform.hpp"
 
 namespace kairos::mappers {
+
+/// Cooperative cancellation for long-running strategies. A default-built
+/// token is inert (stop_requested() is always false, requesting a stop is a
+/// no-op), so strategies can take one unconditionally. Copies share the flag;
+/// the portfolio hands the same token to every racing strategy and trips it
+/// once a feasible winner is cheap enough. Strategies that honor the token
+/// stop searching and commit their best-so-far state — cancellation never
+/// yields an invalid result, only a less-optimised one.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// A live token whose flag can actually be tripped.
+  static StopToken create() {
+    StopToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// A live token that additionally reports stopped whenever `parent` does —
+  /// how a meta-mapper hands one cancellable token to its children while
+  /// still honoring its caller's token mid-run. Linking is one level deep:
+  /// the new token observes `parent`'s own flag (and, because portfolios do
+  /// not nest, that is the whole chain in practice).
+  static StopToken linked_to(const StopToken& parent) {
+    StopToken token = create();
+    token.parent_ = parent.flag_;
+    return token;
+  }
+
+  bool stop_requested() const {
+    return (flag_ && flag_->load(std::memory_order_relaxed)) ||
+           (parent_ && parent_->load(std::memory_order_relaxed));
+  }
+
+  void request_stop() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<bool>> parent_;
+};
 
 /// Knobs shared by the registered strategies. Strategies read the subset
 /// that applies to them and ignore the rest, so one options struct can be
@@ -45,11 +90,28 @@ struct MapperOptions {
   int sa_iterations = 4000;
   double sa_cooling = 0.95;
   int sa_moves_per_temperature = 32;
+  /// Evaluate SA trial moves through the incremental DeltaCostEvaluator
+  /// (O(degree) per move) instead of re-running the full objective
+  /// (O(tasks × channels) per move). Both paths take bit-identical
+  /// accept/reject decisions — this knob exists for the regression tests and
+  /// the speedup bench, not for tuning.
+  bool sa_incremental = true;
+
+  /// Tabu search: neighborhood-scan rounds, how long a moved task stays
+  /// tabu, and how many candidate moves are sampled per round.
+  int tabu_iterations = 250;
+  int tabu_tenure = 8;
+  int tabu_samples = 24;
 
   /// Portfolio: registry names of the strategies to race (empty selects the
   /// built-in default set) and whether to race them on worker threads.
   std::vector<std::string> portfolio{};
   bool portfolio_parallel = true;
+  /// Early-cancel bound: when >= 0 and a racing strategy returns a feasible
+  /// assignment whose stationary cost is <= the bound, the shared StopToken
+  /// is tripped and the still-running strategies wind down with their
+  /// best-so-far results. Negative disables early cancellation.
+  double portfolio_cancel_bound = -1.0;
 };
 
 /// Abstract mapping strategy: assign every task of `app` to a platform
@@ -66,10 +128,24 @@ class Mapper {
   /// The registry name of the strategy ("incremental", "sa", ...).
   virtual std::string name() const = 0;
 
+  /// Convenience entry point with an inert stop token.
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform) const {
+    return map(app, impl_of, pins, platform, StopToken{});
+  }
+
+  /// The strategy implementation. `stop` is advisory: strategies should poll
+  /// it in their search loops and, when tripped, finish with their current
+  /// best feasible state (or fail cleanly); constructive one-pass strategies
+  /// may ignore it. Concrete strategies add `using Mapper::map;` so the
+  /// four-argument convenience overload stays visible on them.
   virtual core::MappingResult map(const graph::Application& app,
                                   const std::vector<int>& impl_of,
                                   const core::PinTable& pins,
-                                  platform::Platform& platform) const = 0;
+                                  platform::Platform& platform,
+                                  const StopToken& stop) const = 0;
 };
 
 }  // namespace kairos::mappers

@@ -59,33 +59,30 @@ int DistanceCache::hops(ElementId from, ElementId to) {
   return d < 0 ? penalty_ : d;
 }
 
-double assignment_cost(const graph::Application& app, const Platform& platform,
-                       const std::vector<ElementId>& element_of,
-                       const core::CostWeights& weights,
-                       const core::FragmentationBonuses& bonuses,
-                       DistanceCache& distances) {
-  double communication = 0.0;
+core::LayoutCostTerms assignment_cost_terms(
+    const graph::Application& app, const Platform& platform,
+    const std::vector<ElementId>& element_of, DistanceCache& distances) {
+  core::LayoutCostTerms terms;
   for (const auto& channel : app.channels()) {
     const ElementId src =
         element_of[static_cast<std::size_t>(channel.src.value)];
     const ElementId dst =
         element_of[static_cast<std::size_t>(channel.dst.value)];
     if (!src.valid() || !dst.valid()) continue;
-    communication +=
-        static_cast<double>(channel.bandwidth) * distances.hops(src, dst);
+    terms.comm_bw_hops +=
+        channel.bandwidth * static_cast<std::int64_t>(distances.hops(src, dst));
   }
 
   std::vector<int> app_tasks_on(platform.element_count(), 0);
   for (const ElementId e : element_of) {
     if (e.valid()) ++app_tasks_on[static_cast<std::size_t>(e.value)];
   }
-  double fragmentation = 0.0;
   for (const auto& task : app.tasks()) {
     const ElementId e = element_of[static_cast<std::size_t>(task.id().value)];
     if (!e.valid()) continue;
     const auto peers = app.neighbors(task.id());
     for (const ElementId n : platform.neighbors(e)) {
-      double bonus = 0.0;
+      ++terms.frag_pairs;
       bool hosts_peer = false;
       for (const TaskId peer : peers) {
         if (element_of[static_cast<std::size_t>(peer.value)] == n) {
@@ -94,18 +91,65 @@ double assignment_cost(const graph::Application& app, const Platform& platform,
         }
       }
       if (hosts_peer) {
-        bonus = bonuses.peer;
+        ++terms.peer_pairs;
       } else if (app_tasks_on[static_cast<std::size_t>(n.value)] > 0) {
-        bonus = bonuses.same_app;
+        ++terms.same_app_pairs;
       } else if (platform.element(n).is_used()) {
-        bonus = bonuses.other_app;
+        ++terms.other_app_pairs;
       }
-      fragmentation += 1.0 - bonus;
     }
   }
+  return terms;
+}
 
-  return weights.communication * communication +
-         weights.fragmentation * fragmentation;
+double assignment_cost(const graph::Application& app, const Platform& platform,
+                       const std::vector<ElementId>& element_of,
+                       const core::CostWeights& weights,
+                       const core::FragmentationBonuses& bonuses,
+                       DistanceCache& distances) {
+  return assignment_cost_terms(app, platform, element_of, distances)
+      .value(weights, bonuses);
+}
+
+std::vector<ElementId> feasible_destinations(
+    const Platform& platform, ElementId from, platform::ElementType target,
+    const ResourceVector& requirement, const std::vector<ResourceVector>& free,
+    const std::optional<ElementId>& pin) {
+  std::vector<ElementId> out;
+  for (const auto& e : platform.elements()) {
+    if (e.id() == from) continue;
+    if (can_host(platform, e.id(), target, requirement,
+                 free[static_cast<std::size_t>(e.id().value)], pin)) {
+      out.push_back(e.id());
+    }
+  }
+  return out;
+}
+
+util::VoidResult first_fit_assignment(
+    const graph::Application& app, const Platform& platform,
+    const std::vector<platform::ElementType>& targets,
+    const std::vector<ResourceVector>& requirements, const core::PinTable& pins,
+    std::vector<ResourceVector>& free, std::vector<ElementId>& element_of) {
+  element_of.assign(app.task_count(), ElementId{});
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    ElementId chosen;
+    for (const auto& e : platform.elements()) {
+      if (can_host(platform, e.id(), targets[idx], requirements[idx],
+                   free[static_cast<std::size_t>(e.id().value)], pins[idx])) {
+        chosen = e.id();
+        break;
+      }
+    }
+    if (!chosen.valid()) {
+      return util::Error("no available element for task '" + task.name() +
+                         "'");
+    }
+    free[static_cast<std::size_t>(chosen.value)] -= requirements[idx];
+    element_of[idx] = chosen;
+  }
+  return util::VoidResult::success();
 }
 
 core::MappingResult commit_assignment(const graph::Application& app,

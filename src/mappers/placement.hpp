@@ -14,6 +14,7 @@
 #include "core/mapping.hpp"
 #include "graph/application.hpp"
 #include "platform/platform.hpp"
+#include "util/result.hpp"
 
 namespace kairos::mappers {
 
@@ -48,15 +49,45 @@ class DistanceCache {
   int penalty_;
 };
 
-/// Stationary cost of a complete (or partial: unassigned tasks are skipped)
-/// assignment — the same objective as core::layout_cost, evaluated through a
-/// shared DistanceCache so iterative strategies can afford it per move.
+/// Exact integer term breakdown (see core::LayoutCostTerms) of a complete
+/// (or partial: unassigned tasks are skipped) assignment, evaluated through
+/// a shared DistanceCache. The from-scratch reference the incremental
+/// DeltaCostEvaluator must agree with term-for-term.
+core::LayoutCostTerms assignment_cost_terms(
+    const graph::Application& app, const platform::Platform& platform,
+    const std::vector<platform::ElementId>& element_of,
+    DistanceCache& distances);
+
+/// Stationary cost of an assignment — the same objective as
+/// core::layout_cost, computed as assignment_cost_terms(...).value(...) so
+/// full re-evaluation and incremental delta evaluation are bit-identical.
 double assignment_cost(const graph::Application& app,
                        const platform::Platform& platform,
                        const std::vector<platform::ElementId>& element_of,
                        const core::CostWeights& weights,
                        const core::FragmentationBonuses& bonuses,
                        DistanceCache& distances);
+
+/// Feasible destination elements for one task — every element (in index
+/// order, excluding `from`) that passes can_host against the planned free
+/// capacities. The common move-proposal scan of the iterative strategies.
+std::vector<platform::ElementId> feasible_destinations(
+    const platform::Platform& platform, platform::ElementId from,
+    platform::ElementType target,
+    const platform::ResourceVector& requirement,
+    const std::vector<platform::ResourceVector>& free,
+    const std::optional<platform::ElementId>& pin);
+
+/// Greedy first-fit seed assignment on a private free-capacity copy — the
+/// common starting point of the iterative strategies (sa, tabu). On success
+/// fills `element_of` and debits `free`; on failure returns the offending
+/// task's name.
+util::VoidResult first_fit_assignment(
+    const graph::Application& app, const platform::Platform& platform,
+    const std::vector<platform::ElementType>& targets,
+    const std::vector<platform::ResourceVector>& requirements,
+    const core::PinTable& pins, std::vector<platform::ResourceVector>& free,
+    std::vector<platform::ElementId>& element_of);
 
 /// Atomically allocates a complete assignment on the platform and wraps it
 /// in a MappingResult whose total_cost is core::layout_cost under `weights`

@@ -16,7 +16,7 @@ PortfolioMapper::PortfolioMapper(MapperOptions options)
     : options_(std::move(options)) {
   std::vector<std::string> names = options_.portfolio;
   if (names.empty()) {
-    names = {"incremental", "heft", "sa", "first_fit"};
+    names = {"incremental", "heft", "sa", "tabu", "first_fit"};
   }
   for (const auto& name : names) {
     if (name == "portfolio") continue;  // no recursive portfolios
@@ -31,6 +31,10 @@ PortfolioMapper::PortfolioMapper(MapperOptions options)
   }
 }
 
+PortfolioMapper::PortfolioMapper(MapperOptions options,
+                                 std::vector<std::shared_ptr<Mapper>> strategies)
+    : options_(std::move(options)), strategies_(std::move(strategies)) {}
+
 std::vector<std::string> PortfolioMapper::strategy_names() const {
   std::vector<std::string> out;
   out.reserve(strategies_.size());
@@ -41,7 +45,8 @@ std::vector<std::string> PortfolioMapper::strategy_names() const {
 core::MappingResult PortfolioMapper::map(const graph::Application& app,
                                          const std::vector<int>& impl_of,
                                          const core::PinTable& pins,
-                                         Platform& platform) const {
+                                         Platform& platform,
+                                         const StopToken& stop) const {
   core::MappingResult result;
   result.element_of.assign(app.task_count(), ElementId{});
   if (!config_error_.empty()) {
@@ -53,16 +58,41 @@ core::MappingResult PortfolioMapper::map(const graph::Application& app,
     return result;
   }
 
-  // Each trial runs on its own platform copy; the real platform stays
-  // untouched until the winner commits.
+  // One shared token for the whole race: reports stopped when the caller's
+  // token does (even mid-run) or when the early-cancel bound below is beaten.
+  // The trials only read `platform` through their private copies; the
+  // stationary scoring reads the real platform concurrently, so its
+  // lazily-cached diameter is forced up front.
+  const StopToken race = StopToken::linked_to(stop);
+  const double cancel_bound = options_.portfolio_cancel_bound;
+  platform.diameter();
+
+  // Each trial is scored once, where it ran: the stationary layout cost on
+  // the *real* platform state makes the strategies' otherwise incomparable
+  // total_costs comparable (the incremental mapper's is incremental, the
+  // others' stationary), and doubles as the early-cancel test.
+  struct Trial {
+    core::MappingResult result;
+    double score = std::numeric_limits<double>::infinity();
+  };
   auto run_trial = [&](const Mapper& strategy) {
     Platform copy = platform;
-    return strategy.map(app, impl_of, pins, copy);
+    Trial trial;
+    trial.result = strategy.map(app, impl_of, pins, copy, race);
+    if (trial.result.ok) {
+      trial.score =
+          core::layout_cost(app, platform, trial.result.element_of,
+                            options_.weights, options_.bonuses);
+      if (cancel_bound >= 0.0 && trial.score <= cancel_bound) {
+        race.request_stop();
+      }
+    }
+    return trial;
   };
 
-  std::vector<core::MappingResult> trials(strategies_.size());
+  std::vector<Trial> trials(strategies_.size());
   if (options_.portfolio_parallel && strategies_.size() > 1) {
-    std::vector<std::future<core::MappingResult>> futures;
+    std::vector<std::future<Trial>> futures;
     futures.reserve(strategies_.size());
     for (const auto& strategy : strategies_) {
       futures.push_back(std::async(std::launch::async, [&run_trial,
@@ -79,24 +109,18 @@ core::MappingResult PortfolioMapper::map(const graph::Application& app,
     }
   }
 
-  // Score feasible trials uniformly (strategies report incomparable
-  // total_costs — the incremental mapper's is incremental, the others'
-  // stationary) with the stationary layout cost on the real platform.
   int winner = -1;
   double winner_cost = std::numeric_limits<double>::infinity();
   std::string first_failure;
   for (std::size_t i = 0; i < trials.size(); ++i) {
-    if (!trials[i].ok) {
+    if (!trials[i].result.ok) {
       if (first_failure.empty()) {
-        first_failure = strategies_[i]->name() + ": " + trials[i].reason;
+        first_failure = strategies_[i]->name() + ": " + trials[i].result.reason;
       }
       continue;
     }
-    const double cost =
-        core::layout_cost(app, platform, trials[i].element_of,
-                          options_.weights, options_.bonuses);
-    if (cost < winner_cost) {
-      winner_cost = cost;
+    if (trials[i].score < winner_cost) {
+      winner_cost = trials[i].score;
       winner = static_cast<int>(i);
     }
   }
@@ -109,9 +133,10 @@ core::MappingResult PortfolioMapper::map(const graph::Application& app,
   }
 
   core::MappingResult committed = commit_assignment(
-      app, impl_of, trials[static_cast<std::size_t>(winner)].element_of,
-      platform, options_.weights, options_.bonuses);
-  committed.stats = trials[static_cast<std::size_t>(winner)].stats;
+      app, impl_of,
+      trials[static_cast<std::size_t>(winner)].result.element_of, platform,
+      options_.weights, options_.bonuses);
+  committed.stats = trials[static_cast<std::size_t>(winner)].result.stats;
   return committed;
 }
 

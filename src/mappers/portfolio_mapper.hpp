@@ -9,6 +9,17 @@
 // inherits the rollback-safety of commit_assignment. A single slow or
 // failing strategy costs wall-clock but never correctness: if any inner
 // strategy finds a feasible assignment, the portfolio succeeds.
+//
+// Early cancellation: every inner strategy receives one shared StopToken.
+// When MapperOptions::portfolio_cancel_bound is non-negative and a trial
+// finishes with a feasible assignment whose stationary cost is at or below
+// the bound, the token is tripped — the still-running search strategies
+// (sa, tabu) wind down and return their best-so-far assignments instead of
+// burning the rest of their move budgets. Cancellation is advisory and every
+// cancelled strategy still returns a *valid* (feasible or cleanly failed)
+// result, so the portfolio stays correct; note that where exactly a parallel
+// race gets cancelled depends on thread timing, so enabling the bound trades
+// the run-to-run reproducibility of the losing trials for wall-clock.
 #pragma once
 
 #include <memory>
@@ -20,18 +31,25 @@ namespace kairos::mappers {
 class PortfolioMapper final : public Mapper {
  public:
   /// Builds the inner strategies from options.portfolio via the registry
-  /// (an empty list selects incremental, heft, sa and first_fit).
+  /// (an empty list selects incremental, heft, sa, tabu and first_fit).
   /// "portfolio" itself is skipped to keep construction non-recursive; any
   /// unknown name is remembered and makes every map() call fail, so a
   /// misconfigured portfolio cannot silently race fewer strategies.
   explicit PortfolioMapper(MapperOptions options = {});
 
+  /// Races an explicit strategy set (tests and embedders inject stubs or
+  /// pre-built strategies this way; the registry is bypassed entirely).
+  PortfolioMapper(MapperOptions options,
+                  std::vector<std::shared_ptr<Mapper>> strategies);
+
   std::string name() const override { return "portfolio"; }
 
+  using Mapper::map;
   core::MappingResult map(const graph::Application& app,
                           const std::vector<int>& impl_of,
                           const core::PinTable& pins,
-                          platform::Platform& platform) const override;
+                          platform::Platform& platform,
+                          const StopToken& stop) const override;
 
   /// The strategies actually raced (after default-expansion and filtering).
   std::vector<std::string> strategy_names() const;

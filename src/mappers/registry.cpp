@@ -9,6 +9,7 @@
 #include "mappers/incremental_mapper.hpp"
 #include "mappers/portfolio_mapper.hpp"
 #include "mappers/sa_mapper.hpp"
+#include "mappers/tabu_mapper.hpp"
 
 namespace kairos::mappers {
 
@@ -36,6 +37,8 @@ const std::map<std::string, Factory>& registry() {
        [](const MapperOptions& o) { return std::make_shared<HeftMapper>(o); }},
       {"sa",
        [](const MapperOptions& o) { return std::make_shared<SaMapper>(o); }},
+      {"tabu",
+       [](const MapperOptions& o) { return std::make_shared<TabuMapper>(o); }},
       {"portfolio",
        [](const MapperOptions& o) {
          return std::make_shared<PortfolioMapper>(o);
@@ -51,8 +54,10 @@ util::Result<std::shared_ptr<Mapper>> make(const std::string& name,
   const auto& table = registry();
   const auto it = table.find(name);
   if (it == table.end()) {
+    // List the registered strategies through available() so the message is
+    // deterministic (sorted) regardless of how the registry is stored.
     std::string known;
-    for (const auto& [n, _] : table) {
+    for (const auto& n : available()) {
       if (!known.empty()) known += ", ";
       known += n;
     }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
+#include "mappers/delta_cost.hpp"
 #include "mappers/placement.hpp"
 #include "util/rng.hpp"
 
@@ -17,7 +19,8 @@ using platform::ResourceVector;
 core::MappingResult SaMapper::map(const graph::Application& app,
                                   const std::vector<int>& impl_of,
                                   const core::PinTable& pins,
-                                  Platform& platform) const {
+                                  Platform& platform,
+                                  const StopToken& stop) const {
   core::MappingResult result;
   result.element_of.assign(app.task_count(), ElementId{});
   assert(impl_of.size() == app.task_count());
@@ -34,25 +37,12 @@ core::MappingResult SaMapper::map(const graph::Application& app,
     free[static_cast<std::size_t>(e.id().value)] = e.free();
   }
 
-  // --- initial feasible assignment: first fit -----------------------------
-  std::vector<ElementId> current(app.task_count());
-  for (const auto& task : app.tasks()) {
-    const auto idx = static_cast<std::size_t>(task.id().value);
-    ElementId chosen;
-    for (const auto& e : platform.elements()) {
-      if (can_host(platform, e.id(), targets[idx], requirements[idx],
-                   free[static_cast<std::size_t>(e.id().value)], pins[idx])) {
-        chosen = e.id();
-        break;
-      }
-    }
-    if (!chosen.valid()) {
-      result.reason =
-          "no available element for task '" + task.name() + "'";
-      return result;
-    }
-    free[static_cast<std::size_t>(chosen.value)] -= requirements[idx];
-    current[idx] = chosen;
+  std::vector<ElementId> current;
+  const auto seeded = first_fit_assignment(app, platform, targets,
+                                           requirements, pins, free, current);
+  if (!seeded.ok()) {
+    result.reason = seeded.error();
+    return result;
   }
 
   auto evaluate = [&](const std::vector<ElementId>& element_of) {
@@ -60,13 +50,25 @@ core::MappingResult SaMapper::map(const graph::Application& app,
                            options_.bonuses, distances);
   };
 
+  // Incremental and full trial evaluation produce bit-identical costs (the
+  // objective is one fixed expression over exact integer terms), so both
+  // paths consume the same random numbers and take the same decisions — the
+  // regression tests pin this. The evaluator is only built when it will be
+  // used: the full path must not pay (or hide) its setup cost.
+  const bool use_delta = options_.sa_incremental;
+  std::optional<DeltaCostEvaluator> evaluator;
+  if (use_delta) {
+    evaluator.emplace(app, platform, options_.weights, options_.bonuses,
+                      distances, current);
+  }
+
   // Tasks the neighborhood may touch (pinned tasks stay put).
   std::vector<std::size_t> movable;
   for (std::size_t t = 0; t < app.task_count(); ++t) {
     if (!pins[t].has_value()) movable.push_back(t);
   }
 
-  double current_cost = evaluate(current);
+  double current_cost = use_delta ? evaluator->total() : evaluate(current);
   std::vector<ElementId> best = current;
   double best_cost = current_cost;
   const double initial_cost = std::max(current_cost, 1.0);
@@ -78,13 +80,14 @@ core::MappingResult SaMapper::map(const graph::Application& app,
         std::max(1, options_.sa_iterations / per_temperature);
     double temperature = 1.0;
 
-    for (int step = 0; step < steps; ++step) {
+    for (int step = 0; step < steps && !stop.stop_requested(); ++step) {
       for (int i = 0; i < per_temperature; ++i) {
         ++result.stats.iterations;
         const std::size_t t = movable[static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<std::int64_t>(movable.size()) - 1))];
         const ElementId from = current[t];
         const auto fidx = static_cast<std::size_t>(from.value);
+        const TaskId tid{static_cast<std::int32_t>(t)};
 
         // Half the moves relocate t; the other half exchange t with a
         // same-type peer.
@@ -92,31 +95,31 @@ core::MappingResult SaMapper::map(const graph::Application& app,
 
         if (!try_swap) {
           // Candidate elements that could host t once it leaves `from`.
-          std::vector<ElementId> candidates;
-          for (const auto& e : platform.elements()) {
-            if (e.id() == from) continue;
-            if (can_host(platform, e.id(), targets[t], requirements[t],
-                         free[static_cast<std::size_t>(e.id().value)],
-                         pins[t])) {
-              candidates.push_back(e.id());
-            }
-          }
+          const std::vector<ElementId> candidates = feasible_destinations(
+              platform, from, targets[t], requirements[t], free, pins[t]);
           if (candidates.empty()) continue;
           const ElementId to = candidates[static_cast<std::size_t>(
               rng.uniform_int(0,
                               static_cast<std::int64_t>(candidates.size()) -
                                   1))];
-          std::vector<ElementId> trial = current;
-          trial[t] = to;
-          const double trial_cost = evaluate(trial);
+          double trial_cost;
+          if (use_delta) {
+            trial_cost = evaluator->apply_move(tid, to);
+          } else {
+            std::vector<ElementId> trial = current;
+            trial[t] = to;
+            trial_cost = evaluate(trial);
+          }
           const double delta = trial_cost - current_cost;
           if (delta < 0.0 ||
               rng.uniform01() <
                   std::exp(-2.0 * delta / (temperature * initial_cost))) {
             free[fidx] += requirements[t];
             free[static_cast<std::size_t>(to.value)] -= requirements[t];
-            current = std::move(trial);
+            current[t] = to;
             current_cost = trial_cost;
+          } else if (use_delta) {
+            evaluator->undo();
           }
         } else {
           const std::size_t u = movable[static_cast<std::size_t>(
@@ -137,18 +140,27 @@ core::MappingResult SaMapper::map(const graph::Application& app,
               !requirements[t].fits_within(free[oidx] + requirements[u])) {
             continue;
           }
-          std::vector<ElementId> trial = current;
-          trial[t] = other;
-          trial[u] = from;
-          const double trial_cost = evaluate(trial);
+          const TaskId uid{static_cast<std::int32_t>(u)};
+          double trial_cost;
+          if (use_delta) {
+            trial_cost = evaluator->apply_swap(tid, uid);
+          } else {
+            std::vector<ElementId> trial = current;
+            trial[t] = other;
+            trial[u] = from;
+            trial_cost = evaluate(trial);
+          }
           const double delta = trial_cost - current_cost;
           if (delta < 0.0 ||
               rng.uniform01() <
                   std::exp(-2.0 * delta / (temperature * initial_cost))) {
             free[fidx] = from_free;
             free[oidx] = other_free;
-            current = std::move(trial);
+            current[t] = other;
+            current[u] = from;
             current_cost = trial_cost;
+          } else if (use_delta) {
+            evaluator->undo();
           }
         }
 

@@ -14,6 +14,12 @@
 // commit of the best assignment found, so a failed or interrupted search
 // leaves no residue (rollback-safe by construction). Deterministic for a
 // given MapperOptions::seed.
+//
+// Trial moves are priced through the incremental DeltaCostEvaluator
+// (O(degree) per move) unless MapperOptions::sa_incremental is off, which
+// selects the original full re-evaluation (O(tasks × channels) per move).
+// The two paths take bit-identical decisions; the knob exists so the
+// regression tests and the speedup bench can race them.
 #pragma once
 
 #include "mappers/mapper.hpp"
@@ -27,10 +33,12 @@ class SaMapper final : public Mapper {
 
   std::string name() const override { return "sa"; }
 
+  using Mapper::map;
   core::MappingResult map(const graph::Application& app,
                           const std::vector<int>& impl_of,
                           const core::PinTable& pins,
-                          platform::Platform& platform) const override;
+                          platform::Platform& platform,
+                          const StopToken& stop) const override;
 
   const MapperOptions& options() const { return options_; }
 

@@ -1,0 +1,132 @@
+#include "mappers/tabu_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "mappers/delta_cost.hpp"
+#include "mappers/placement.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::mappers {
+
+using graph::TaskId;
+using platform::ElementId;
+using platform::Platform;
+using platform::ResourceVector;
+
+core::MappingResult TabuMapper::map(const graph::Application& app,
+                                    const std::vector<int>& impl_of,
+                                    const core::PinTable& pins,
+                                    Platform& platform,
+                                    const StopToken& stop) const {
+  core::MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  assert(impl_of.size() == app.task_count());
+  assert(pins.size() == app.task_count());
+
+  const auto requirements = requirements_of(app, impl_of);
+  const auto targets = targets_of(app, impl_of);
+  util::Xoshiro256 rng(options_.seed);
+  DistanceCache distances(platform);
+
+  std::vector<ResourceVector> free(platform.element_count());
+  for (const auto& e : platform.elements()) {
+    free[static_cast<std::size_t>(e.id().value)] = e.free();
+  }
+
+  std::vector<ElementId> current;
+  const auto seeded = first_fit_assignment(app, platform, targets,
+                                           requirements, pins, free, current);
+  if (!seeded.ok()) {
+    result.reason = seeded.error();
+    return result;
+  }
+
+  std::vector<std::size_t> movable;
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    if (!pins[t].has_value()) movable.push_back(t);
+  }
+
+  DeltaCostEvaluator evaluator(app, platform, options_.weights,
+                               options_.bonuses, distances, current);
+  double current_cost = evaluator.total();
+  std::vector<ElementId> best = current;
+  double best_cost = current_cost;
+
+  if (!movable.empty()) {
+    const int rounds = std::max(0, options_.tabu_iterations);
+    const int tenure = std::max(1, options_.tabu_tenure);
+    const int samples = std::max(1, options_.tabu_samples);
+    // tabu_until[t]: first round in which task t may move again.
+    std::vector<int> tabu_until(app.task_count(), 0);
+    // Free capacities only change between rounds (in-round evaluations are
+    // apply+undo), so a task's feasible-destination scan is computed at most
+    // once per round, however often the sampler re-draws the task.
+    std::vector<int> candidates_round(app.task_count(), -1);
+    std::vector<std::vector<ElementId>> candidates_of(app.task_count());
+
+    for (int round = 0; round < rounds && !stop.stop_requested(); ++round) {
+      // Best admissible candidate of this round's sample.
+      std::size_t chosen_task = 0;
+      ElementId chosen_to;
+      double chosen_cost = std::numeric_limits<double>::infinity();
+
+      for (int s = 0; s < samples; ++s) {
+        const std::size_t t = movable[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(movable.size()) - 1))];
+        const ElementId from = current[t];
+
+        if (candidates_round[t] != round) {
+          candidates_round[t] = static_cast<int>(round);
+          candidates_of[t] = feasible_destinations(
+              platform, from, targets[t], requirements[t], free, pins[t]);
+        }
+        const auto& candidates = candidates_of[t];
+        if (candidates.empty()) continue;
+        const ElementId to = candidates[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(candidates.size()) -
+                                1))];
+
+        ++result.stats.iterations;
+        const double cost =
+            evaluator.apply_move(TaskId{static_cast<std::int32_t>(t)}, to);
+        evaluator.undo();
+
+        const bool tabu = tabu_until[t] > round;
+        const bool aspiration = cost < best_cost;
+        if (tabu && !aspiration) continue;
+        if (cost < chosen_cost) {
+          chosen_cost = cost;
+          chosen_task = t;
+          chosen_to = to;
+        }
+      }
+
+      if (!chosen_to.valid()) continue;  // whole sample tabu or immovable
+
+      const ElementId from = current[chosen_task];
+      evaluator.apply_move(TaskId{static_cast<std::int32_t>(chosen_task)},
+                           chosen_to);
+      free[static_cast<std::size_t>(from.value)] += requirements[chosen_task];
+      free[static_cast<std::size_t>(chosen_to.value)] -=
+          requirements[chosen_task];
+      current[chosen_task] = chosen_to;
+      current_cost = chosen_cost;
+      tabu_until[chosen_task] = round + 1 + tenure;
+
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = current;
+      }
+    }
+  }
+
+  core::MappingResult committed = commit_assignment(
+      app, impl_of, best, platform, options_.weights, options_.bonuses);
+  committed.stats = result.stats;
+  return committed;
+}
+
+}  // namespace kairos::mappers

@@ -1,0 +1,47 @@
+// Tabu search over the SA neighborhood (single-task relocations).
+//
+// Where SA escapes local minima stochastically, tabu search does it with
+// memory: every round it scans a sampled set of candidate moves, takes the
+// *best* one even if it worsens the objective, and forbids moving the same
+// task again for `tabu_tenure` rounds — so the search cannot immediately
+// undo its way back into the minimum it just left. A tabu move is still
+// admissible when it beats the best assignment seen so far (the standard
+// aspiration criterion).
+//
+// All candidate moves are priced through the shared DeltaCostEvaluator
+// (apply → read cost → undo), which is what makes the dense neighborhood
+// scans affordable: pricing a round of k candidates costs O(k × degree)
+// instead of O(k × tasks × channels). (Proposing a move still pays the same
+// O(elements) feasibility scan SA pays, amortised by caching each task's
+// feasible destinations for the duration of a round.) Like SA, the search
+// plans on a private
+// free-capacity copy and only touches the platform in the final atomic
+// commit of the best assignment. Deterministic for a given
+// MapperOptions::seed.
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace kairos::mappers {
+
+class TabuMapper final : public Mapper {
+ public:
+  explicit TabuMapper(MapperOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "tabu"; }
+
+  using Mapper::map;
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform,
+                          const StopToken& stop) const override;
+
+  const MapperOptions& options() const { return options_; }
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace kairos::mappers

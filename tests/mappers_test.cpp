@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/baselines.hpp"
@@ -99,7 +103,7 @@ using kairos::testing::snapshots_equal;
 TEST(MapperRegistryTest, ListsTheExpectedStrategies) {
   const auto names = available();
   for (const char* expected : {"incremental", "first_fit", "random", "heft",
-                               "sa", "portfolio"}) {
+                               "sa", "tabu", "portfolio"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
     EXPECT_TRUE(is_registered(expected)) << expected;
@@ -119,6 +123,25 @@ TEST(MapperRegistryTest, UnknownNameFailsWithKnownList) {
   ASSERT_FALSE(made.ok());
   EXPECT_NE(made.error().find("unknown mapper strategy"), std::string::npos);
   EXPECT_NE(made.error().find("incremental"), std::string::npos);
+}
+
+// The unknown-name message lists every registered strategy, sorted, so the
+// listing is deterministic and scripts/users can rely on its shape.
+TEST(MapperRegistryTest, UnknownNameListsAllStrategiesSorted) {
+  const auto made = make("no-such-mapper");
+  ASSERT_FALSE(made.ok());
+
+  std::string expected;
+  auto sorted = available();
+  ASSERT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  for (const auto& name : sorted) {
+    if (!expected.empty()) expected += ", ";
+    expected += name;
+  }
+  EXPECT_EQ(made.error(), "unknown mapper strategy 'no-such-mapper' (known: " +
+                              expected + ")");
+  EXPECT_EQ(expected,
+            "first_fit, heft, incremental, portfolio, random, sa, tabu");
 }
 
 // The registry-coverage contract: every strategy admits the quickstart
@@ -316,6 +339,170 @@ TEST(PortfolioMapperTest, ExplicitStrategyListIsHonored) {
   // "portfolio" is filtered out (no recursion); the rest are kept in order.
   EXPECT_EQ(portfolio.strategy_names(),
             (std::vector<std::string>{"first_fit", "heft"}));
+}
+
+TEST(TabuMapperTest, DeterministicPerSeedAndNoWorseThanFirstFit) {
+  const Application app = make_quickstart_app();
+
+  auto run = [&](const std::string& name, std::uint64_t seed) {
+    Platform crisp = platform::make_crisp_platform();
+    auto options = paper_options();
+    options.seed = seed;
+    const auto pins = core::resolve_pins(app, crisp);
+    const core::BindingPhase binding(crisp);
+    const auto bound = binding.bind(app, pins.value());
+    return make(name, options).value()->map(app, bound.impl_of, pins.value(),
+                                            crisp);
+  };
+
+  const auto a = run("tabu", 11);
+  const auto b = run("tabu", 11);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.element_of, b.element_of);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+
+  // Tabu starts from first fit and commits the best assignment seen under
+  // the same stationary objective, so it can never end up worse.
+  const auto ff = run("first_fit", 11);
+  ASSERT_TRUE(ff.ok);
+  EXPECT_LE(a.total_cost, ff.total_cost + 1e-9);
+}
+
+/// A strategy that spins until its StopToken trips (bounded by a generous
+/// deadline so a broken cancellation path fails the test instead of hanging
+/// the suite) — the "deliberately slow" member of the early-cancel races.
+class SlowStubMapper final : public Mapper {
+ public:
+  std::string name() const override { return "slow_stub"; }
+
+  using Mapper::map;
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& /*impl_of*/,
+                          const core::PinTable& /*pins*/,
+                          platform::Platform& /*platform*/,
+                          const StopToken& stop) const override {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (!stop.stop_requested() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    was_cancelled = stop.stop_requested();
+    core::MappingResult result;
+    result.element_of.assign(app.task_count(), platform::ElementId{});
+    result.reason = "slow stub never finished";
+    return result;
+  }
+
+  mutable std::atomic<bool> was_cancelled{false};
+};
+
+TEST(PortfolioMapperTest, EarlyCancelStopsSlowStrategiesOnceWinnerIsCheap) {
+  const Application app = make_quickstart_app();
+  auto options = paper_options();
+  options.portfolio_parallel = true;
+  // Any feasible layout beats this bound, so the first feasible trial trips
+  // the shared stop token.
+  options.portfolio_cancel_bound = 1e18;
+
+  auto stub = std::make_shared<SlowStubMapper>();
+  const PortfolioMapper portfolio(
+      options, {make("first_fit", options).value(), stub});
+
+  Platform crisp = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, crisp);
+  const core::BindingPhase binding(crisp);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  const auto result = portfolio.map(app, bound.impl_of, pins.value(), crisp);
+
+  // The stub was cancelled, and the committed winner is still a valid,
+  // fully-allocated layout.
+  EXPECT_TRUE(stub->was_cancelled.load());
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_TRUE(crisp.invariants_hold());
+  for (const auto& task : app.tasks()) {
+    EXPECT_TRUE(result.element_of[static_cast<std::size_t>(task.id().value)]
+                    .valid())
+        << task.name();
+  }
+}
+
+TEST(PortfolioMapperTest, EarlyCancelAlsoShortCircuitsSequentialRaces) {
+  const Application app = make_quickstart_app();
+  auto options = paper_options();
+  options.portfolio_parallel = false;
+  options.portfolio_cancel_bound = 1e18;
+
+  // first_fit runs first and trips the token; the stub then starts with the
+  // token already set and returns immediately.
+  auto stub = std::make_shared<SlowStubMapper>();
+  const PortfolioMapper portfolio(
+      options, {make("first_fit", options).value(), stub});
+
+  Platform crisp = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, crisp);
+  const core::BindingPhase binding(crisp);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto result = portfolio.map(app, bound.impl_of, pins.value(), crisp);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  EXPECT_TRUE(stub->was_cancelled.load());
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(PortfolioMapperTest, CallerTokenCancelsARunningRace) {
+  const Application app = make_quickstart_app();
+  auto options = paper_options();
+  options.portfolio_parallel = false;
+  ASSERT_LT(options.portfolio_cancel_bound, 0.0);  // no bound: only the caller
+
+  auto stub = std::make_shared<SlowStubMapper>();
+  const PortfolioMapper portfolio(options, {stub});
+
+  Platform crisp = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, crisp);
+  const core::BindingPhase binding(crisp);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  // Trip the caller's token while the race is in flight: the portfolio's
+  // internal race token is linked to it, so the stub must observe the stop.
+  const StopToken token = StopToken::create();
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.request_stop();
+  });
+  const auto result =
+      portfolio.map(app, bound.impl_of, pins.value(), crisp, token);
+  canceller.join();
+
+  EXPECT_TRUE(stub->was_cancelled.load());
+  EXPECT_FALSE(result.ok);  // the only member never produced a layout
+}
+
+TEST(PortfolioMapperTest, NegativeBoundDisablesEarlyCancel) {
+  const Application app = make_quickstart_app();
+  auto options = paper_options();
+  ASSERT_LT(options.portfolio_cancel_bound, 0.0);
+
+  // With cancellation disabled the default portfolio must still race and
+  // commit exactly as before — the knob is strictly opt-in.
+  const PortfolioMapper portfolio(options);
+  Platform crisp = platform::make_crisp_platform();
+  const auto pins = core::resolve_pins(app, crisp);
+  const core::BindingPhase binding(crisp);
+  const auto bound = binding.bind(app, pins.value());
+  ASSERT_TRUE(bound.ok);
+
+  const auto result = portfolio.map(app, bound.impl_of, pins.value(), crisp);
+  ASSERT_TRUE(result.ok) << result.reason;
+  EXPECT_TRUE(crisp.invariants_hold());
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+// Regression tests pinning SA-on-delta to SA-on-full: with the same seed,
+// simulated annealing driven by the incremental DeltaCostEvaluator must take
+// the exact trajectory of the original full-re-evaluation path — identical
+// final assignment, identical cost, identical move count — on the paper's
+// 53-task beamformer and on larger generated applications. This is what
+// keeps the delta-evaluation speedup from silently changing paper results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "core/resource_manager.hpp"
+#include "gen/beamforming.hpp"
+#include "gen/generator.hpp"
+#include "mappers/registry.hpp"
+#include "mappers/sa_mapper.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "snapshot_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::mappers {
+namespace {
+
+using graph::Application;
+using platform::Platform;
+
+/// Runs SA twice on fresh platform copies — once per evaluation path — and
+/// requires bit-identical outcomes.
+void expect_paths_identical(const Application& app, const Platform& reference,
+                            MapperOptions options) {
+  for (const std::uint64_t seed : {7ULL, 42ULL, 0x5EEDULL}) {
+    options.seed = seed;
+
+    Platform full_platform = reference;
+    Platform delta_platform = reference;
+    const auto pins = core::resolve_pins(app, full_platform);
+    ASSERT_TRUE(pins.ok()) << pins.error();
+    const core::BindingPhase binding(full_platform);
+    const auto bound = binding.bind(app, pins.value());
+    ASSERT_TRUE(bound.ok) << bound.reason;
+
+    options.sa_incremental = false;
+    const auto full = SaMapper(options).map(app, bound.impl_of, pins.value(),
+                                            full_platform);
+    options.sa_incremental = true;
+    const auto delta = SaMapper(options).map(app, bound.impl_of, pins.value(),
+                                             delta_platform);
+
+    ASSERT_TRUE(full.ok) << full.reason;
+    ASSERT_TRUE(delta.ok) << delta.reason;
+    EXPECT_EQ(full.element_of, delta.element_of) << "seed " << seed;
+    EXPECT_EQ(full.total_cost, delta.total_cost) << "seed " << seed;
+    EXPECT_EQ(full.stats.iterations, delta.stats.iterations) << "seed " << seed;
+    EXPECT_TRUE(kairos::testing::snapshots_equal(full_platform.snapshot(),
+                                                 delta_platform.snapshot()))
+        << "seed " << seed;
+  }
+}
+
+TEST(SaDeltaRegressionTest, BeamformerTrajectoriesAreBitIdentical) {
+  const Application app = gen::make_beamforming_application();
+  ASSERT_EQ(app.task_count(), 53u);
+  const Platform crisp = platform::make_crisp_platform();
+
+  MapperOptions options;
+  options.weights = {4.0, 100.0};
+  expect_paths_identical(app, crisp, options);
+}
+
+TEST(SaDeltaRegressionTest, GeneratedAppTrajectoriesAreBitIdentical) {
+  gen::GeneratorConfig config;
+  config.target = platform::ElementType::kGeneric;
+  config.io_on_boundary = false;
+  config.min_implementations = 1;
+  config.max_implementations = 1;
+  config.input_tasks = 3;
+  config.internal_tasks = 40;
+  config.output_tasks = 3;
+  config.min_intensity = 0.05;
+  config.max_intensity = 0.25;
+  util::Xoshiro256 rng(0xFEED);
+  const Application app = gen::generate_application(config, rng, "generated");
+
+  const Platform mesh = platform::make_mesh(6, 6);
+  MapperOptions options;
+  options.weights = {4.0, 100.0};
+  options.sa_iterations = 2000;
+  expect_paths_identical(app, mesh, options);
+}
+
+// The non-default knob really selects the full path (guards against the
+// regression comparison silently racing delta against delta).
+TEST(SaDeltaRegressionTest, DefaultOptionsUseTheIncrementalPath) {
+  EXPECT_TRUE(MapperOptions{}.sa_incremental);
+}
+
+}  // namespace
+}  // namespace kairos::mappers
