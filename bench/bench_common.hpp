@@ -43,7 +43,7 @@ struct ExperimentResult {
   long attempts = 0;
   long admitted = 0;
   /// Rejections by phase (indexed by core::Phase).
-  std::array<long, 6> failures{};
+  std::array<long, core::kPhaseCount> failures{};
 
   /// Per sequence position (0-based): admission indicator, avg hops of the
   /// admitted application, and platform fragmentation after the attempt.

@@ -1,0 +1,122 @@
+// The scenario-sweep bench: a 3-strategy × 2-platform × 3-rate grid of
+// seeded dynamic scenarios, run twice — serially and on 4 std::async
+// workers — to measure the sweep driver's parallel speedup. Every cell is
+// independent (own platform clone, own manager), so the two runs must
+// produce identical statistics; the bench exits nonzero if they diverge or
+// if any cell admitted nothing.
+//
+// `--smoke` shrinks the horizon so CI can run the whole binary in seconds
+// (the speedup is still reported, but only the full run asserts the >= 2x
+// target, and only when the hardware offers >= 4 cores). `--fault-rate r`
+// adds the element-fault process to every cell. Writes scenario_sweep.csv
+// (schema golden-file pinned in CI).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "sim/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kairos;
+
+  bool smoke = false;
+  double fault_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      fault_rate = std::atof(argv[++i]);
+    }
+  }
+
+  sim::SweepSpec spec;
+  spec.strategies = {"incremental", "heft", "first_fit"};
+  spec.platforms = sim::default_sweep_platforms();
+  spec.arrival_rates = {0.1, 0.3, 0.6};
+  spec.mean_lifetime = 30.0;
+  spec.kairos.weights = {4.0, 100.0};
+  spec.kairos.validation_rejects = false;
+  spec.engine.horizon = smoke ? 120.0 : 600.0;
+  spec.engine.seed = 42;
+  spec.engine.fault_rate = fault_rate;
+  spec.engine.mean_repair = fault_rate > 0.0 ? 20.0 : 0.0;
+
+  std::printf("scenario sweep: %zu strategies x %zu platforms x %zu rates, "
+              "horizon %.0f%s\n",
+              spec.strategies.size(), spec.platforms.size(),
+              spec.arrival_rates.size(), spec.engine.horizon,
+              smoke ? " (smoke)" : "");
+
+  spec.threads = 1;
+  const sim::SweepResult serial = sim::run_sweep(spec);
+  spec.threads = 4;
+  const sim::SweepResult parallel = sim::run_sweep(spec);
+
+  for (const auto* result : {&serial, &parallel}) {
+    if (!result->error.empty()) {
+      std::fprintf(stderr, "%s\n", result->error.c_str());
+      return 1;
+    }
+  }
+
+  // Cells are seeded and independent — thread count must not change any
+  // statistic, and a healthy grid admits work everywhere.
+  bool ok = serial.cells.size() == parallel.cells.size();
+  for (std::size_t i = 0; ok && i < serial.cells.size(); ++i) {
+    const auto& s = serial.cells[i].stats;
+    const auto& p = parallel.cells[i].stats;
+    if (s.arrivals != p.arrivals || s.admitted != p.admitted ||
+        s.fault_lost != p.fault_lost) {
+      std::fprintf(stderr,
+                   "BUG: cell %zu diverged between serial and parallel runs\n",
+                   i);
+      ok = false;
+    }
+    if (s.admitted == 0) {
+      std::fprintf(stderr, "BUG: cell %zu (%s/%s/rate %.2f) admitted 0\n", i,
+                   serial.cells[i].strategy.c_str(),
+                   serial.cells[i].platform.c_str(),
+                   serial.cells[i].arrival_rate);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+
+  util::Table table({"Strategy", "Platform", "Rate", "Arrivals", "Admitted",
+                     "Frag", "Faults", "Lost", "Wall ms"});
+  table.set_align(0, util::Align::kLeft);
+  table.set_align(1, util::Align::kLeft);
+  for (const auto& cell : parallel.cells) {
+    table.add_row({cell.strategy, cell.platform,
+                   util::fmt(cell.arrival_rate, 1),
+                   std::to_string(cell.stats.arrivals),
+                   util::fmt_pct(cell.stats.admission_rate(), 1),
+                   util::fmt_pct(cell.stats.fragmentation.mean(), 1),
+                   std::to_string(cell.stats.faults),
+                   std::to_string(cell.stats.fault_lost),
+                   util::fmt(cell.wall_ms, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  util::CsvWriter csv("scenario_sweep.csv");
+  sim::write_sweep_csv(parallel, csv);
+
+  const double speedup =
+      parallel.wall_ms > 0.0 ? serial.wall_ms / parallel.wall_ms : 0.0;
+  std::printf("serial:    %8.1f ms (1 worker)\n", serial.wall_ms);
+  std::printf("parallel:  %8.1f ms (4 workers)\n", parallel.wall_ms);
+  std::printf("speedup:   %8.2fx\n", speedup);
+  std::printf("full resolution written to scenario_sweep.csv\n");
+
+  if (!smoke && std::thread::hardware_concurrency() >= 4 && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: expected >= 2x speedup at 4 workers on the full "
+                 "grid, measured %.2fx\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

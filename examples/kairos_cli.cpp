@@ -8,25 +8,45 @@
 //   usage: kairos_cli [--wc <w>] [--wf <w>] [--mcr] [--mapper <name>]
 //                     [--seed <n>] [--sa-full] [--cancel-bound <c>]
 //                     [--platform <file>] <app-file>...
+//          kairos_cli --workload <poisson|mmpp> | --trace <file>
+//                     [--rate <r>] [--lifetime <t>] [--horizon <t>]
+//                     [--fault-rate <r>] [--repair <t>] [--mapper <name>]
+//                     [--seed <n>] [--platform <file>] [<app-file>...]
+//          kairos_cli --sweep [--fault-rate <r>] [--repair <t>] [--seed <n>]
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
 // the paper's incremental mapper. --sa-full switches SA trial moves back to
 // full re-evaluation (same result, slower — for comparisons); --cancel-bound
 // lets the portfolio cancel losing strategies once a feasible winner costs
 // at most <c>. Exit code is the number of rejected applications.
+//
+// The second form drives the event-driven scenario engine instead of
+// admitting files once: applications (the given files, or a generated pool)
+// arrive per the chosen workload model, depart, and — with --fault-rate —
+// survive element faults through the circumvention flow. The third form
+// runs the strategy × platform × arrival-rate sweep driver in parallel and
+// writes kairos_sweep.csv.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
 #include "graph/app_io.hpp"
 #include "mappers/registry.hpp"
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "sim/workload.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -48,6 +68,50 @@ std::string mapper_list() {
   return out;
 }
 
+/// Reads and parses one application file into `out`, printing any failure.
+/// Returns 0 on success, 66 (unreadable) or 65 (unparsable) otherwise —
+/// scenario mode aborts with that code, the one-shot path counts and
+/// continues.
+int load_application(const std::string& path,
+                     std::optional<kairos::graph::Application>& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "cannot read application file '%s'\n", path.c_str());
+    return 66;
+  }
+  auto parsed = kairos::graph::parse_application(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error().c_str());
+    return 65;
+  }
+  out = std::move(parsed).value();
+  return 0;
+}
+
+/// Prints a scenario-engine run's outcome; returns the process exit code.
+int report_scenario(const kairos::sim::ScenarioStats& stats,
+                    const std::string& workload_name) {
+  if (!stats.mapper_error.empty()) {
+    std::fprintf(stderr, "%s\n", stats.mapper_error.c_str());
+    return 64;
+  }
+  std::printf("scenario (%s workload): %ld arrivals, %ld admitted (%.1f%%), "
+              "%ld departures\n",
+              workload_name.c_str(), stats.arrivals, stats.admitted,
+              100.0 * stats.admission_rate(), stats.departures);
+  std::printf("  mean live %.2f, mean fragmentation %.1f%%, mean mapping "
+              "%.3f ms\n",
+              stats.live_applications.mean(),
+              100.0 * stats.fragmentation.mean(), stats.mapping_ms.mean());
+  if (stats.faults > 0 || stats.repairs > 0) {
+    std::printf("  faults: %ld injected, %ld repairs; victims %ld = "
+                "%ld recovered + %ld lost\n",
+                stats.faults, stats.repairs, stats.fault_victims,
+                stats.fault_recovered, stats.fault_lost);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +124,15 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5EEDULL;
   bool sa_full = false;
   double cancel_bound = -1.0;
+  std::string workload_name;
+  std::string trace_path;
+  bool sweep = false;
+  double arrival_rate = 0.2;
+  bool rate_given = false;
+  double mean_lifetime = 40.0;
+  double horizon = 1000.0;
+  double fault_rate = 0.0;
+  double mean_repair = 0.0;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,15 +199,108 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--platform requires a file\n");
         return 64;
       }
+    } else if (arg == "--workload") {
+      if (!next_string(workload_name)) {
+        std::fprintf(stderr, "--workload requires a model (mmpp|poisson)\n");
+        return 64;
+      }
+    } else if (arg == "--trace") {
+      if (!next_string(trace_path)) {
+        std::fprintf(stderr, "--trace requires a CSV file\n");
+        return 64;
+      }
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--rate") {
+      if (!next_value(arrival_rate)) {
+        std::fprintf(stderr, "--rate requires a value\n");
+        return 64;
+      }
+      rate_given = true;
+    } else if (arg == "--lifetime") {
+      if (!next_value(mean_lifetime)) {
+        std::fprintf(stderr, "--lifetime requires a value\n");
+        return 64;
+      }
+    } else if (arg == "--horizon") {
+      if (!next_value(horizon)) {
+        std::fprintf(stderr, "--horizon requires a value\n");
+        return 64;
+      }
+    } else if (arg == "--fault-rate") {
+      if (!next_value(fault_rate)) {
+        std::fprintf(stderr, "--fault-rate requires a value\n");
+        return 64;
+      }
+    } else if (arg == "--repair") {
+      if (!next_value(mean_repair)) {
+        std::fprintf(stderr, "--repair requires a value\n");
+        return 64;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
                   "[--mapper <%s>] [--seed n] [--sa-full] [--cancel-bound c] "
-                  "[--platform file] <app-file>...\n",
+                  "[--platform file] <app-file>...\n"
+                  "       kairos_cli --workload <mmpp|poisson> | --trace file "
+                  "[--rate r] [--lifetime t] [--horizon t] [--fault-rate r] "
+                  "[--repair t] [--mapper name] [--seed n] [<app-file>...]\n"
+                  "       kairos_cli --sweep [--mapper name] [--rate r] "
+                  "[--lifetime t] [--horizon t] [--fault-rate r] [--repair t] "
+                  "[--seed n]\n",
                   mapper_list().c_str());
       return 0;
     } else {
       app_paths.push_back(arg);
     }
+  }
+
+  if (sweep) {
+    // The strategy × platform × arrival-rate grid, in parallel, to CSV.
+    // --mapper narrows the strategy axis to one; --lifetime carries over.
+    sim::SweepSpec spec;
+    if (mapper_name.empty()) {
+      spec.strategies = mappers::available();
+    } else if (mappers::is_registered(mapper_name)) {
+      spec.strategies = {mapper_name};
+    } else {
+      std::fprintf(stderr, "unknown mapper '%s' (known: %s)\n",
+                   mapper_name.c_str(), mapper_list().c_str());
+      return 64;
+    }
+    spec.platforms = sim::default_sweep_platforms();
+    // --rate narrows the rate axis to the given value; default is a grid.
+    spec.arrival_rates =
+        rate_given ? std::vector<double>{arrival_rate}
+                   : std::vector<double>{0.1, 0.3, 0.6};
+    spec.mean_lifetime = mean_lifetime;
+    spec.kairos = config;
+    spec.engine.horizon = horizon;
+    spec.engine.seed = seed;
+    spec.engine.fault_rate = fault_rate;
+    spec.engine.mean_repair = mean_repair;
+    spec.engine.sa_incremental = !sa_full;
+    spec.engine.portfolio_cancel_bound = cancel_bound;
+    const sim::SweepResult result = sim::run_sweep(spec);
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "%s\n", result.error.c_str());
+      return 64;
+    }
+    util::Table table({"Strategy", "Platform", "Rate", "Arrivals",
+                       "Admitted", "Lost", "Wall ms"});
+    for (const auto& cell : result.cells) {
+      table.add_row({cell.strategy, cell.platform,
+                     util::fmt(cell.arrival_rate, 1),
+                     std::to_string(cell.stats.arrivals),
+                     util::fmt_pct(cell.stats.admission_rate(), 1),
+                     std::to_string(cell.stats.fault_lost),
+                     util::fmt(cell.wall_ms, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    util::CsvWriter csv("kairos_sweep.csv");
+    sim::write_sweep_csv(result, csv);
+    std::printf("%zu cells in %.1f ms; full resolution in kairos_sweep.csv\n",
+                result.cells.size(), result.wall_ms);
+    return 0;
   }
 
   if (!mapper_name.empty()) {
@@ -173,6 +339,61 @@ int main(int argc, char** argv) {
               platform.name().c_str(), platform.element_count(),
               platform.link_count());
 
+  if (!workload_name.empty() || !trace_path.empty()) {
+    // Scenario-engine mode: the application files (or a generated pool)
+    // arrive and depart per the chosen workload model.
+    std::vector<graph::Application> pool;
+    for (const std::string& path : app_paths) {
+      std::optional<graph::Application> app;
+      if (const int failure = load_application(path, app)) return failure;
+      pool.push_back(std::move(*app));
+    }
+    if (pool.empty()) {
+      pool = gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 20, 71);
+      std::printf("no application files given; using a generated pool of "
+                  "%zu applications\n",
+                  pool.size());
+    }
+
+    std::unique_ptr<sim::WorkloadModel> workload;
+    if (!trace_path.empty()) {
+      std::string text;
+      if (!read_file(trace_path, text)) {
+        std::fprintf(stderr, "cannot read trace file '%s'\n",
+                     trace_path.c_str());
+        return 66;
+      }
+      auto rows = sim::parse_trace(text);
+      if (!rows.ok()) {
+        std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
+                     rows.error().c_str());
+        return 65;
+      }
+      workload =
+          std::make_unique<sim::TraceWorkload>(std::move(rows).value());
+    } else {
+      sim::WorkloadParams params;
+      params.arrival_rate = arrival_rate;
+      params.mean_lifetime = mean_lifetime;
+      auto made = sim::make_workload(workload_name, params);
+      if (!made.ok()) {
+        std::fprintf(stderr, "%s\n", made.error().c_str());
+        return 64;
+      }
+      workload = std::move(made).value();
+    }
+
+    core::ResourceManager kairos(platform, config);
+    std::printf("mapper strategy: %s\n", kairos.mapper().name().c_str());
+    sim::EngineConfig engine_config;
+    engine_config.horizon = horizon;
+    engine_config.seed = seed;
+    engine_config.fault_rate = fault_rate;
+    engine_config.mean_repair = mean_repair;
+    sim::Engine engine(kairos, pool, engine_config);
+    return report_scenario(engine.run(*workload), workload->name());
+  }
+
   if (app_paths.empty()) {
     std::printf("no application files given; nothing to do\n");
     return 0;
@@ -182,20 +403,12 @@ int main(int argc, char** argv) {
   std::printf("mapper strategy: %s\n", kairos.mapper().name().c_str());
   int rejected = 0;
   for (const std::string& path : app_paths) {
-    std::string text;
-    if (!read_file(path, text)) {
-      std::fprintf(stderr, "cannot read application file '%s'\n",
-                   path.c_str());
+    std::optional<graph::Application> loaded;
+    if (load_application(path, loaded) != 0) {
       ++rejected;
       continue;
     }
-    const auto parsed = graph::parse_application(text);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error().c_str());
-      ++rejected;
-      continue;
-    }
-    const graph::Application& app = parsed.value();
+    const graph::Application& app = *loaded;
     const auto report = kairos.admit(app);
     if (!report.admitted) {
       std::printf("%s: REJECTED in %s (%s)\n", app.name().c_str(),

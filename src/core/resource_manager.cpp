@@ -178,6 +178,55 @@ std::vector<AppHandle> ResourceManager::apps_using(
   return out;
 }
 
+std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
+ResourceManager::allocations_of(AppHandle handle) const {
+  const auto it = live_.find(handle);
+  if (it == live_.end()) return {};
+  return it->second.task_allocations;
+}
+
+ResourceManager::FaultReport ResourceManager::circumvent_fault(
+    platform::ElementId e) {
+  FaultReport report;
+  report.element = e;
+
+  // Evict the victims first so their reservations on the dead element are
+  // released, then fail the element so the re-admissions route around it.
+  std::vector<std::pair<AppHandle, graph::Application>> victims;
+  for (const AppHandle handle : apps_using(e)) {
+    victims.emplace_back(handle, live_.at(handle).app);
+  }
+  report.victims = static_cast<int>(victims.size());
+  for (const auto& [handle, app] : victims) {
+    (void)app;
+    const auto removed = remove(handle);
+    assert(removed.ok());
+    (void)removed;
+  }
+  platform_->set_element_failed(e, true);
+
+  for (const auto& [old_handle, app] : victims) {
+    const AdmissionReport admitted = admit(app);
+    if (!admitted.admitted) {
+      ++report.lost;
+      report.lost_handles.push_back(old_handle);
+      continue;
+    }
+    ++report.recovered;
+    // Keep the caller's handle stable (as defragment() does), so departure
+    // schedules and other bookkeeping keyed on the handle survive the fault.
+    auto node = live_.extract(admitted.handle);
+    node.key() = old_handle;
+    live_.insert(std::move(node));
+  }
+  assert(platform_->invariants_hold());
+  return report;
+}
+
+void ResourceManager::repair_element(platform::ElementId e) {
+  platform_->set_element_failed(e, false);
+}
+
 ResourceManager::DefragReport ResourceManager::defragment() {
   DefragReport report;
   report.fragmentation_before = platform::external_fragmentation(*platform_);

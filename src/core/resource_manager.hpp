@@ -48,6 +48,12 @@ enum class Phase {
 
 std::string to_string(Phase phase);
 
+/// Number of Phase enumerators — the size any per-phase counter array must
+/// have. Defined from the last enumerator so the two cannot drift apart;
+/// keep the reference pointing at the final Phase when phases are added.
+inline constexpr std::size_t kPhaseCount =
+    static_cast<std::size_t>(Phase::kValidation) + 1;
+
 /// Wall-clock per phase, in milliseconds (Fig. 7's quantities).
 struct PhaseTimes {
   double binding_ms = 0.0;
@@ -120,6 +126,35 @@ class ResourceManager {
   /// typically remove() these and re-admit after marking the element failed
   /// (run-time fault circumvention, §I).
   std::vector<AppHandle> apps_using(platform::ElementId e) const;
+
+  /// The element reservations an admitted application currently holds, one
+  /// entry per task (empty for unknown handles). Diagnostic surface: the
+  /// system property tests audit that every platform reservation is owned by
+  /// exactly one live application through this.
+  std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
+  allocations_of(AppHandle handle) const;
+
+  /// Outcome of a run-time fault-circumvention pass (§I).
+  struct FaultReport {
+    platform::ElementId element;
+    int victims = 0;    ///< applications killed by the fault
+    int recovered = 0;  ///< re-admitted around the failed element
+    int lost = 0;       ///< could not be re-admitted (victims - recovered)
+    /// Handles of the lost applications; recovered ones keep their handles.
+    std::vector<AppHandle> lost_handles;
+  };
+
+  /// Run-time fault circumvention: marks `e` failed in the platform, removes
+  /// every application reported by apps_using(e) and re-admits it with the
+  /// current strategy (which now avoids the dead element). Recovered
+  /// applications keep their handles — like defragment(), so callers'
+  /// bookkeeping (e.g. scheduled departures) stays valid; applications that
+  /// no longer fit are dropped and reported in `lost_handles`.
+  FaultReport circumvent_fault(platform::ElementId e);
+
+  /// Marks a previously failed element usable again; subsequent admissions
+  /// may allocate it. (Applications lost to the fault are not resurrected.)
+  void repair_element(platform::ElementId e);
 
   /// Outcome of a defragmentation pass.
   struct DefragReport {

@@ -1,0 +1,163 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <set>
+
+#include "mappers/registry.hpp"
+#include "platform/fragmentation.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::sim {
+
+namespace {
+
+/// Salt separating the fault process's RNG stream from the workload's, so a
+/// nonzero fault_rate never perturbs the arrival/departure sequence of the
+/// same seed (and the Poisson wrapper stays bit-identical to the
+/// pre-engine run_scenario).
+constexpr std::uint64_t kFaultStreamSalt = 0xFA017'5717EA4ULL;
+
+}  // namespace
+
+Engine::Engine(core::ResourceManager& manager,
+               const std::vector<graph::Application>& pool,
+               EngineConfig config)
+    : manager_(&manager), pool_(&pool), config_(std::move(config)) {}
+
+ScenarioStats Engine::run(WorkloadModel& workload) {
+  assert(!pool_->empty());
+  assert(config_.horizon > 0.0);
+
+  ScenarioStats stats;
+  if (!config_.mapper.empty()) {
+    mappers::MapperOptions options;
+    options.weights = manager_->config().weights;
+    options.bonuses = manager_->config().bonuses;
+    options.extra_rings = manager_->config().extra_rings;
+    options.exact_knapsack = manager_->config().exact_knapsack;
+    options.seed = config_.seed;
+    options.sa_incremental = config_.sa_incremental;
+    options.portfolio_cancel_bound = config_.portfolio_cancel_bound;
+    auto made = mappers::make(config_.mapper, options);
+    if (!made.ok()) {
+      // Fail loudly: running the manager's previous strategy here would
+      // attribute every statistic to a mapper that never executed.
+      stats.mapper_error = made.error();
+      return stats;
+    }
+    manager_->set_mapper(std::move(made).value());
+  }
+
+  util::Xoshiro256 workload_rng(config_.seed);
+  util::Xoshiro256 fault_rng(config_.seed ^ kFaultStreamSalt);
+  EventQueue events;
+
+  if (const auto first = workload.next_arrival_time(0.0, workload_rng)) {
+    events.push(Event{*first, EventKind::kArrival, 0, -1, {}});
+  }
+  if (config_.fault_rate > 0.0) {
+    events.push(Event{util::exponential(fault_rng, 1.0 / config_.fault_rate),
+                      EventKind::kElementFault, 0, -1, {}});
+  }
+  if (config_.defrag_period > 0.0) {
+    events.push(
+        Event{config_.defrag_period, EventKind::kDefragTrigger, 0, -1, {}});
+  }
+
+  // Handles of applications a fault killed; their already-scheduled
+  // departures are stale and must be dropped, not treated as errors.
+  std::set<core::AppHandle> dead_handles;
+
+  while (!events.empty()) {
+    const Event event = events.pop();
+    if (event.time > config_.horizon) break;
+
+    switch (event.kind) {
+      case EventKind::kArrival: {
+        ++stats.arrivals;
+        const std::size_t index = workload.pick(pool_->size(), workload_rng);
+        assert(index < pool_->size());
+        const core::AdmissionReport report = manager_->admit((*pool_)[index]);
+        if (report.admitted) {
+          ++stats.admitted;
+          stats.mapping_cost.add(report.mapping_cost);
+          stats.mapping_ms.add(report.times.mapping_ms);
+          events.push(Event{event.time + workload.lifetime(workload_rng),
+                            EventKind::kDeparture, 0, report.handle, {}});
+        } else {
+          ++stats.failures(report.failed_phase);
+        }
+        if (const auto next =
+                workload.next_arrival_time(event.time, workload_rng)) {
+          events.push(Event{*next, EventKind::kArrival, 0, -1, {}});
+        }
+        break;
+      }
+
+      case EventKind::kDeparture: {
+        if (dead_handles.erase(event.handle) > 0) {
+          ++stats.stale_departures;
+          break;
+        }
+        const auto removed = manager_->remove(event.handle);
+        assert(removed.ok());
+        (void)removed;
+        ++stats.departures;
+        break;
+      }
+
+      case EventKind::kElementFault: {
+        // Uniform victim among the currently healthy elements; if the whole
+        // platform is down there is nothing left to fault.
+        std::vector<platform::ElementId> healthy;
+        for (const auto& element : manager_->platform().elements()) {
+          if (!element.is_failed()) healthy.push_back(element.id());
+        }
+        if (!healthy.empty()) {
+          const auto pick = static_cast<std::size_t>(fault_rng.uniform_int(
+              0, static_cast<std::int64_t>(healthy.size()) - 1));
+          const auto report = manager_->circumvent_fault(healthy[pick]);
+          ++stats.faults;
+          stats.fault_victims += report.victims;
+          stats.fault_recovered += report.recovered;
+          stats.fault_lost += report.lost;
+          dead_handles.insert(report.lost_handles.begin(),
+                              report.lost_handles.end());
+          if (config_.mean_repair > 0.0) {
+            events.push(Event{
+                event.time + util::exponential(fault_rng, config_.mean_repair),
+                EventKind::kElementRepair, 0, -1, healthy[pick]});
+          }
+        }
+        events.push(Event{
+            event.time + util::exponential(fault_rng, 1.0 / config_.fault_rate),
+            EventKind::kElementFault, 0, -1, {}});
+        break;
+      }
+
+      case EventKind::kElementRepair: {
+        manager_->repair_element(event.element);
+        ++stats.repairs;
+        break;
+      }
+
+      case EventKind::kDefragTrigger: {
+        ++stats.defrag_triggers;
+        if (manager_->defragment().performed) ++stats.defrag_performed;
+        events.push(Event{event.time + config_.defrag_period,
+                          EventKind::kDefragTrigger, 0, -1, {}});
+        break;
+      }
+    }
+
+    stats.live_applications.add(static_cast<double>(manager_->live_count()));
+    stats.fragmentation.add(
+        platform::external_fragmentation(manager_->platform()));
+    stats.compute_utilisation.add(platform::resource_utilisation(
+        manager_->platform(), platform::ResourceKind::kCompute));
+  }
+  assert(stats.fault_victims == stats.fault_recovered + stats.fault_lost);
+  return stats;
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,126 @@
+// The discrete-event scenario engine.
+//
+// sim::Engine drains a time-ordered event stream — arrivals and departures
+// produced by a pluggable WorkloadModel, element faults and repairs from a
+// seeded fault process, and periodic defragmentation triggers — against a
+// core::ResourceManager. It is the run-time half of the paper made
+// executable: arbitrary application mixes arriving and leaving (§I), plus
+// the "run-time fault circumvention" the introduction motivates, applied as
+// mark-failed -> evict victims (apps_using) -> re-admit around the fault.
+//
+// Determinism: all stochastic draws come from two Xoshiro256 streams derived
+// from EngineConfig::seed (one for the workload, one for the fault process),
+// so every run is reproducible from its printed seed, and enabling faults
+// does not perturb the workload's draw sequence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "graph/application.hpp"
+#include "sim/events.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+
+namespace kairos::sim {
+
+struct EngineConfig {
+  double horizon = 1000.0;  ///< simulated duration
+  std::uint64_t seed = 1;
+  /// Mapping strategy for the run, resolved through mappers::make() with the
+  /// manager's cost weights (and this config's seed) and installed on the
+  /// manager before the first arrival. Empty keeps whatever strategy the
+  /// manager is already configured with.
+  std::string mapper;
+  /// Strategy knobs that exist only in mappers::MapperOptions (everything
+  /// else is taken from the manager's config) — threaded through so a sweep
+  /// over "sa"/"portfolio" honors them rather than silently resetting them.
+  bool sa_incremental = true;
+  double portfolio_cancel_bound = -1.0;
+
+  /// Expected element faults per time unit (0 disables the fault process).
+  /// Each fault hits a uniformly chosen non-failed element and triggers the
+  /// circumvention flow (core::ResourceManager::circumvent_fault).
+  double fault_rate = 0.0;
+  /// Expected element down-time after a fault; <= 0 makes faults permanent.
+  double mean_repair = 0.0;
+  /// Trigger a defragmentation pass every `defrag_period` time units
+  /// (0 disables).
+  double defrag_period = 0.0;
+};
+
+struct ScenarioStats {
+  long arrivals = 0;
+  long admitted = 0;
+  long departures = 0;
+
+  /// Rejections by core::Phase; use failures(Phase) for checked access.
+  std::array<long, core::kPhaseCount> failures_by_phase{};
+  long& failures(core::Phase phase) {
+    return failures_by_phase.at(static_cast<std::size_t>(phase));
+  }
+  long failures(core::Phase phase) const {
+    return failures_by_phase.at(static_cast<std::size_t>(phase));
+  }
+
+  /// Fault circumvention counters: injected faults and repairs, the
+  /// applications the faults killed, how many of those were re-admitted
+  /// elsewhere, and how many were permanently lost. victims = recovered +
+  /// lost always holds.
+  long faults = 0;
+  long repairs = 0;
+  long fault_victims = 0;
+  long fault_recovered = 0;
+  long fault_lost = 0;
+  /// Departure events whose application a fault had already killed.
+  long stale_departures = 0;
+
+  /// Defragmentation triggers fired / passes that actually compacted
+  /// (defragment() rolls back when a re-admission fails).
+  long defrag_triggers = 0;
+  long defrag_performed = 0;
+
+  /// Non-empty iff EngineConfig::mapper could not be resolved; the scenario
+  /// then did not run (all counters zero). Checked so a typo in a strategy
+  /// name cannot silently attribute results to the wrong mapper.
+  std::string mapper_error;
+
+  /// Sampled at every event, after processing it.
+  util::RunningStats live_applications;
+  util::RunningStats fragmentation;
+  util::RunningStats compute_utilisation;
+
+  /// Per admitted application: the mapping phase's reported cost and
+  /// runtime — the quantities the mapper-strategy matrix compares.
+  util::RunningStats mapping_cost;
+  util::RunningStats mapping_ms;
+
+  long rejected() const { return arrivals - admitted; }
+  double admission_rate() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(admitted) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+class Engine {
+ public:
+  /// The manager's platform is mutated (allocations, fault marks); the
+  /// caller owns resetting it. `pool` must stay alive for the run.
+  Engine(core::ResourceManager& manager,
+         const std::vector<graph::Application>& pool, EngineConfig config);
+
+  /// Drains the event stream until the horizon (or until a finite workload
+  /// is exhausted and every admitted application has departed).
+  ScenarioStats run(WorkloadModel& workload);
+
+ private:
+  core::ResourceManager* manager_;
+  const std::vector<graph::Application>* pool_;
+  EngineConfig config_;
+};
+
+}  // namespace kairos::sim

@@ -1,0 +1,21 @@
+#include "sim/events.hpp"
+
+namespace kairos::sim {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival:
+      return "arrival";
+    case EventKind::kDeparture:
+      return "departure";
+    case EventKind::kElementFault:
+      return "element-fault";
+    case EventKind::kElementRepair:
+      return "element-repair";
+    case EventKind::kDefragTrigger:
+      return "defrag-trigger";
+  }
+  return "?";
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,74 @@
+// The event vocabulary of the discrete-event scenario engine.
+//
+// The paper's premise (§I) is that the application mix is unknown at design
+// time: the run-time manager must survive arbitrary arrivals and departures
+// and "circumvent hardware faults" as they appear. The engine models all of
+// that as one time-ordered stream of events drained against a
+// core::ResourceManager; this header defines the event record and the
+// deterministic queue the engine drains.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "platform/element.hpp"
+
+namespace kairos::sim {
+
+enum class EventKind : std::uint8_t {
+  kArrival,        ///< an application requests admission
+  kDeparture,      ///< an admitted application finishes and releases
+  kElementFault,   ///< a processing element dies at run time
+  kElementRepair,  ///< a failed element comes back online
+  kDefragTrigger,  ///< periodic defragmentation pass
+};
+
+std::string to_string(EventKind kind);
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  /// Monotone issue number, used only to break exact time ties
+  /// deterministically (independent of heap internals).
+  long seq = 0;
+  core::AppHandle handle = -1;      ///< kDeparture
+  platform::ElementId element{};    ///< kElementFault / kElementRepair
+};
+
+/// Min-queue over (time, seq): earliest event first, FIFO among exact time
+/// ties. A thin wrapper over std::priority_queue that stamps the sequence
+/// number itself so producers cannot forget it.
+class EventQueue {
+ public:
+  /// Enqueues `event` (its seq field is overwritten with the issue number).
+  void push(Event event) {
+    event.seq = next_seq_++;
+    heap_.push(event);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  long next_seq_ = 0;
+};
+
+}  // namespace kairos::sim

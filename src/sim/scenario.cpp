@@ -1,98 +1,22 @@
 #include "sim/scenario.hpp"
 
 #include <cassert>
-#include <cmath>
-#include <queue>
-
-#include "mappers/registry.hpp"
-#include "platform/fragmentation.hpp"
-#include "util/rng.hpp"
 
 namespace kairos::sim {
-
-namespace {
-
-/// Inverse-CDF exponential sample with the given mean.
-double exponential(util::Xoshiro256& rng, double mean) {
-  return -mean * std::log(1.0 - rng.uniform01());
-}
-
-struct Event {
-  double time;
-  bool is_arrival;                 // false: departure
-  core::AppHandle handle = -1;     // departure only
-
-  bool operator>(const Event& other) const { return time > other.time; }
-};
-
-}  // namespace
 
 ScenarioStats run_scenario(core::ResourceManager& manager,
                            const std::vector<graph::Application>& pool,
                            const ScenarioConfig& config) {
-  assert(!pool.empty());
   assert(config.arrival_rate > 0.0);
   assert(config.mean_lifetime > 0.0);
 
-  ScenarioStats stats;
-  if (!config.mapper.empty()) {
-    mappers::MapperOptions options;
-    options.weights = manager.config().weights;
-    options.bonuses = manager.config().bonuses;
-    options.extra_rings = manager.config().extra_rings;
-    options.exact_knapsack = manager.config().exact_knapsack;
-    options.seed = config.seed;
-    auto made = mappers::make(config.mapper, options);
-    if (!made.ok()) {
-      // Fail loudly: running the manager's previous strategy here would
-      // attribute every statistic to a mapper that never executed.
-      stats.mapper_error = made.error();
-      return stats;
-    }
-    manager.set_mapper(std::move(made).value());
-  }
-  util::Xoshiro256 rng(config.seed);
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-
-  events.push(Event{exponential(rng, 1.0 / config.arrival_rate), true, -1});
-
-  while (!events.empty()) {
-    const Event event = events.top();
-    events.pop();
-    if (event.time > config.horizon) break;
-
-    if (event.is_arrival) {
-      ++stats.arrivals;
-      const auto pick = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(pool.size()) - 1));
-      const core::AdmissionReport report = manager.admit(pool[pick]);
-      if (report.admitted) {
-        ++stats.admitted;
-        stats.mapping_cost.add(report.mapping_cost);
-        stats.mapping_ms.add(report.times.mapping_ms);
-        events.push(Event{event.time + exponential(rng, config.mean_lifetime),
-                          false, report.handle});
-      } else {
-        ++stats.failures[static_cast<std::size_t>(report.failed_phase)];
-      }
-      // Schedule the next arrival.
-      events.push(Event{
-          event.time + exponential(rng, 1.0 / config.arrival_rate), true,
-          -1});
-    } else {
-      const auto removed = manager.remove(event.handle);
-      assert(removed.ok());
-      (void)removed;
-      ++stats.departures;
-    }
-
-    stats.live_applications.add(static_cast<double>(manager.live_count()));
-    stats.fragmentation.add(
-        platform::external_fragmentation(manager.platform()));
-    stats.compute_utilisation.add(platform::resource_utilisation(
-        manager.platform(), platform::ResourceKind::kCompute));
-  }
-  return stats;
+  PoissonWorkload workload(config.arrival_rate, config.mean_lifetime);
+  EngineConfig engine_config;
+  engine_config.horizon = config.horizon;
+  engine_config.seed = config.seed;
+  engine_config.mapper = config.mapper;
+  Engine engine(manager, pool, engine_config);
+  return engine.run(workload);
 }
 
 }  // namespace kairos::sim

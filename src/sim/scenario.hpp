@@ -1,24 +1,21 @@
-// Discrete-event simulation of a dynamic application mix.
+// The classic Poisson fill-and-drain scenario, kept as a thin wrapper over
+// the event-driven sim::Engine.
 //
-// The paper's premise (§I) is that "at design-time, it is unknown when, and
-// what combinations of applications are requested to be executed during the
-// life-time of the system" — the resource manager must handle arbitrary
-// arrivals and departures at run time. This module drives a
-// core::ResourceManager with a Poisson arrival process and exponentially
-// distributed application lifetimes, collecting admission statistics and
-// platform-health time series. The sequence benches (Figs. 8/9) only ever
-// fill the platform; this simulator additionally exercises the release path
-// and the resulting fragmentation dynamics.
+// Historically this was the whole simulator: one hard-coded loop driving a
+// core::ResourceManager with Poisson arrivals and exponential lifetimes.
+// The engine generalised it (pluggable workloads, fault injection, defrag
+// triggers, sweeps); run_scenario remains the convenience entry point —
+// and its fixed-seed behaviour is regression-pinned to be bit-identical to
+// the pre-engine implementation (tests/scenario_regression_test).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/resource_manager.hpp"
 #include "graph/application.hpp"
-#include "util/stats.hpp"
+#include "sim/engine.hpp"
 
 namespace kairos::sim {
 
@@ -27,44 +24,15 @@ struct ScenarioConfig {
   double mean_lifetime = 40.0;  ///< expected application lifetime
   double horizon = 1000.0;      ///< simulated duration
   std::uint64_t seed = 1;
-  /// Mapping strategy for the run, resolved through mappers::make() with the
-  /// manager's cost weights (and this config's seed) and installed on the
-  /// manager before the first arrival. Empty keeps whatever strategy the
-  /// manager is already configured with.
+  /// Mapping strategy for the run (see EngineConfig::mapper). Empty keeps
+  /// whatever strategy the manager is already configured with.
   std::string mapper;
 };
 
-struct ScenarioStats {
-  long arrivals = 0;
-  long admitted = 0;
-  long departures = 0;
-  std::array<long, 6> failures{};  ///< rejections by core::Phase
-
-  /// Non-empty iff ScenarioConfig::mapper could not be resolved; the
-  /// scenario then did not run (all counters zero). Checked so a typo in a
-  /// strategy name cannot silently attribute results to the wrong mapper.
-  std::string mapper_error;
-
-  /// Sampled at every event, after processing it.
-  util::RunningStats live_applications;
-  util::RunningStats fragmentation;
-  util::RunningStats compute_utilisation;
-
-  /// Per admitted application: the mapping phase's reported cost and
-  /// runtime — the quantities the mapper-strategy matrix compares.
-  util::RunningStats mapping_cost;
-  util::RunningStats mapping_ms;
-
-  long rejected() const { return arrivals - admitted; }
-  double admission_rate() const {
-    return arrivals == 0 ? 0.0
-                         : static_cast<double>(admitted) /
-                               static_cast<double>(arrivals);
-  }
-};
-
-/// Runs one scenario: applications are drawn uniformly from `pool` on each
-/// arrival. The manager's platform is mutated; the caller owns resetting it.
+/// Runs one Poisson scenario: applications are drawn uniformly from `pool`
+/// on each arrival. The manager's platform is mutated; the caller owns
+/// resetting it. Equivalent to Engine::run with a PoissonWorkload and no
+/// fault/defrag processes.
 ScenarioStats run_scenario(core::ResourceManager& manager,
                            const std::vector<graph::Application>& pool,
                            const ScenarioConfig& config);

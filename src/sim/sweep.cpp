@@ -1,0 +1,174 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "sim/workload.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kairos::sim {
+
+const std::vector<SweepSpec::PlatformCase>& default_sweep_platforms() {
+  // Shared by kairos_cli --sweep and bench_scenario_sweep so the two CSVs
+  // (one golden-pinned in CI) cannot drift onto different grids.
+  static const std::vector<SweepSpec::PlatformCase> platforms = {
+      {"crisp-2pkg",
+       [] {
+         platform::CrispConfig crisp;
+         crisp.packages = 2;
+         return platform::make_crisp_platform(crisp);
+       }},
+      {"torus6x6-dsp", [] {
+         platform::BuilderConfig torus;
+         torus.element_type = platform::ElementType::kDsp;
+         return platform::make_torus(6, 6, torus);
+       }}};
+  return platforms;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  SweepResult result;
+  util::Stopwatch sweep_watch;
+
+  for (const double rate : spec.arrival_rates) {
+    if (rate <= 0.0) {
+      result.error = "sweep arrival rates must be > 0";
+      return result;
+    }
+  }
+  if (spec.mean_lifetime <= 0.0) {
+    result.error = "sweep mean lifetime must be > 0";
+    return result;
+  }
+
+  // One admissible pool per platform case, generated up front (serially —
+  // generation is cheap and sharing the const pools across workers is free).
+  std::vector<std::vector<graph::Application>> pools;
+  pools.reserve(spec.platforms.size());
+  for (const auto& platform_case : spec.platforms) {
+    platform::Platform filter_platform = platform_case.build();
+    pools.push_back(gen::filter_admissible(
+        gen::make_dataset(spec.dataset, spec.pool_size, spec.pool_seed),
+        filter_platform, spec.kairos));
+    if (pools.back().empty()) {
+      // An empty pool would leave the engine nothing to draw arrivals from;
+      // fail the whole sweep loudly instead of producing all-zero cells.
+      result.error = "no admissible applications for platform '" +
+                     platform_case.name + "'";
+      return result;
+    }
+  }
+
+  // Materialise the grid in deterministic order; workers fill slots in
+  // place, so no ordering or locking is needed on the way back.
+  struct CellJob {
+    std::size_t platform_index;
+    double arrival_rate;
+    std::string strategy;
+  };
+  std::vector<CellJob> jobs;
+  for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
+    for (const double rate : spec.arrival_rates) {
+      for (const auto& strategy : spec.strategies) {
+        jobs.push_back(CellJob{p, rate, strategy});
+      }
+    }
+  }
+  result.cells.resize(jobs.size());
+
+  const auto run_cell = [&](std::size_t i) {
+    const CellJob& job = jobs[i];
+    SweepCell& cell = result.cells[i];
+    cell.strategy = job.strategy;
+    cell.platform = spec.platforms[job.platform_index].name;
+    cell.arrival_rate = job.arrival_rate;
+
+    platform::Platform platform = spec.platforms[job.platform_index].build();
+    core::KairosConfig kairos_config = spec.kairos;
+    kairos_config.mapper = nullptr;  // never share a strategy across threads
+    core::ResourceManager manager(platform, kairos_config);
+
+    EngineConfig engine_config = spec.engine;
+    engine_config.mapper = job.strategy;
+    Engine engine(manager, pools[job.platform_index], engine_config);
+    PoissonWorkload workload(job.arrival_rate, spec.mean_lifetime);
+
+    util::Stopwatch watch;
+    cell.stats = engine.run(workload);
+    cell.wall_ms = watch.elapsed_ms();
+  };
+
+  int threads = spec.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_cell(i);
+  } else {
+    // A shared cursor instead of one task per cell: cells differ wildly in
+    // cost (strategy-dependent), so dynamic pulling keeps workers busy.
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::future<void>> workers;
+    const auto worker_count =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), jobs.size());
+    workers.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      workers.push_back(std::async(std::launch::async, [&] {
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1);
+          if (i >= jobs.size()) return;
+          run_cell(i);
+        }
+      }));
+    }
+    for (auto& worker : workers) worker.get();
+  }
+
+  for (const auto& cell : result.cells) {
+    if (!cell.stats.mapper_error.empty()) {
+      result.error = cell.stats.mapper_error;
+      break;
+    }
+  }
+  result.wall_ms = sweep_watch.elapsed_ms();
+  return result;
+}
+
+const std::vector<std::string>& sweep_csv_header() {
+  static const std::vector<std::string> header = {
+      "strategy",          "platform",        "arrival_rate",
+      "arrivals",          "admitted",        "departures",
+      "admission_rate",    "mean_mapping_cost", "mean_mapping_ms",
+      "mean_fragmentation", "mean_live_apps", "faults",
+      "fault_victims",     "fault_recovered", "fault_lost",
+      "repairs",           "defrag_performed", "wall_ms"};
+  return header;
+}
+
+void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv) {
+  csv.write_row(sweep_csv_header());
+  for (const auto& cell : result.cells) {
+    const ScenarioStats& s = cell.stats;
+    csv.write_row({cell.strategy, cell.platform, util::fmt(cell.arrival_rate, 3),
+                   std::to_string(s.arrivals), std::to_string(s.admitted),
+                   std::to_string(s.departures),
+                   util::fmt(s.admission_rate(), 4),
+                   util::fmt(s.mapping_cost.mean(), 4),
+                   util::fmt(s.mapping_ms.mean(), 5),
+                   util::fmt(s.fragmentation.mean(), 4),
+                   util::fmt(s.live_applications.mean(), 3),
+                   std::to_string(s.faults), std::to_string(s.fault_victims),
+                   std::to_string(s.fault_recovered),
+                   std::to_string(s.fault_lost), std::to_string(s.repairs),
+                   std::to_string(s.defrag_performed),
+                   util::fmt(cell.wall_ms, 2)});
+  }
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,92 @@
+// The parallel sweep driver: strategy × platform × arrival-rate grids.
+//
+// The ROADMAP's "per-strategy admission-rate sweeps on torus/irregular
+// platforms" made executable: every grid cell runs the same seeded scenario
+// (same pool, same workload draws) on its own fresh platform clone with its
+// own ResourceManager, so cells are fully independent and the driver can
+// fan them out over std::async workers. Results come back in deterministic
+// grid order regardless of the thread count, and serialise to a tidy CSV
+// whose schema is golden-file pinned in CI.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+
+namespace kairos::sim {
+
+struct SweepSpec {
+  /// Registry names of the mapping strategies to sweep.
+  std::vector<std::string> strategies;
+
+  /// Named platform factories; called once per cell so every cell mutates
+  /// its own clone. Factories must be thread-safe (pure builders are).
+  struct PlatformCase {
+    std::string name;
+    std::function<platform::Platform()> build;
+  };
+  std::vector<PlatformCase> platforms;
+
+  std::vector<double> arrival_rates;
+  double mean_lifetime = 30.0;
+
+  /// Per-cell engine settings (horizon, seed, fault/defrag processes). The
+  /// mapper field is overwritten with each cell's strategy.
+  EngineConfig engine;
+
+  /// Manager configuration per cell (weights etc.). The mapper pointer is
+  /// cleared per cell — strategies come from the grid axis.
+  core::KairosConfig kairos;
+
+  /// One application pool per platform case, generated from this dataset
+  /// and filtered against an empty clone (the paper's extraneous-sample
+  /// filter), so every strategy races the same admissible applications.
+  gen::DatasetKind dataset = gen::DatasetKind::kCommunicationSmall;
+  int pool_size = 20;
+  std::uint64_t pool_seed = 0xC0FFEE;
+
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(). 1 runs
+  /// the grid serially (the baseline the speedup bench compares against).
+  int threads = 0;
+};
+
+struct SweepCell {
+  std::string strategy;
+  std::string platform;
+  double arrival_rate = 0.0;
+  ScenarioStats stats;
+  double wall_ms = 0.0;  ///< this cell's scenario wall-clock
+};
+
+struct SweepResult {
+  /// Grid order: platform-major, then arrival rate, then strategy.
+  std::vector<SweepCell> cells;
+  double wall_ms = 0.0;  ///< whole-sweep wall-clock (the parallel win)
+  /// First mapper-resolution error, if any ("" when all cells ran).
+  std::string error;
+};
+
+/// The default platform axis (CRISP 2-package + DSP torus), shared by the
+/// CLI's --sweep and bench_scenario_sweep so their grids cannot drift.
+const std::vector<SweepSpec::PlatformCase>& default_sweep_platforms();
+
+/// Runs the full grid. Deterministic: the same spec yields the same cells
+/// regardless of `threads`. Fails (SweepResult::error) on non-positive
+/// rates/lifetimes, unknown strategies, or a platform with no admissible
+/// applications.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// The stable header of write_sweep_csv — golden-file pinned in CI so the
+/// row schema cannot drift silently.
+const std::vector<std::string>& sweep_csv_header();
+
+/// One header row plus one row per cell, in grid order.
+void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv);
+
+}  // namespace kairos::sim

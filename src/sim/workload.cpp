@@ -1,0 +1,193 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+
+namespace kairos::sim {
+
+// --- Poisson -----------------------------------------------------------------
+
+PoissonWorkload::PoissonWorkload(double arrival_rate, double mean_lifetime)
+    : arrival_rate_(arrival_rate), mean_lifetime_(mean_lifetime) {
+  assert(arrival_rate_ > 0.0);
+  assert(mean_lifetime_ > 0.0);
+}
+
+std::optional<double> PoissonWorkload::next_arrival_time(
+    double now, util::Xoshiro256& rng) {
+  return now + util::exponential(rng, 1.0 / arrival_rate_);
+}
+
+std::size_t PoissonWorkload::pick(std::size_t pool_size,
+                                  util::Xoshiro256& rng) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pool_size) - 1));
+}
+
+double PoissonWorkload::lifetime(util::Xoshiro256& rng) {
+  return util::exponential(rng, mean_lifetime_);
+}
+
+// --- MMPP --------------------------------------------------------------------
+
+MmppWorkload::MmppWorkload(const MmppConfig& config) : config_(config) {
+  assert(config_.on_rate > 0.0 || config_.off_rate > 0.0);
+  assert(config_.mean_on > 0.0);
+  assert(config_.mean_off > 0.0);
+  assert(config_.mean_lifetime > 0.0);
+}
+
+std::optional<double> MmppWorkload::next_arrival_time(double now,
+                                                      util::Xoshiro256& rng) {
+  if (!initialised_) {
+    // Start in a burst so short-horizon runs still see arrivals.
+    on_ = true;
+    state_end_ = util::exponential(rng, config_.mean_on);
+    initialised_ = true;
+  }
+  double t = now;
+  for (;;) {
+    const double rate = on_ ? config_.on_rate : config_.off_rate;
+    if (rate > 0.0) {
+      // The exponential is memoryless, so a candidate gap that overshoots
+      // the state boundary can simply be discarded and re-drawn in the next
+      // state.
+      const double candidate = t + util::exponential(rng, 1.0 / rate);
+      if (candidate <= state_end_) return candidate;
+    }
+    t = state_end_;
+    on_ = !on_;
+    state_end_ =
+        t + util::exponential(rng, on_ ? config_.mean_on : config_.mean_off);
+  }
+}
+
+std::size_t MmppWorkload::pick(std::size_t pool_size, util::Xoshiro256& rng) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pool_size) - 1));
+}
+
+double MmppWorkload::lifetime(util::Xoshiro256& rng) {
+  return util::exponential(rng, config_.mean_lifetime);
+}
+
+// --- trace replay ------------------------------------------------------------
+
+TraceWorkload::TraceWorkload(std::vector<TraceRow> rows)
+    : rows_(std::move(rows)) {
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [](const TraceRow& a, const TraceRow& b) {
+                     return a.time < b.time;
+                   });
+}
+
+std::optional<double> TraceWorkload::next_arrival_time(double /*now*/,
+                                                       util::Xoshiro256&) {
+  if (cursor_ >= rows_.size()) return std::nullopt;
+  current_ = cursor_++;
+  return rows_[current_].time;
+}
+
+std::size_t TraceWorkload::pick(std::size_t pool_size, util::Xoshiro256&) {
+  assert(pool_size > 0);
+  // Indices beyond the pool wrap, so a trace recorded against a larger pool
+  // still replays (the mapping is deterministic, just aliased).
+  return rows_[current_].pool_index % pool_size;
+}
+
+double TraceWorkload::lifetime(util::Xoshiro256&) {
+  return rows_[current_].lifetime;
+}
+
+util::Result<std::vector<TraceRow>> parse_trace(const std::string& csv_text) {
+  const auto cells = util::parse_csv(csv_text);
+  std::vector<TraceRow> rows;
+  rows.reserve(cells.size());
+  const auto parse_number = [](const std::string& cell, double& out) {
+    char* end = nullptr;
+    out = std::strtod(cell.c_str(), &end);
+    return end != cell.c_str() && *end == '\0';
+  };
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    const auto& row = cells[r];
+    if (row.size() < 3) {
+      return util::Error("trace row " + std::to_string(r + 1) +
+                         ": expected time,pool_index,lifetime");
+    }
+    TraceRow parsed;
+    double index = 0.0;
+    if (!parse_number(row[0], parsed.time) || !parse_number(row[1], index) ||
+        !parse_number(row[2], parsed.lifetime)) {
+      // Row 1 is a header only when it is unambiguously one (no cell
+      // numeric); a data row with one typo'd cell must error, not vanish.
+      double ignored = 0.0;
+      if (r == 0 && !parse_number(row[0], ignored) &&
+          !parse_number(row[1], ignored) && !parse_number(row[2], ignored)) {
+        continue;
+      }
+      return util::Error("trace row " + std::to_string(r + 1) +
+                         ": non-numeric cell");
+    }
+    // Negated comparisons so NaN fails too (NaN < 0.0 is false); a NaN
+    // event time would violate the queue's ordering and dodge the horizon.
+    if (!std::isfinite(parsed.time) || !(parsed.time >= 0.0) ||
+        !(index >= 0.0) || !std::isfinite(parsed.lifetime) ||
+        !(parsed.lifetime > 0.0)) {
+      return util::Error("trace row " + std::to_string(r + 1) +
+                         ": time/index must be >= 0 and lifetime > 0");
+    }
+    // The index must be an exact small integer: truncating "1.9" or casting
+    // an out-of-size_t-range double is silent corruption (or UB).
+    if (index != std::floor(index) || index > 1e15) {
+      return util::Error("trace row " + std::to_string(r + 1) +
+                         ": pool_index must be an integer <= 1e15");
+    }
+    parsed.pool_index = static_cast<std::size_t>(index);
+    rows.push_back(parsed);
+  }
+  return rows;
+}
+
+// --- factory -----------------------------------------------------------------
+
+util::Result<std::unique_ptr<WorkloadModel>> make_workload(
+    const std::string& name, const WorkloadParams& params) {
+  // Guard here rather than only asserting in the model constructors: a
+  // non-positive rate would make next_arrival_time spin (MMPP with both
+  // rates 0) or walk time backwards (negative exponential mean) — an
+  // infinite loop in release builds, not a crash.
+  if (params.arrival_rate <= 0.0) {
+    return util::Error("workload arrival rate must be > 0");
+  }
+  if (params.mean_lifetime <= 0.0) {
+    return util::Error("workload mean lifetime must be > 0");
+  }
+  if (name == "poisson") {
+    return std::unique_ptr<WorkloadModel>(std::make_unique<PoissonWorkload>(
+        params.arrival_rate, params.mean_lifetime));
+  }
+  if (name == "mmpp") {
+    MmppConfig config;
+    config.on_rate = params.mmpp_burst_factor * params.arrival_rate;
+    config.off_rate = params.mmpp_idle_factor * params.arrival_rate;
+    config.mean_on = params.mmpp_mean_on;
+    config.mean_off = params.mmpp_mean_off;
+    config.mean_lifetime = params.mean_lifetime;
+    if (config.on_rate <= 0.0 && config.off_rate <= 0.0) {
+      return util::Error("mmpp burst/idle factors must not both be 0");
+    }
+    if (config.mean_on <= 0.0 || config.mean_off <= 0.0) {
+      return util::Error("mmpp dwell times must be > 0");
+    }
+    return std::unique_ptr<WorkloadModel>(
+        std::make_unique<MmppWorkload>(config));
+  }
+  return util::Error("unknown workload '" + name +
+                     "' (known: mmpp|poisson; trace replay needs --trace)");
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,143 @@
+// Pluggable workload models for the scenario engine.
+//
+// A workload model decides *when* applications arrive, *which* application
+// of the pool each arrival is, and *how long* an admitted application runs.
+// The engine owns the RNG and hands it to the model at every draw, so the
+// draw order is part of the engine contract: per arrival, exactly
+//   next_arrival_time -> (process previous arrivals) -> pick -> [lifetime]
+// with lifetime only consumed for admitted applications. The Poisson model
+// reproduces the pre-engine sim::run_scenario draw sequence bit-identically
+// under this contract (regression-pinned in tests/scenario_regression_test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::sim {
+
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  /// The model's registry-style name ("poisson", "mmpp", "trace").
+  virtual std::string name() const = 0;
+
+  /// Absolute time of the next arrival after the one at `now` (0.0 before
+  /// the first); std::nullopt when the workload is exhausted (finite
+  /// traces). Must be non-decreasing.
+  virtual std::optional<double> next_arrival_time(double now,
+                                                  util::Xoshiro256& rng) = 0;
+
+  /// Pool index of the arrival currently being processed. Called exactly
+  /// once per arrival, in arrival order; `pool_size` >= 1.
+  virtual std::size_t pick(std::size_t pool_size, util::Xoshiro256& rng) = 0;
+
+  /// Lifetime of the admitted application (called only when the arrival was
+  /// admitted, immediately after pick).
+  virtual double lifetime(util::Xoshiro256& rng) = 0;
+};
+
+/// The original memoryless model: Poisson arrivals (rate `arrival_rate`),
+/// uniform pool picks, exponential lifetimes.
+class PoissonWorkload final : public WorkloadModel {
+ public:
+  PoissonWorkload(double arrival_rate, double mean_lifetime);
+
+  std::string name() const override { return "poisson"; }
+  std::optional<double> next_arrival_time(double now,
+                                          util::Xoshiro256& rng) override;
+  std::size_t pick(std::size_t pool_size, util::Xoshiro256& rng) override;
+  double lifetime(util::Xoshiro256& rng) override;
+
+ private:
+  double arrival_rate_;
+  double mean_lifetime_;
+};
+
+/// Markov-modulated Poisson process: the workload alternates between an
+/// "on" (burst) and an "off" (lull) state with exponentially distributed
+/// dwell times; each state offers Poisson arrivals at its own rate. Models
+/// the bursty request mixes a fill-and-drain Poisson loop never produces.
+struct MmppConfig {
+  double on_rate = 0.8;      ///< arrivals per time unit while bursting
+  double off_rate = 0.05;    ///< arrivals per time unit while idle
+  double mean_on = 50.0;     ///< expected burst duration
+  double mean_off = 50.0;    ///< expected lull duration
+  double mean_lifetime = 40.0;
+};
+
+class MmppWorkload final : public WorkloadModel {
+ public:
+  /// Requires on_rate > 0 or off_rate > 0 (else no arrival ever occurs).
+  explicit MmppWorkload(const MmppConfig& config);
+
+  std::string name() const override { return "mmpp"; }
+  std::optional<double> next_arrival_time(double now,
+                                          util::Xoshiro256& rng) override;
+  std::size_t pick(std::size_t pool_size, util::Xoshiro256& rng) override;
+  double lifetime(util::Xoshiro256& rng) override;
+
+ private:
+  MmppConfig config_;
+  bool initialised_ = false;
+  bool on_ = true;
+  double state_end_ = 0.0;
+};
+
+/// One arrival of a recorded trace: when, which pool entry, how long.
+struct TraceRow {
+  double time = 0.0;
+  std::size_t pool_index = 0;
+  double lifetime = 0.0;
+};
+
+/// Replays a recorded trace verbatim (deterministic; ignores the RNG).
+class TraceWorkload final : public WorkloadModel {
+ public:
+  /// `rows` are replayed in time order (stably sorted on construction).
+  explicit TraceWorkload(std::vector<TraceRow> rows);
+
+  std::string name() const override { return "trace"; }
+  std::optional<double> next_arrival_time(double now,
+                                          util::Xoshiro256& rng) override;
+  std::size_t pick(std::size_t pool_size, util::Xoshiro256& rng) override;
+  double lifetime(util::Xoshiro256& rng) override;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<TraceRow> rows_;
+  std::size_t current_ = 0;  ///< row whose time next_arrival_time returned
+  std::size_t cursor_ = 0;   ///< next row to hand out
+};
+
+/// Parses a CSV trace with rows `time,pool_index,lifetime` (an optional
+/// header row is skipped). Fails with a row-numbered message on malformed
+/// cells, negative times or non-positive lifetimes.
+util::Result<std::vector<TraceRow>> parse_trace(const std::string& csv_text);
+
+/// Parameters for make_workload. The MMPP rates are derived from the target
+/// mean arrival rate: on_rate = burst_factor x arrival_rate and
+/// off_rate = idle_factor x arrival_rate.
+struct WorkloadParams {
+  double arrival_rate = 0.2;
+  double mean_lifetime = 40.0;
+  double mmpp_burst_factor = 4.0;
+  double mmpp_idle_factor = 0.1;
+  double mmpp_mean_on = 50.0;
+  double mmpp_mean_off = 50.0;
+};
+
+/// Constructs a stochastic workload by name ("poisson" | "mmpp"); fails with
+/// the known names otherwise. Trace workloads are constructed explicitly
+/// from parse_trace (they need a file, not parameters).
+util::Result<std::unique_ptr<WorkloadModel>> make_workload(
+    const std::string& name, const WorkloadParams& params = {});
+
+}  // namespace kairos::sim

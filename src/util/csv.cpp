@@ -17,6 +17,64 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;  // distinguishes "" (one empty cell) from ""
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_row = [&] {
+    if (row_has_content || !row.empty()) {
+      end_cell();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;  // doubled quote inside a quoted cell
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':  // CR or CRLF both terminate the row (the LF of a CRLF
+      case '\n':  // then ends an empty, contentless row, which is skipped)
+        end_row();
+        break;
+      default:
+        cell += ch;
+        row_has_content = true;
+        break;
+    }
+  }
+  end_row();  // final row without a trailing newline
+  return rows;
+}
+
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) out_ << ',';

@@ -26,4 +26,10 @@ class CsvWriter {
 /// Escapes a single CSV cell (exposed for testing).
 std::string csv_escape(const std::string& cell);
 
+/// Parses CSV text into rows of cells — the inverse of CsvWriter, handling
+/// RFC 4180 quoting (quoted cells may contain commas, doubled quotes and
+/// newlines). Accepts \n, \r\n and bare-\r line endings; empty lines are
+/// skipped. Backs the scenario engine's trace-replay workload.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
 }  // namespace kairos::util

@@ -91,4 +91,8 @@ std::size_t Xoshiro256::weighted_index(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+double exponential(Xoshiro256& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
 }  // namespace kairos::util

@@ -80,4 +80,10 @@ class Xoshiro256 {
   std::uint64_t s_[4];
 };
 
+/// Inverse-CDF exponential sample with the given mean (one uniform01 draw).
+/// The shared primitive of every stochastic simulation process — arrival
+/// gaps, lifetimes, fault/repair times — so they all consume the generator
+/// identically and stay bit-reproducible across call sites.
+double exponential(Xoshiro256& rng, double mean);
+
 }  // namespace kairos::util

@@ -145,6 +145,105 @@ TEST(FaultTest, SnapshotsDoNotResurrectFailedElements) {
   EXPECT_TRUE(p.element(ElementId{1}).is_failed());
 }
 
+// --- fault circumvention (ResourceManager::circumvent_fault) -------------------
+
+TEST(FaultCircumventionTest, VictimsAreRemovedReadmittedAndKeepHandles) {
+  Platform p = platform::make_crisp_platform();
+  core::ResourceManager kairos(p);
+  // k applications sharing one element, plus one bystander elsewhere.
+  const auto r1 = kairos.admit(dsp_pair_app());
+  const auto r2 = kairos.admit(dsp_pair_app());
+  const auto r3 = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(r1.admitted && r2.admitted && r3.admitted);
+  const ElementId victim = r1.layout.placement(graph::TaskId{0}).element;
+  const auto affected = kairos.apps_using(victim);
+  ASSERT_FALSE(affected.empty());
+  const auto live_before = kairos.live_handles();
+
+  const auto report = kairos.circumvent_fault(victim);
+  EXPECT_EQ(report.victims, static_cast<int>(affected.size()));
+  EXPECT_EQ(report.victims, report.recovered + report.lost);
+  // CRISP has plenty of spare DSPs: everyone is re-admitted elsewhere.
+  EXPECT_EQ(report.lost, 0);
+  EXPECT_TRUE(report.lost_handles.empty());
+  // Handles survive the circumvention (departure schedules stay valid).
+  EXPECT_EQ(kairos.live_handles(), live_before);
+  // Nothing lives on the dead element anymore.
+  EXPECT_TRUE(kairos.apps_using(victim).empty());
+  EXPECT_TRUE(p.element(victim).is_failed());
+  for (const auto handle : affected) {
+    for (const auto& [element, demand] : kairos.allocations_of(handle)) {
+      EXPECT_NE(element, victim);
+    }
+  }
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+TEST(FaultCircumventionTest, OverloadedPlatformReportsLostApplications) {
+  // 2x2 all-DSP mesh where each app consumes over a third of an element:
+  // losing one element makes the original population infeasible.
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_mesh(2, 2, cfg);
+  core::ResourceManager kairos(p);
+  std::vector<core::AdmissionReport> admitted;
+  for (;;) {
+    auto report = kairos.admit(dsp_pair_app(400));
+    if (!report.admitted) break;
+    admitted.push_back(std::move(report));
+  }
+  ASSERT_GE(admitted.size(), 2u);
+
+  const ElementId victim =
+      admitted.front().layout.placement(graph::TaskId{0}).element;
+  const auto live_before = static_cast<long>(kairos.live_count());
+  const auto report = kairos.circumvent_fault(victim);
+  EXPECT_GT(report.victims, 0);
+  EXPECT_EQ(report.victims, report.recovered + report.lost);
+  EXPECT_GT(report.lost, 0);  // capacity shrank below the population
+  EXPECT_EQ(static_cast<int>(report.lost_handles.size()), report.lost);
+  EXPECT_EQ(static_cast<long>(kairos.live_count()),
+            live_before - report.lost);
+  // Lost handles are really gone.
+  for (const auto handle : report.lost_handles) {
+    EXPECT_FALSE(kairos.remove(handle).ok());
+  }
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+TEST(FaultCircumventionTest, RepairedElementBecomesAllocatableAgain) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = ElementType::kDsp;
+  Platform p = platform::make_mesh(2, 2, cfg);
+  core::ResourceManager kairos(p);
+
+  const auto faulted = kairos.circumvent_fault(ElementId{0});
+  EXPECT_EQ(faulted.victims, 0);  // nothing was running there
+  EXPECT_EQ(p.count_available(ElementType::kDsp,
+                              ResourceVector(100, 0, 0, 0)),
+            3);
+
+  kairos.repair_element(ElementId{0});
+  EXPECT_FALSE(p.element(ElementId{0}).is_failed());
+  EXPECT_EQ(p.count_available(ElementType::kDsp,
+                              ResourceVector(100, 0, 0, 0)),
+            4);
+
+  // The repaired element can actually host work again: fail the other
+  // three, leaving it as the only DSP pair candidate... (a pair needs two
+  // elements, so keep one neighbor alive too).
+  p.set_element_failed(ElementId{2}, true);
+  p.set_element_failed(ElementId{3}, true);
+  const auto report = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(report.admitted) << report.reason;
+  bool uses_repaired = false;
+  for (const auto& placement : report.layout.placements()) {
+    if (placement.element == ElementId{0}) uses_repaired = true;
+  }
+  EXPECT_TRUE(uses_repaired);
+  EXPECT_TRUE(p.invariants_hold());
+}
+
 // --- wear tracking -------------------------------------------------------------
 
 TEST(WearTest, WearAccumulatesAcrossClearAllocations) {

@@ -26,7 +26,7 @@ core::KairosConfig paper_config() {
 struct MiniSequenceResult {
   long admitted = 0;
   long rejected = 0;
-  std::array<long, 6> failures{};
+  std::array<long, core::kPhaseCount> failures{};
 
   double share(core::Phase phase) const {
     return rejected == 0

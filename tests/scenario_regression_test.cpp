@@ -1,0 +1,135 @@
+// Regression pin: sim::run_scenario, now a thin wrapper over the
+// event-driven sim::Engine, must reproduce the pre-engine implementation
+// bit-identically at fixed seeds.
+//
+// The pinned values below were captured by running the pre-refactor
+// run_scenario (one hard-coded Poisson loop, commit 4899a05) at these exact
+// configurations. Counters are compared exactly; the RunningStats means are
+// order-sensitive (sampled after every event), so matching them to the last
+// ulp pins the whole arrival/departure sequence, not just the totals.
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "sim/scenario.hpp"
+
+namespace kairos::sim {
+namespace {
+
+std::vector<graph::Application> pinned_pool() {
+  return gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 20, 71);
+}
+
+ScenarioStats run(platform::Platform platform, const ScenarioConfig& config) {
+  core::KairosConfig kairos_config;
+  kairos_config.weights = {4.0, 100.0};
+  kairos_config.validation_rejects = false;
+  core::ResourceManager manager(platform, kairos_config);
+  return run_scenario(manager, pinned_pool(), config);
+}
+
+TEST(ScenarioRegressionTest, CrispDefaultMapperSeed1) {
+  ScenarioConfig config;
+  config.horizon = 500.0;
+  config.seed = 1;
+  const ScenarioStats s = run(platform::make_crisp_platform(), config);
+
+  EXPECT_EQ(s.arrivals, 90);
+  EXPECT_EQ(s.admitted, 59);
+  EXPECT_EQ(s.departures, 53);
+  EXPECT_EQ(s.failures(core::Phase::kRouting), 31);
+  EXPECT_EQ(s.rejected(), 31);
+  EXPECT_DOUBLE_EQ(s.live_applications.mean(), 4.4055944055944058);
+  EXPECT_DOUBLE_EQ(s.live_applications.max(), 12.0);
+  EXPECT_DOUBLE_EQ(s.fragmentation.mean(), 0.18173960870590083);
+  EXPECT_DOUBLE_EQ(s.fragmentation.max(), 0.2808988764044944);
+  EXPECT_DOUBLE_EQ(s.compute_utilisation.mean(), 0.13602742888179775);
+  EXPECT_DOUBLE_EQ(s.mapping_cost.mean(), 35482.474576271168);
+  EXPECT_EQ(s.mapping_cost.count(), 59u);
+}
+
+TEST(ScenarioRegressionTest, CrispHeftHighLoad) {
+  ScenarioConfig config;
+  config.arrival_rate = 0.5;
+  config.mean_lifetime = 25.0;
+  config.horizon = 400.0;
+  config.seed = 0xFEEDBEEF;
+  config.mapper = "heft";
+  const ScenarioStats s = run(platform::make_crisp_platform(), config);
+
+  EXPECT_EQ(s.arrivals, 206);
+  EXPECT_EQ(s.admitted, 119);
+  EXPECT_EQ(s.departures, 113);
+  EXPECT_EQ(s.failures(core::Phase::kRouting), 87);
+  EXPECT_DOUBLE_EQ(s.live_applications.mean(), 6.8150470219435748);
+  EXPECT_DOUBLE_EQ(s.live_applications.max(), 13.0);
+  EXPECT_DOUBLE_EQ(s.fragmentation.mean(), 0.20721355359092669);
+  EXPECT_DOUBLE_EQ(s.fragmentation.max(), 0.3707865168539326);
+  EXPECT_DOUBLE_EQ(s.compute_utilisation.mean(), 0.19405666981160785);
+  EXPECT_DOUBLE_EQ(s.mapping_cost.mean(), 10022.184873949582);
+  EXPECT_EQ(s.mapping_cost.count(), 119u);
+}
+
+TEST(ScenarioRegressionTest, TorusFirstFitSaturated) {
+  ScenarioConfig config;
+  config.arrival_rate = 0.8;
+  config.mean_lifetime = 15.0;
+  config.horizon = 300.0;
+  config.seed = 42;
+  config.mapper = "first_fit";
+  platform::BuilderConfig builder;
+  builder.element_type = platform::ElementType::kDsp;
+  const ScenarioStats s = run(platform::make_torus(6, 6, builder), config);
+
+  EXPECT_EQ(s.arrivals, 234);
+  EXPECT_EQ(s.admitted, 160);
+  EXPECT_EQ(s.departures, 155);
+  EXPECT_EQ(s.failures(core::Phase::kRouting), 74);
+  EXPECT_DOUBLE_EQ(s.live_applications.mean(), 7.9897172236503797);
+  EXPECT_DOUBLE_EQ(s.live_applications.max(), 15.0);
+  EXPECT_DOUBLE_EQ(s.fragmentation.mean(), 0.24821479577263636);
+  EXPECT_DOUBLE_EQ(s.fragmentation.max(), 0.5);
+  EXPECT_DOUBLE_EQ(s.compute_utilisation.mean(), 0.35720822622107945);
+  EXPECT_DOUBLE_EQ(s.mapping_cost.mean(), 17102.1875);
+  EXPECT_EQ(s.mapping_cost.count(), 160u);
+}
+
+// The full engine — faults, repairs and defrag triggers enabled — is still
+// a pure function of its seed: two identical runs match event for event.
+TEST(ScenarioRegressionTest, EngineWithFaultsIsDeterministicPerSeed) {
+  const auto pool = pinned_pool();
+  ScenarioStats runs[2];
+  for (auto& stats : runs) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::KairosConfig kairos_config;
+    kairos_config.weights = {4.0, 100.0};
+    kairos_config.validation_rejects = false;
+    core::ResourceManager manager(crisp, kairos_config);
+    EngineConfig config;
+    config.horizon = 400.0;
+    config.seed = 1;
+    config.fault_rate = 0.02;
+    config.mean_repair = 10.0;
+    config.defrag_period = 100.0;
+    PoissonWorkload workload(0.3, 30.0);
+    Engine engine(manager, pool, config);
+    stats = engine.run(workload);
+  }
+  EXPECT_EQ(runs[0].arrivals, runs[1].arrivals);
+  EXPECT_EQ(runs[0].admitted, runs[1].admitted);
+  EXPECT_EQ(runs[0].departures, runs[1].departures);
+  EXPECT_EQ(runs[0].faults, runs[1].faults);
+  EXPECT_EQ(runs[0].repairs, runs[1].repairs);
+  EXPECT_EQ(runs[0].fault_victims, runs[1].fault_victims);
+  EXPECT_EQ(runs[0].fault_lost, runs[1].fault_lost);
+  EXPECT_EQ(runs[0].defrag_triggers, runs[1].defrag_triggers);
+  EXPECT_DOUBLE_EQ(runs[0].live_applications.mean(),
+                   runs[1].live_applications.mean());
+  EXPECT_DOUBLE_EQ(runs[0].fragmentation.mean(),
+                   runs[1].fragmentation.mean());
+}
+
+}  // namespace
+}  // namespace kairos::sim

@@ -1,0 +1,167 @@
+// Property test for the satellite invariant of the scenario engine: after
+// ANY randomized event sequence (arrivals, departures, element faults,
+// repairs, defragmentation), every platform reservation is owned by exactly
+// one live application, and releasing all of them restores the platform to
+// its entry state.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "snapshot_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace kairos {
+namespace {
+
+core::KairosConfig config() {
+  core::KairosConfig c;
+  c.weights = {4.0, 100.0};
+  c.validation_rejects = false;
+  return c;
+}
+
+/// Every unit of element usage must be attributable to exactly one live
+/// application: summing each live application's reservations (and task
+/// counts) per element must reproduce the platform's usage exactly.
+void expect_reservations_owned(const core::ResourceManager& manager,
+                               const platform::Platform& platform) {
+  std::map<std::int32_t, platform::ResourceVector> expected_used;
+  std::map<std::int32_t, int> expected_tasks;
+  for (const core::AppHandle handle : manager.live_handles()) {
+    for (const auto& [element, demand] : manager.allocations_of(handle)) {
+      auto [it, inserted] =
+          expected_used.try_emplace(element.value, demand);
+      if (!inserted) it->second = it->second + demand;
+      ++expected_tasks[element.value];
+    }
+  }
+  for (const auto& element : platform.elements()) {
+    const auto used = expected_used.find(element.id().value);
+    if (used == expected_used.end()) {
+      EXPECT_TRUE(element.used().is_zero())
+          << "element " << element.id().value
+          << " holds reservations owned by no live application";
+      EXPECT_EQ(element.task_count(), 0);
+    } else {
+      EXPECT_TRUE(element.used() == used->second)
+          << "element " << element.id().value
+          << " usage does not match the sum of live-app reservations";
+      EXPECT_EQ(element.task_count(),
+                expected_tasks.at(element.id().value));
+    }
+  }
+}
+
+TEST(SimPropertyTest, RandomEventSequencePreservesOwnershipAndRestores) {
+  for (const std::uint64_t seed : {1ull, 7ull, 0xABCDEFull}) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    const platform::Snapshot entry = crisp.snapshot();
+    core::ResourceManager manager(crisp, config());
+    const auto pool =
+        gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 15, 71);
+
+    util::Xoshiro256 rng(seed);
+    std::vector<platform::ElementId> failed;
+    for (int step = 0; step < 300; ++step) {
+      const auto op = rng.uniform_int(0, 9);
+      if (op <= 4) {  // arrival (biased: keeps the platform busy)
+        const auto& app = pool[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(pool.size()) - 1))];
+        (void)manager.admit(app);
+      } else if (op <= 6) {  // departure of a random live application
+        const auto live = manager.live_handles();
+        if (!live.empty()) {
+          const auto victim = live[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(live.size()) - 1))];
+          ASSERT_TRUE(manager.remove(victim).ok());
+        }
+      } else if (op == 7) {  // element fault + circumvention
+        const auto element = platform::ElementId{static_cast<std::int32_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(crisp.element_count()) -
+                                1))};
+        if (!crisp.element(element).is_failed()) {
+          const auto report = manager.circumvent_fault(element);
+          EXPECT_EQ(report.victims, report.recovered + report.lost);
+          failed.push_back(element);
+        }
+      } else if (op == 8) {  // repair a random failed element
+        if (!failed.empty()) {
+          const auto index = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(failed.size()) - 1));
+          manager.repair_element(failed[index]);
+          failed.erase(failed.begin() + static_cast<std::ptrdiff_t>(index));
+        }
+      } else {  // defragmentation pass
+        (void)manager.defragment();
+      }
+
+      ASSERT_TRUE(crisp.invariants_hold()) << "seed " << seed << " step "
+                                           << step;
+      if (step % 25 == 0) expect_reservations_owned(manager, crisp);
+    }
+    expect_reservations_owned(manager, crisp);
+
+    // Releasing every live application (and repairing the fabric) must
+    // restore the platform to its entry state exactly.
+    for (const auto handle : manager.live_handles()) {
+      ASSERT_TRUE(manager.remove(handle).ok());
+    }
+    for (const auto element : failed) manager.repair_element(element);
+    EXPECT_EQ(manager.live_count(), 0u);
+    EXPECT_TRUE(testing::snapshots_equal(entry, crisp.snapshot()));
+    EXPECT_EQ(crisp.failed_element_count(), 0);
+    EXPECT_DOUBLE_EQ(platform::external_fragmentation(crisp), 0.0);
+  }
+}
+
+// The same invariant through the engine itself: a full run with faults,
+// repairs and defrag enabled leaves a consistent platform, and draining the
+// survivors empties it completely.
+TEST(SimPropertyTest, EngineRunDrainsToEmptyPlatform) {
+  for (const std::uint64_t seed : {2ull, 99ull}) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    core::ResourceManager manager(crisp, config());
+    const auto pool =
+        gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 20, 71);
+
+    sim::EngineConfig engine_config;
+    engine_config.horizon = 400.0;
+    engine_config.seed = seed;
+    engine_config.fault_rate = 0.04;
+    engine_config.mean_repair = 15.0;
+    engine_config.defrag_period = 80.0;
+    sim::PoissonWorkload workload(0.4, 30.0);
+    sim::Engine engine(manager, pool, engine_config);
+    const auto stats = engine.run(workload);
+
+    EXPECT_EQ(static_cast<long>(manager.live_count()),
+              stats.admitted - stats.departures - stats.fault_lost);
+    expect_reservations_owned(manager, crisp);
+
+    for (const auto handle : manager.live_handles()) {
+      ASSERT_TRUE(manager.remove(handle).ok());
+    }
+    for (const auto& element : crisp.elements()) {
+      if (element.is_failed()) manager.repair_element(element.id());
+    }
+    EXPECT_TRUE(crisp.invariants_hold());
+    for (const auto& element : crisp.elements()) {
+      EXPECT_TRUE(element.used().is_zero());
+      EXPECT_EQ(element.task_count(), 0);
+    }
+    for (const auto& link : crisp.links()) {
+      EXPECT_EQ(link.vc_used(), 0);
+      EXPECT_EQ(link.bw_used(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kairos

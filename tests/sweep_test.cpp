@@ -1,0 +1,141 @@
+// Tests for the parallel sweep driver: grid shape and ordering, determinism
+// across thread counts, the pinned CSV schema, and the loud-failure path
+// for unknown strategies.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "platform/builders.hpp"
+#include "sim/sweep.hpp"
+#include "util/csv.hpp"
+
+namespace kairos::sim {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.strategies = {"incremental", "first_fit"};
+  spec.platforms = {{"mesh4x4-dsp", [] {
+                       platform::BuilderConfig cfg;
+                       cfg.element_type = platform::ElementType::kDsp;
+                       return platform::make_mesh(4, 4, cfg);
+                     }}};
+  spec.arrival_rates = {0.2, 0.5};
+  spec.mean_lifetime = 20.0;
+  spec.engine.horizon = 80.0;
+  spec.engine.seed = 7;
+  spec.kairos.weights = {4.0, 100.0};
+  spec.kairos.validation_rejects = false;
+  spec.pool_size = 15;
+  return spec;
+}
+
+TEST(SweepTest, GridOrderIsDeterministicAndCellsArePopulated) {
+  auto spec = small_spec();
+  spec.threads = 2;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_EQ(result.cells.size(), 4u);  // 1 platform x 2 rates x 2 strategies
+
+  // Platform-major, then rate, then strategy.
+  EXPECT_EQ(result.cells[0].strategy, "incremental");
+  EXPECT_EQ(result.cells[1].strategy, "first_fit");
+  EXPECT_DOUBLE_EQ(result.cells[0].arrival_rate, 0.2);
+  EXPECT_DOUBLE_EQ(result.cells[2].arrival_rate, 0.5);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.platform, "mesh4x4-dsp");
+    EXPECT_GT(cell.stats.arrivals, 0);
+    EXPECT_GT(cell.stats.admitted, 0);
+    EXPECT_TRUE(cell.stats.mapper_error.empty());
+  }
+  EXPECT_GT(result.wall_ms, 0.0);
+}
+
+TEST(SweepTest, ResultsAreIdenticalAcrossThreadCounts) {
+  auto spec = small_spec();
+  spec.threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = 4;
+  const SweepResult parallel = run_sweep(spec);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].strategy, parallel.cells[i].strategy);
+    EXPECT_EQ(serial.cells[i].stats.arrivals,
+              parallel.cells[i].stats.arrivals);
+    EXPECT_EQ(serial.cells[i].stats.admitted,
+              parallel.cells[i].stats.admitted);
+    EXPECT_DOUBLE_EQ(serial.cells[i].stats.fragmentation.mean(),
+                     parallel.cells[i].stats.fragmentation.mean());
+  }
+}
+
+TEST(SweepTest, UnknownStrategyFailsLoudly) {
+  auto spec = small_spec();
+  spec.strategies = {"incremental", "anealing"};  // typo
+  const SweepResult result = run_sweep(spec);
+  ASSERT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("anealing"), std::string::npos);
+}
+
+TEST(SweepTest, EmptyAdmissiblePoolFailsLoudly) {
+  auto spec = small_spec();
+  // A 1-element platform with no links: the communication apps need routes
+  // between distinct elements, so nothing survives the admissibility filter.
+  spec.platforms = {{"lonely", [] { return platform::make_mesh(1, 1); }}};
+  const SweepResult result = run_sweep(spec);
+  ASSERT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("lonely"), std::string::npos);
+}
+
+TEST(SweepTest, NonPositiveRateFailsLoudly) {
+  auto spec = small_spec();
+  spec.arrival_rates = {0.2, 0.0};
+  EXPECT_FALSE(run_sweep(spec).error.empty());
+}
+
+TEST(SweepTest, DefaultPlatformAxisIsSharedAndBuildable) {
+  const auto& platforms = default_sweep_platforms();
+  ASSERT_EQ(platforms.size(), 2u);
+  EXPECT_EQ(platforms[0].name, "crisp-2pkg");
+  EXPECT_EQ(platforms[1].name, "torus6x6-dsp");
+  for (const auto& platform_case : platforms) {
+    EXPECT_GT(platform_case.build().element_count(), 0u);
+  }
+}
+
+// The CSV schema is a machine-read contract (golden-file pinned in CI on
+// top of this): header stays stable and every row matches it.
+TEST(SweepTest, CsvSchemaIsPinnedAndRowsMatchHeader) {
+  const auto& header = sweep_csv_header();
+  ASSERT_EQ(header.size(), 18u);
+  EXPECT_EQ(header.front(), "strategy");
+  EXPECT_EQ(header[2], "arrival_rate");
+  EXPECT_EQ(header[6], "admission_rate");
+  EXPECT_EQ(header[11], "faults");
+  EXPECT_EQ(header.back(), "wall_ms");
+
+  auto spec = small_spec();
+  spec.threads = 1;
+  const SweepResult result = run_sweep(spec);
+  const std::string path = ::testing::TempDir() + "sweep_schema_test.csv";
+  {
+    util::CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    write_sweep_csv(result, csv);
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = util::parse_csv(buffer.str());
+  ASSERT_EQ(rows.size(), 1u + result.cells.size());
+  EXPECT_EQ(rows.front(), header);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), header.size());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kairos::sim
