@@ -10,9 +10,13 @@
 //                     [--platform <file>] <app-file>...
 //          kairos_cli --workload <poisson|mmpp> | --trace <file>
 //                     [--rate <r>] [--lifetime <t>] [--horizon <t>]
-//                     [--fault-rate <r>] [--repair <t>] [--mapper <name>]
-//                     [--seed <n>] [--platform <file>] [<app-file>...]
-//          kairos_cli --sweep [--fault-rate <r>] [--repair <t>] [--seed <n>]
+//                     [--fault-rate <r>] [--fault-model <domain>]
+//                     [--repair <t>] [--defrag <t>] [--record-trace <file>]
+//                     [--mapper <name>] [--seed <n>] [--platform <file>]
+//                     [<app-file>...]
+//          kairos_cli --sweep [--fault-rate <r>] [--fault-rates <r,r,...>]
+//                     [--defrag-periods <t,t,...>] [--fault-model <domain>]
+//                     [--repair <t>] [--seed <n>]
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
 // the paper's incremental mapper. --sa-full switches SA trial moves back to
@@ -23,9 +27,12 @@
 // The second form drives the event-driven scenario engine instead of
 // admitting files once: applications (the given files, or a generated pool)
 // arrive per the chosen workload model, depart, and — with --fault-rate —
-// survive element faults through the circumvention flow. The third form
-// runs the strategy × platform × arrival-rate sweep driver in parallel and
-// writes kairos_sweep.csv.
+// survive faults through the circumvention flow. --fault-model picks what
+// one fault takes down (element|package|row|link); --record-trace saves the
+// realised arrival sequence as a CSV that --trace replays to identical
+// statistics. The third form runs the strategy × platform × arrival-rate
+// (× fault-rate × defrag-period, when the list flags are given) sweep
+// driver in parallel and writes kairos_sweep.csv.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +49,7 @@
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
 #include "sim/workload.hpp"
@@ -99,17 +107,39 @@ int report_scenario(const kairos::sim::ScenarioStats& stats,
               "%ld departures\n",
               workload_name.c_str(), stats.arrivals, stats.admitted,
               100.0 * stats.admission_rate(), stats.departures);
-  std::printf("  mean live %.2f, mean fragmentation %.1f%%, mean mapping "
-              "%.3f ms\n",
+  std::printf("  time-weighted mean live %.2f, mean fragmentation %.1f%%, "
+              "mean mapping %.3f ms\n",
               stats.live_applications.mean(),
               100.0 * stats.fragmentation.mean(), stats.mapping_ms.mean());
-  if (stats.faults > 0 || stats.repairs > 0) {
-    std::printf("  faults: %ld injected, %ld repairs; victims %ld = "
-                "%ld recovered + %ld lost\n",
-                stats.faults, stats.repairs, stats.fault_victims,
+  if (stats.faults > 0 || stats.repairs > 0 || stats.link_repairs > 0) {
+    std::printf("  faults: %ld events (%ld elements, %ld links), %ld+%ld "
+                "repairs; victims %ld = %ld recovered + %ld lost\n",
+                stats.faults, stats.faulted_elements, stats.link_faults,
+                stats.repairs, stats.link_repairs, stats.fault_victims,
                 stats.fault_recovered, stats.fault_lost);
   }
+  if (stats.failed_removes > 0) {
+    std::fprintf(stderr,
+                 "BUG: %ld departures failed to release resources (%s)\n",
+                 stats.failed_removes, stats.remove_error.c_str());
+    return 70;  // EX_SOFTWARE: internal bookkeeping error
+  }
   return 0;
+}
+
+/// Parses a comma-separated list of doubles ("0,0.02,0.05"); false on an
+/// empty list, empty item, or non-numeric item (atof would silently turn a
+/// typo into 0.0 — which means "process disabled" on the sweep axes).
+bool parse_double_list(const std::string& text, std::vector<double>& out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str(), &end);
+    if (item.empty() || end == item.c_str() || *end != '\0') return false;
+    out.push_back(value);
+  }
+  return !out.empty();
 }
 
 }  // namespace
@@ -133,6 +163,11 @@ int main(int argc, char** argv) {
   double horizon = 1000.0;
   double fault_rate = 0.0;
   double mean_repair = 0.0;
+  double defrag_period = 0.0;
+  std::string fault_model_name;
+  std::string record_trace_path;
+  std::vector<double> fault_rates;
+  std::vector<double> defrag_periods;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -237,16 +272,50 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--repair requires a value\n");
         return 64;
       }
+    } else if (arg == "--defrag") {
+      if (!next_value(defrag_period)) {
+        std::fprintf(stderr, "--defrag requires a period\n");
+        return 64;
+      }
+    } else if (arg == "--fault-model") {
+      if (!next_string(fault_model_name)) {
+        std::fprintf(stderr,
+                     "--fault-model requires a domain "
+                     "(element|package|row|link)\n");
+        return 64;
+      }
+    } else if (arg == "--record-trace") {
+      if (!next_string(record_trace_path)) {
+        std::fprintf(stderr, "--record-trace requires a file\n");
+        return 64;
+      }
+    } else if (arg == "--fault-rates") {
+      std::string text;
+      if (!next_string(text) || !parse_double_list(text, fault_rates)) {
+        std::fprintf(stderr,
+                     "--fault-rates requires a comma-separated list\n");
+        return 64;
+      }
+    } else if (arg == "--defrag-periods") {
+      std::string text;
+      if (!next_string(text) || !parse_double_list(text, defrag_periods)) {
+        std::fprintf(stderr,
+                     "--defrag-periods requires a comma-separated list\n");
+        return 64;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
                   "[--mapper <%s>] [--seed n] [--sa-full] [--cancel-bound c] "
                   "[--platform file] <app-file>...\n"
                   "       kairos_cli --workload <mmpp|poisson> | --trace file "
                   "[--rate r] [--lifetime t] [--horizon t] [--fault-rate r] "
-                  "[--repair t] [--mapper name] [--seed n] [<app-file>...]\n"
+                  "[--fault-model element|package|row|link] [--repair t] "
+                  "[--defrag t] [--record-trace file] [--mapper name] "
+                  "[--seed n] [<app-file>...]\n"
                   "       kairos_cli --sweep [--mapper name] [--rate r] "
-                  "[--lifetime t] [--horizon t] [--fault-rate r] [--repair t] "
-                  "[--seed n]\n",
+                  "[--lifetime t] [--horizon t] [--fault-rate r] "
+                  "[--fault-rates r,r,...] [--defrag-periods t,t,...] "
+                  "[--fault-model domain] [--repair t] [--seed n]\n",
                   mapper_list().c_str());
       return 0;
     } else {
@@ -254,9 +323,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  sim::FaultModelConfig fault_model;
+  if (!fault_model_name.empty()) {
+    auto parsed = sim::parse_fault_domain(fault_model_name);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.error().c_str());
+      return 64;
+    }
+    fault_model.domain = parsed.value();
+  }
+
+  // Reject flag/mode mismatches loudly: a silently dropped flag produces a
+  // plausible-looking run with the wrong configuration.
+  if (!sweep && (!fault_rates.empty() || !defrag_periods.empty())) {
+    std::fprintf(stderr,
+                 "--fault-rates/--defrag-periods are sweep axes; use them "
+                 "with --sweep (or --fault-rate/--defrag for one run)\n");
+    return 64;
+  }
+  if (sweep && !record_trace_path.empty()) {
+    std::fprintf(stderr,
+                 "--record-trace records a single scenario run, not a "
+                 "sweep; use it with --workload or --trace\n");
+    return 64;
+  }
+
   if (sweep) {
-    // The strategy × platform × arrival-rate grid, in parallel, to CSV.
-    // --mapper narrows the strategy axis to one; --lifetime carries over.
+    // The strategy × platform × arrival-rate (× fault-rate × defrag-period)
+    // grid, in parallel, to CSV. --mapper narrows the strategy axis to one;
+    // --lifetime carries over.
     sim::SweepSpec spec;
     if (mapper_name.empty()) {
       spec.strategies = mappers::available();
@@ -273,11 +368,15 @@ int main(int argc, char** argv) {
         rate_given ? std::vector<double>{arrival_rate}
                    : std::vector<double>{0.1, 0.3, 0.6};
     spec.mean_lifetime = mean_lifetime;
+    spec.fault_rates = fault_rates;
+    spec.defrag_periods = defrag_periods;
     spec.kairos = config;
     spec.engine.horizon = horizon;
     spec.engine.seed = seed;
     spec.engine.fault_rate = fault_rate;
     spec.engine.mean_repair = mean_repair;
+    spec.engine.fault_model = fault_model;
+    spec.engine.defrag_period = defrag_period;
     spec.engine.sa_incremental = !sa_full;
     spec.engine.portfolio_cancel_bound = cancel_bound;
     const sim::SweepResult result = sim::run_sweep(spec);
@@ -285,11 +384,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", result.error.c_str());
       return 64;
     }
-    util::Table table({"Strategy", "Platform", "Rate", "Arrivals",
-                       "Admitted", "Lost", "Wall ms"});
+    util::Table table({"Strategy", "Platform", "Rate", "Fault rate",
+                       "Defrag", "Arrivals", "Admitted", "Lost", "Wall ms"});
     for (const auto& cell : result.cells) {
       table.add_row({cell.strategy, cell.platform,
                      util::fmt(cell.arrival_rate, 1),
+                     util::fmt(cell.fault_rate, 2),
+                     util::fmt(cell.defrag_period, 0),
                      std::to_string(cell.stats.arrivals),
                      util::fmt_pct(cell.stats.admission_rate(), 1),
                      std::to_string(cell.stats.fault_lost),
@@ -390,8 +491,23 @@ int main(int argc, char** argv) {
     engine_config.seed = seed;
     engine_config.fault_rate = fault_rate;
     engine_config.mean_repair = mean_repair;
+    engine_config.fault_model = fault_model;
+    engine_config.defrag_period = defrag_period;
+    engine_config.record_trace = !record_trace_path.empty();
     sim::Engine engine(kairos, pool, engine_config);
-    return report_scenario(engine.run(*workload), workload->name());
+    const sim::ScenarioStats stats = engine.run(*workload);
+    if (engine_config.record_trace && stats.mapper_error.empty()) {
+      std::ofstream out(record_trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write trace file '%s'\n",
+                     record_trace_path.c_str());
+        return 66;
+      }
+      out << sim::write_trace_csv(stats.trace);
+      std::printf("recorded %zu arrivals to %s (replay with --trace)\n",
+                  stats.trace.size(), record_trace_path.c_str());
+    }
+    return report_scenario(stats, workload->name());
   }
 
   if (app_paths.empty()) {

@@ -178,6 +178,22 @@ std::vector<AppHandle> ResourceManager::apps_using(
   return out;
 }
 
+std::vector<AppHandle> ResourceManager::apps_using_link(
+    platform::LinkId l) const {
+  std::vector<AppHandle> out;
+  for (const auto& [handle, live] : live_) {
+    for (const auto& [route, bandwidth] : live.routes) {
+      (void)bandwidth;
+      if (std::find(route.links.begin(), route.links.end(), l) !=
+          route.links.end()) {
+        out.push_back(handle);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
 ResourceManager::allocations_of(AppHandle handle) const {
   const auto it = live_.find(handle);
@@ -185,27 +201,26 @@ ResourceManager::allocations_of(AppHandle handle) const {
   return it->second.task_allocations;
 }
 
-ResourceManager::FaultReport ResourceManager::circumvent_fault(
-    platform::ElementId e) {
-  FaultReport report;
-  report.element = e;
-
-  // Evict the victims first so their reservations on the dead element are
-  // released, then fail the element so the re-admissions route around it.
-  std::vector<std::pair<AppHandle, graph::Application>> victims;
-  for (const AppHandle handle : apps_using(e)) {
-    victims.emplace_back(handle, live_.at(handle).app);
+void ResourceManager::evict_and_readmit(
+    const std::vector<AppHandle>& victims,
+    const std::function<void()>& mark_failed, FaultReport& report) {
+  // Evict the victims first so their reservations on the dead resource are
+  // released, then fail it so the re-admissions route around it.
+  std::vector<std::pair<AppHandle, graph::Application>> evicted;
+  evicted.reserve(victims.size());
+  for (const AppHandle handle : victims) {
+    evicted.emplace_back(handle, live_.at(handle).app);
   }
-  report.victims = static_cast<int>(victims.size());
-  for (const auto& [handle, app] : victims) {
+  report.victims = static_cast<int>(evicted.size());
+  for (const auto& [handle, app] : evicted) {
     (void)app;
     const auto removed = remove(handle);
     assert(removed.ok());
     (void)removed;
   }
-  platform_->set_element_failed(e, true);
+  mark_failed();
 
-  for (const auto& [old_handle, app] : victims) {
+  for (const auto& [old_handle, app] : evicted) {
     const AdmissionReport admitted = admit(app);
     if (!admitted.admitted) {
       ++report.lost;
@@ -220,11 +235,59 @@ ResourceManager::FaultReport ResourceManager::circumvent_fault(
     live_.insert(std::move(node));
   }
   assert(platform_->invariants_hold());
+}
+
+ResourceManager::FaultReport ResourceManager::circumvent_fault(
+    platform::ElementId e) {
+  FaultReport report;
+  report.element = e;
+  evict_and_readmit(apps_using(e),
+                    [&] { platform_->set_element_failed(e, true); }, report);
+  return report;
+}
+
+ResourceManager::FaultReport ResourceManager::circumvent_fault_set(
+    const std::vector<platform::ElementId>& set) {
+  FaultReport report;
+  if (set.size() == 1) report.element = set.front();
+  // Victims in handle order (matching apps_using), each exactly once even
+  // when it spans several members of the set.
+  std::vector<AppHandle> victims;
+  for (const auto& [handle, live] : live_) {
+    for (const auto& [element, demand] : live.task_allocations) {
+      (void)demand;
+      if (std::find(set.begin(), set.end(), element) != set.end()) {
+        victims.push_back(handle);
+        break;
+      }
+    }
+  }
+  evict_and_readmit(
+      victims,
+      [&] {
+        for (const platform::ElementId e : set) {
+          platform_->set_element_failed(e, true);
+        }
+      },
+      report);
+  return report;
+}
+
+ResourceManager::FaultReport ResourceManager::circumvent_link_fault(
+    platform::LinkId l) {
+  FaultReport report;
+  report.link = l;
+  evict_and_readmit(apps_using_link(l),
+                    [&] { platform_->set_link_failed(l, true); }, report);
   return report;
 }
 
 void ResourceManager::repair_element(platform::ElementId e) {
   platform_->set_element_failed(e, false);
+}
+
+void ResourceManager::repair_link(platform::LinkId l) {
+  platform_->set_link_failed(l, false);
 }
 
 ResourceManager::DefragReport ResourceManager::defragment() {

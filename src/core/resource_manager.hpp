@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -127,6 +128,11 @@ class ResourceManager {
   /// (run-time fault circumvention, §I).
   std::vector<AppHandle> apps_using(platform::ElementId e) const;
 
+  /// Handles of the admitted applications with at least one established
+  /// route traversing the link — the applications a fault on that link
+  /// kills (their communication can no longer be carried).
+  std::vector<AppHandle> apps_using_link(platform::LinkId l) const;
+
   /// The element reservations an admitted application currently holds, one
   /// entry per task (empty for unknown handles). Diagnostic surface: the
   /// system property tests audit that every platform reservation is owned by
@@ -136,9 +142,12 @@ class ResourceManager {
 
   /// Outcome of a run-time fault-circumvention pass (§I).
   struct FaultReport {
+    /// The failed resource: element faults set `element`, link faults `link`
+    /// (the other id stays invalid).
     platform::ElementId element;
+    platform::LinkId link;
     int victims = 0;    ///< applications killed by the fault
-    int recovered = 0;  ///< re-admitted around the failed element
+    int recovered = 0;  ///< re-admitted around the failed resource
     int lost = 0;       ///< could not be re-admitted (victims - recovered)
     /// Handles of the lost applications; recovered ones keep their handles.
     std::vector<AppHandle> lost_handles;
@@ -152,9 +161,28 @@ class ResourceManager {
   /// no longer fit are dropped and reported in `lost_handles`.
   FaultReport circumvent_fault(platform::ElementId e);
 
+  /// Circumvents a *correlated* multi-element fault (a whole package or
+  /// fabric row dying at once): the entire set is marked failed together
+  /// and each application using any member is evicted exactly once and
+  /// re-admitted around the whole set. Element-by-element circumvention
+  /// would instead bounce victims onto still-healthy members of the dying
+  /// set and evict them again, double-counting victims. Equivalent to
+  /// circumvent_fault for a single-element set.
+  FaultReport circumvent_fault_set(
+      const std::vector<platform::ElementId>& set);
+
+  /// The same circumvention flow for a link fault: marks `l` failed, evicts
+  /// every application reported by apps_using_link(l) and re-admits it (the
+  /// router now avoids the dead wire). Handle semantics match
+  /// circumvent_fault.
+  FaultReport circumvent_link_fault(platform::LinkId l);
+
   /// Marks a previously failed element usable again; subsequent admissions
   /// may allocate it. (Applications lost to the fault are not resurrected.)
   void repair_element(platform::ElementId e);
+
+  /// Marks a previously failed link usable again.
+  void repair_link(platform::LinkId l);
 
   /// Outcome of a defragmentation pass.
   struct DefragReport {
@@ -188,6 +216,13 @@ class ResourceManager {
         task_allocations;
     std::vector<std::pair<noc::Route, std::int64_t>> routes;
   };
+
+  /// Shared tail of the fault-circumvention flows: evicts `victims` (which
+  /// must all be live), lets `mark_failed` flip the platform's fault state,
+  /// then re-admits each victim preserving its handle, filling `report`.
+  void evict_and_readmit(
+      const std::vector<AppHandle>& victims,
+      const std::function<void()>& mark_failed, FaultReport& report);
 
   platform::Platform* platform_;
   KairosConfig config_;

@@ -1,5 +1,6 @@
 #include "platform/crisp.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -86,6 +87,23 @@ Platform make_crisp_platform(const CrispConfig& cfg, CrispLayout& layout) {
   }
 
   return p;
+}
+
+int package_count(const Platform& platform) {
+  int highest = -1;
+  for (const auto& element : platform.elements()) {
+    highest = std::max(highest, element.package());
+  }
+  return highest + 1;
+}
+
+std::vector<ElementId> package_members(const Platform& platform, int package) {
+  std::vector<ElementId> members;
+  if (package < 0) return members;
+  for (const auto& element : platform.elements()) {
+    if (element.package() == package) members.push_back(element.id());
+  }
+  return members;
 }
 
 }  // namespace kairos::platform

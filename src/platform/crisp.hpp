@@ -47,4 +47,15 @@ Platform make_crisp_platform(const CrispConfig& cfg = {});
 /// As make_crisp_platform, additionally reporting the landmark ids.
 Platform make_crisp_platform(const CrispConfig& cfg, CrispLayout& layout);
 
+/// Number of distinct packages in the platform (elements with package() < 0
+/// — e.g. the ARM and FPGA, or every element of a package-less platform —
+/// are not counted).
+int package_count(const Platform& platform);
+
+/// All elements sharing the given package index, in element-id order.
+/// The unit of the correlated whole-package fault domain: a CRISP package
+/// is one physical chip, so its nine DSPs, two memories and test unit fail
+/// together. Empty for package indices no element carries (including < 0).
+std::vector<ElementId> package_members(const Platform& platform, int package);
+
 }  // namespace kairos::platform

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 
@@ -17,6 +18,26 @@ namespace {
 /// pre-engine run_scenario).
 constexpr std::uint64_t kFaultStreamSalt = 0xFA017'5717EA4ULL;
 
+/// Restores the manager's mapping strategy on scope exit, so a scenario run
+/// that installed EngineConfig::mapper cannot permanently mutate the
+/// caller's ResourceManager (every exit path included).
+class MapperGuard {
+ public:
+  explicit MapperGuard(core::ResourceManager& manager)
+      : manager_(&manager), previous_(manager.config().mapper) {}
+
+  MapperGuard(const MapperGuard&) = delete;
+  MapperGuard& operator=(const MapperGuard&) = delete;
+
+  ~MapperGuard() {
+    if (previous_) manager_->set_mapper(std::move(previous_));
+  }
+
+ private:
+  core::ResourceManager* manager_;
+  std::shared_ptr<mappers::Mapper> previous_;
+};
+
 }  // namespace
 
 Engine::Engine(core::ResourceManager& manager,
@@ -29,6 +50,7 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
   assert(config_.horizon > 0.0);
 
   ScenarioStats stats;
+  MapperGuard mapper_guard(*manager_);
   if (!config_.mapper.empty()) {
     mappers::MapperOptions options;
     options.weights = manager_->config().weights;
@@ -50,26 +72,61 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
 
   util::Xoshiro256 workload_rng(config_.seed);
   util::Xoshiro256 fault_rng(config_.seed ^ kFaultStreamSalt);
+  const FaultModel fault_model(config_.fault_model);
   EventQueue events;
 
   if (const auto first = workload.next_arrival_time(0.0, workload_rng)) {
-    events.push(Event{*first, EventKind::kArrival, 0, -1, {}});
+    events.push(Event{*first, EventKind::kArrival, 0, -1, {}, {}});
   }
   if (config_.fault_rate > 0.0) {
+    const EventKind fault_kind = fault_model.domain() == FaultDomain::kLink
+                                     ? EventKind::kLinkFault
+                                     : EventKind::kElementFault;
     events.push(Event{util::exponential(fault_rng, 1.0 / config_.fault_rate),
-                      EventKind::kElementFault, 0, -1, {}});
+                      fault_kind, 0, -1, {}, {}});
   }
   if (config_.defrag_period > 0.0) {
-    events.push(
-        Event{config_.defrag_period, EventKind::kDefragTrigger, 0, -1, {}});
+    events.push(Event{config_.defrag_period, EventKind::kDefragTrigger, 0, -1,
+                      {}, {}});
   }
 
   // Handles of applications a fault killed; their already-scheduled
   // departures are stale and must be dropped, not treated as errors.
   std::set<core::AppHandle> dead_handles;
 
+  // Time-weighted state sampling: the state reached after an event persists
+  // until the next event (or the horizon), so it is accumulated with that
+  // interval as its weight just before the next event is processed.
+  // Zero-length intervals (simultaneous events) are skipped by
+  // WeightedStats — a state that existed for no simulated time does not
+  // belong in a time average.
+  double sampled_until = 0.0;
+  const auto sample_state_until = [&](double until) {
+    const double weight = until - sampled_until;
+    if (weight <= 0.0) return;
+    stats.live_applications.add(static_cast<double>(manager_->live_count()),
+                                weight);
+    stats.fragmentation.add(
+        platform::external_fragmentation(manager_->platform()), weight);
+    stats.compute_utilisation.add(
+        platform::resource_utilisation(manager_->platform(),
+                                       platform::ResourceKind::kCompute),
+        weight);
+    sampled_until = until;
+  };
+
+  const auto absorb_fault_report =
+      [&](const core::ResourceManager::FaultReport& report) {
+        stats.fault_victims += report.victims;
+        stats.fault_recovered += report.recovered;
+        stats.fault_lost += report.lost;
+        dead_handles.insert(report.lost_handles.begin(),
+                            report.lost_handles.end());
+      };
+
   while (!events.empty()) {
     const Event event = events.pop();
+    sample_state_until(std::min(event.time, config_.horizon));
     if (event.time > config_.horizon) break;
 
     switch (event.kind) {
@@ -78,18 +135,25 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
         const std::size_t index = workload.pick(pool_->size(), workload_rng);
         assert(index < pool_->size());
         const core::AdmissionReport report = manager_->admit((*pool_)[index]);
+        // Rejected arrivals draw no lifetime; their recorded placeholder is
+        // never consumed by a faithful replay.
+        double lifetime = 1.0;
         if (report.admitted) {
           ++stats.admitted;
           stats.mapping_cost.add(report.mapping_cost);
           stats.mapping_ms.add(report.times.mapping_ms);
-          events.push(Event{event.time + workload.lifetime(workload_rng),
-                            EventKind::kDeparture, 0, report.handle, {}});
+          lifetime = workload.lifetime(workload_rng);
+          events.push(Event{event.time + lifetime, EventKind::kDeparture, 0,
+                            report.handle, {}, {}});
         } else {
           ++stats.failures(report.failed_phase);
         }
+        if (config_.record_trace) {
+          stats.trace.push_back(TraceRow{event.time, index, lifetime});
+        }
         if (const auto next =
                 workload.next_arrival_time(event.time, workload_rng)) {
-          events.push(Event{*next, EventKind::kArrival, 0, -1, {}});
+          events.push(Event{*next, EventKind::kArrival, 0, -1, {}, {}});
         }
         break;
       }
@@ -100,38 +164,60 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
           break;
         }
         const auto removed = manager_->remove(event.handle);
-        assert(removed.ok());
-        (void)removed;
+        if (!removed.ok()) {
+          // A departure whose resources cannot be released is an engine /
+          // manager bookkeeping bug; count it as data rather than silently
+          // recording a successful departure (the release-build behaviour
+          // of the old assert).
+          ++stats.failed_removes;
+          if (stats.remove_error.empty()) stats.remove_error = removed.error();
+          break;
+        }
         ++stats.departures;
         break;
       }
 
-      case EventKind::kElementFault: {
-        // Uniform victim among the currently healthy elements; if the whole
-        // platform is down there is nothing left to fault.
-        std::vector<platform::ElementId> healthy;
-        for (const auto& element : manager_->platform().elements()) {
-          if (!element.is_failed()) healthy.push_back(element.id());
-        }
-        if (!healthy.empty()) {
-          const auto pick = static_cast<std::size_t>(fault_rng.uniform_int(
-              0, static_cast<std::int64_t>(healthy.size()) - 1));
-          const auto report = manager_->circumvent_fault(healthy[pick]);
+      case EventKind::kElementFault:
+      case EventKind::kLinkFault: {
+        // The recurring fault-process event: draw this fault's victim set
+        // from the model (one RNG pick; empty when the whole platform is
+        // already down) and circumvent every member.
+        const FaultSet victims =
+            fault_model.draw(manager_->platform(), fault_rng);
+        if (!victims.empty()) {
           ++stats.faults;
-          stats.fault_victims += report.victims;
-          stats.fault_recovered += report.recovered;
-          stats.fault_lost += report.lost;
-          dead_handles.insert(report.lost_handles.begin(),
-                              report.lost_handles.end());
+          if (!victims.elements.empty()) {
+            // One atomic circumvention for the whole set: element-by-element
+            // would re-admit victims onto still-healthy members of the
+            // dying package/row and evict them again a moment later.
+            absorb_fault_report(
+                manager_->circumvent_fault_set(victims.elements));
+            stats.faulted_elements +=
+                static_cast<long>(victims.elements.size());
+          }
+          for (const platform::LinkId link : victims.links) {
+            absorb_fault_report(manager_->circumvent_link_fault(link));
+            ++stats.link_faults;
+          }
           if (config_.mean_repair > 0.0) {
-            events.push(Event{
-                event.time + util::exponential(fault_rng, config_.mean_repair),
-                EventKind::kElementRepair, 0, -1, healthy[pick]});
+            // One repair time per fault event: correlated victims failed
+            // together and come back together (and the single-element
+            // domain keeps the legacy one-draw-per-fault RNG stream).
+            const double repair_time =
+                event.time + util::exponential(fault_rng, config_.mean_repair);
+            for (const platform::ElementId element : victims.elements) {
+              events.push(Event{repair_time, EventKind::kElementRepair, 0, -1,
+                                element, {}});
+            }
+            for (const platform::LinkId link : victims.links) {
+              events.push(
+                  Event{repair_time, EventKind::kLinkRepair, 0, -1, {}, link});
+            }
           }
         }
         events.push(Event{
             event.time + util::exponential(fault_rng, 1.0 / config_.fault_rate),
-            EventKind::kElementFault, 0, -1, {}});
+            event.kind, 0, -1, {}, {}});
         break;
       }
 
@@ -141,21 +227,25 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
         break;
       }
 
+      case EventKind::kLinkRepair: {
+        manager_->repair_link(event.link);
+        ++stats.link_repairs;
+        break;
+      }
+
       case EventKind::kDefragTrigger: {
         ++stats.defrag_triggers;
         if (manager_->defragment().performed) ++stats.defrag_performed;
         events.push(Event{event.time + config_.defrag_period,
-                          EventKind::kDefragTrigger, 0, -1, {}});
+                          EventKind::kDefragTrigger, 0, -1, {}, {}});
         break;
       }
     }
-
-    stats.live_applications.add(static_cast<double>(manager_->live_count()));
-    stats.fragmentation.add(
-        platform::external_fragmentation(manager_->platform()));
-    stats.compute_utilisation.add(platform::resource_utilisation(
-        manager_->platform(), platform::ResourceKind::kCompute));
   }
+  // The final state persists until the horizon even after the last event
+  // (e.g. a finite trace exhausted early); without this interval the means
+  // would be event-weighted at the tail.
+  sample_state_until(config_.horizon);
   assert(stats.fault_victims == stats.fault_recovered + stats.fault_lost);
   return stats;
 }

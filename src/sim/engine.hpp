@@ -1,17 +1,25 @@
 // The discrete-event scenario engine.
 //
 // sim::Engine drains a time-ordered event stream — arrivals and departures
-// produced by a pluggable WorkloadModel, element faults and repairs from a
-// seeded fault process, and periodic defragmentation triggers — against a
-// core::ResourceManager. It is the run-time half of the paper made
-// executable: arbitrary application mixes arriving and leaving (§I), plus
-// the "run-time fault circumvention" the introduction motivates, applied as
-// mark-failed -> evict victims (apps_using) -> re-admit around the fault.
+// produced by a pluggable WorkloadModel, element/package/row/link faults and
+// repairs from a seeded fault process shaped by a FaultModel, and periodic
+// defragmentation triggers — against a core::ResourceManager. It is the
+// run-time half of the paper made executable: arbitrary application mixes
+// arriving and leaving (§I), plus the "run-time fault circumvention" the
+// introduction motivates, applied as mark-failed -> evict victims
+// (apps_using / apps_using_link) -> re-admit around the fault.
 //
 // Determinism: all stochastic draws come from two Xoshiro256 streams derived
 // from EngineConfig::seed (one for the workload, one for the fault process),
 // so every run is reproducible from its printed seed, and enabling faults
 // does not perturb the workload's draw sequence.
+//
+// Statistics: the state series (live applications, fragmentation, compute
+// utilisation) are *time-weighted* — each sampled state is weighted by how
+// long the platform stayed in it, including the final interval up to the
+// horizon — so means measure the platform over simulated time rather than
+// over events (an event-weighted average is biased toward bursts, which
+// pack many events into little time).
 #pragma once
 
 #include <array>
@@ -22,6 +30,7 @@
 #include "core/resource_manager.hpp"
 #include "graph/application.hpp"
 #include "sim/events.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/workload.hpp"
 #include "util/stats.hpp"
 
@@ -41,15 +50,25 @@ struct EngineConfig {
   bool sa_incremental = true;
   double portfolio_cancel_bound = -1.0;
 
-  /// Expected element faults per time unit (0 disables the fault process).
-  /// Each fault hits a uniformly chosen non-failed element and triggers the
-  /// circumvention flow (core::ResourceManager::circumvent_fault).
+  /// Expected faults per time unit (0 disables the fault process). Each
+  /// fault event's victim set is drawn by the fault model below and
+  /// triggers the circumvention flow (core::ResourceManager::
+  /// circumvent_fault / circumvent_link_fault per victim).
   double fault_rate = 0.0;
-  /// Expected element down-time after a fault; <= 0 makes faults permanent.
+  /// Expected down-time after a fault; <= 0 makes faults permanent. One
+  /// repair time is drawn per fault event: correlated victims fail together
+  /// and come back together.
   double mean_repair = 0.0;
+  /// What one fault event takes down: a single element (default — the
+  /// legacy behaviour, bit-identical under the existing RNG stream), a
+  /// whole package, a fabric row, or a NoC link.
+  FaultModelConfig fault_model;
   /// Trigger a defragmentation pass every `defrag_period` time units
   /// (0 disables).
   double defrag_period = 0.0;
+  /// Record the realised arrival sequence into ScenarioStats::trace so the
+  /// run can be replayed (and minimised) through TraceWorkload.
+  bool record_trace = false;
 };
 
 struct ScenarioStats {
@@ -66,17 +85,27 @@ struct ScenarioStats {
     return failures_by_phase.at(static_cast<std::size_t>(phase));
   }
 
-  /// Fault circumvention counters: injected faults and repairs, the
-  /// applications the faults killed, how many of those were re-admitted
-  /// elsewhere, and how many were permanently lost. victims = recovered +
-  /// lost always holds.
+  /// Fault circumvention counters. `faults` counts fault *events*; one
+  /// event can take down several elements (package/row domains) or a link,
+  /// tallied separately below. victims = recovered + lost always holds,
+  /// summed over element and link faults alike.
   long faults = 0;
-  long repairs = 0;
+  long faulted_elements = 0;  ///< elements marked failed (== faults for the
+                              ///< single-element domain)
+  long link_faults = 0;       ///< links marked failed
+  long repairs = 0;           ///< element repairs
+  long link_repairs = 0;      ///< link repairs
   long fault_victims = 0;
   long fault_recovered = 0;
   long fault_lost = 0;
   /// Departure events whose application a fault had already killed.
   long stale_departures = 0;
+  /// Departure events whose ResourceManager::remove failed — always 0 for a
+  /// healthy engine/manager pair. Surfaced as data (with the first error in
+  /// `remove_error`) instead of an assert so a release build cannot
+  /// silently count a departure that never released its resources.
+  long failed_removes = 0;
+  std::string remove_error;
 
   /// Defragmentation triggers fired / passes that actually compacted
   /// (defragment() rolls back when a re-admission fails).
@@ -88,15 +117,27 @@ struct ScenarioStats {
   /// name cannot silently attribute results to the wrong mapper.
   std::string mapper_error;
 
-  /// Sampled at every event, after processing it.
-  util::RunningStats live_applications;
-  util::RunningStats fragmentation;
-  util::RunningStats compute_utilisation;
+  /// Time-weighted state series: each sample is the platform state over one
+  /// inter-event interval, weighted by that interval's simulated duration
+  /// (the final interval runs to the horizon). mean() is therefore the
+  /// time-average of the state, independent of how unevenly events cluster.
+  util::WeightedStats live_applications;
+  util::WeightedStats fragmentation;
+  util::WeightedStats compute_utilisation;
 
   /// Per admitted application: the mapping phase's reported cost and
   /// runtime — the quantities the mapper-strategy matrix compares.
   util::RunningStats mapping_cost;
   util::RunningStats mapping_ms;
+
+  /// The realised arrival sequence (EngineConfig::record_trace): one row
+  /// per arrival with its pool pick and — for admitted applications — the
+  /// drawn lifetime. Rejected arrivals carry a placeholder lifetime of 1.0,
+  /// which a faithful replay never consumes (TraceWorkload::lifetime is
+  /// only called for admitted arrivals). Serialise with write_trace_csv and
+  /// replay through TraceWorkload under the same engine configuration to
+  /// reproduce this run's ScenarioStats exactly.
+  std::vector<TraceRow> trace;
 
   long rejected() const { return arrivals - admitted; }
   double admission_rate() const {
@@ -114,7 +155,10 @@ class Engine {
          const std::vector<graph::Application>& pool, EngineConfig config);
 
   /// Drains the event stream until the horizon (or until a finite workload
-  /// is exhausted and every admitted application has departed).
+  /// is exhausted and every admitted application has departed). The
+  /// manager's mapping strategy is restored to its pre-run value on exit,
+  /// even when EngineConfig::mapper installed a different one for the run —
+  /// a scenario must not permanently mutate the caller's manager.
   ScenarioStats run(WorkloadModel& workload);
 
  private:

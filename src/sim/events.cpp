@@ -12,6 +12,10 @@ std::string to_string(EventKind kind) {
       return "element-fault";
     case EventKind::kElementRepair:
       return "element-repair";
+    case EventKind::kLinkFault:
+      return "link-fault";
+    case EventKind::kLinkRepair:
+      return "link-repair";
     case EventKind::kDefragTrigger:
       return "defrag-trigger";
   }

@@ -21,8 +21,10 @@ namespace kairos::sim {
 enum class EventKind : std::uint8_t {
   kArrival,        ///< an application requests admission
   kDeparture,      ///< an admitted application finishes and releases
-  kElementFault,   ///< a processing element dies at run time
+  kElementFault,   ///< one or more processing elements die at run time
   kElementRepair,  ///< a failed element comes back online
+  kLinkFault,      ///< a NoC link dies at run time (endpoints stay alive)
+  kLinkRepair,     ///< a failed link comes back online
   kDefragTrigger,  ///< periodic defragmentation pass
 };
 
@@ -36,6 +38,7 @@ struct Event {
   long seq = 0;
   core::AppHandle handle = -1;      ///< kDeparture
   platform::ElementId element{};    ///< kElementFault / kElementRepair
+  platform::LinkId link{};          ///< kLinkFault / kLinkRepair
 };
 
 /// Min-queue over (time, seq): earliest event first, FIFO among exact time

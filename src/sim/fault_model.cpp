@@ -1,0 +1,101 @@
+#include "sim/fault_model.hpp"
+
+#include <cmath>
+
+namespace kairos::sim {
+
+std::string to_string(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kElement:
+      return "element";
+    case FaultDomain::kPackage:
+      return "package";
+    case FaultDomain::kRow:
+      return "row";
+    case FaultDomain::kLink:
+      return "link";
+  }
+  return "?";
+}
+
+util::Result<FaultDomain> parse_fault_domain(const std::string& name) {
+  if (name == "element") return FaultDomain::kElement;
+  if (name == "package") return FaultDomain::kPackage;
+  if (name == "row") return FaultDomain::kRow;
+  if (name == "link") return FaultDomain::kLink;
+  return util::Error("unknown fault domain '" + name +
+                     "' (known: element|package|row|link)");
+}
+
+FaultModel::FaultModel(FaultModelConfig config) : config_(config) {}
+
+FaultSet FaultModel::draw(const platform::Platform& platform,
+                          util::Xoshiro256& rng) const {
+  FaultSet set;
+
+  if (config_.domain == FaultDomain::kLink) {
+    std::vector<platform::LinkId> healthy;
+    for (const auto& link : platform.links()) {
+      if (!link.is_failed()) healthy.push_back(link.id());
+    }
+    if (healthy.empty()) return set;
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(healthy.size()) - 1));
+    set.links.push_back(healthy[pick]);
+    return set;
+  }
+
+  // Element-family domains share one uniformly-drawn healthy anchor; the
+  // healthy-list construction and pick are bit-identical to the legacy
+  // engine's single-element draw.
+  std::vector<platform::ElementId> healthy;
+  for (const auto& element : platform.elements()) {
+    if (!element.is_failed()) healthy.push_back(element.id());
+  }
+  if (healthy.empty()) return set;
+  const auto pick = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(healthy.size()) - 1));
+  const platform::ElementId anchor = healthy[pick];
+
+  switch (config_.domain) {
+    case FaultDomain::kElement:
+      set.elements.push_back(anchor);
+      break;
+
+    case FaultDomain::kPackage: {
+      const int package = platform.element(anchor).package();
+      if (package < 0) {
+        // Package-less elements (ARM, FPGA, synthetic fabrics) fail alone.
+        set.elements.push_back(anchor);
+        break;
+      }
+      for (const platform::ElementId e : healthy) {
+        if (platform.element(e).package() == package) set.elements.push_back(e);
+      }
+      break;
+    }
+
+    case FaultDomain::kRow: {
+      int width = config_.row_width;
+      if (width <= 0) {
+        width = static_cast<int>(
+            std::floor(std::sqrt(static_cast<double>(platform.element_count()))));
+      }
+      if (width <= 1) {
+        set.elements.push_back(anchor);
+        break;
+      }
+      const std::int32_t row = anchor.value / width;
+      for (const platform::ElementId e : healthy) {
+        if (e.value / width == row) set.elements.push_back(e);
+      }
+      break;
+    }
+
+    case FaultDomain::kLink:
+      break;  // handled above
+  }
+  return set;
+}
+
+}  // namespace kairos::sim

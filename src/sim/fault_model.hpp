@@ -1,0 +1,75 @@
+// Correlated fault domains for the scenario engine.
+//
+// The paper's introduction motivates a run-time manager that keeps admitting
+// applications while "circumventing hardware faults"; real hardware does not
+// only lose isolated processing elements. A FaultModel decides *what* one
+// fault event takes down: a single element (the engine's original
+// behaviour), a whole CRISP package (one physical chip — its DSPs, memories
+// and test unit die together), a whole row of a mesh/torus fabric (a shared
+// power rail or row bus), or a NoC link (the wire fails while both endpoints
+// stay alive).
+//
+// Determinism contract: every draw consumes exactly ONE uniform pick from
+// the fault RNG stream regardless of domain, and the element-family domains
+// (element/package/row) pick the same uniformly-chosen healthy *anchor*
+// element — kElement is bit-identical to the legacy engine's draw, and the
+// correlated domains merely expand the anchor into its domain set. Same
+// seed, same platform state => same victims, whatever the domain kind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::sim {
+
+enum class FaultDomain : std::uint8_t {
+  kElement,  ///< one processing element (the legacy single-element fault)
+  kPackage,  ///< every element of the anchor's package (whole-chip failure)
+  kRow,      ///< every element of the anchor's fabric row (shared rail/bus)
+  kLink,     ///< one NoC link; endpoints stay alive
+};
+
+std::string to_string(FaultDomain domain);
+
+/// Parses a domain name ("element" | "package" | "row" | "link"); fails with
+/// the known names otherwise.
+util::Result<FaultDomain> parse_fault_domain(const std::string& name);
+
+struct FaultModelConfig {
+  FaultDomain domain = FaultDomain::kElement;
+  /// Row grouping for kRow: elements with equal id/row_width share a row.
+  /// <= 0 infers floor(sqrt(element_count)) — exact for the square
+  /// mesh/torus builders, whose ids are assigned row-major.
+  int row_width = 0;
+};
+
+/// The victims of one fault event.
+struct FaultSet {
+  std::vector<platform::ElementId> elements;
+  std::vector<platform::LinkId> links;
+
+  bool empty() const { return elements.empty() && links.empty(); }
+};
+
+class FaultModel {
+ public:
+  explicit FaultModel(FaultModelConfig config = {});
+
+  FaultDomain domain() const { return config_.domain; }
+
+  /// Draws the next fault's victim set. Victims are restricted to currently
+  /// healthy elements/links; an empty set means nothing is left to fault
+  /// (in which case no RNG draw is consumed, matching the legacy engine).
+  FaultSet draw(const platform::Platform& platform,
+                util::Xoshiro256& rng) const;
+
+ private:
+  FaultModelConfig config_;
+};
+
+}  // namespace kairos::sim

@@ -44,6 +44,20 @@ SweepResult run_sweep(const SweepSpec& spec) {
     result.error = "sweep mean lifetime must be > 0";
     return result;
   }
+  // The extra axes admit 0 ("process disabled" baseline cells) but not
+  // negative values, which the engine would treat as nonsense rates.
+  for (const double rate : spec.fault_rates) {
+    if (rate < 0.0) {
+      result.error = "sweep fault rates must be >= 0";
+      return result;
+    }
+  }
+  for (const double period : spec.defrag_periods) {
+    if (period < 0.0) {
+      result.error = "sweep defrag periods must be >= 0";
+      return result;
+    }
+  }
 
   // One admissible pool per platform case, generated up front (serially —
   // generation is cheap and sharing the const pools across workers is free).
@@ -64,21 +78,42 @@ SweepResult run_sweep(const SweepSpec& spec) {
   }
 
   // Materialise the grid in deterministic order; workers fill slots in
-  // place, so no ordering or locking is needed on the way back.
+  // place, so no ordering or locking is needed on the way back. The extra
+  // axes collapse to the spec's fixed engine knob when left empty, keeping
+  // single-axis sweeps (and their cell count) unchanged.
+  const std::vector<double> fault_rates =
+      spec.fault_rates.empty() ? std::vector<double>{spec.engine.fault_rate}
+                               : spec.fault_rates;
+  const std::vector<double> defrag_periods =
+      spec.defrag_periods.empty()
+          ? std::vector<double>{spec.engine.defrag_period}
+          : spec.defrag_periods;
   struct CellJob {
     std::size_t platform_index;
     double arrival_rate;
+    double fault_rate;
+    double defrag_period;
     std::string strategy;
   };
   std::vector<CellJob> jobs;
   for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
     for (const double rate : spec.arrival_rates) {
-      for (const auto& strategy : spec.strategies) {
-        jobs.push_back(CellJob{p, rate, strategy});
+      for (const double fault_rate : fault_rates) {
+        for (const double defrag_period : defrag_periods) {
+          for (const auto& strategy : spec.strategies) {
+            jobs.push_back(CellJob{p, rate, fault_rate, defrag_period,
+                                   strategy});
+          }
+        }
       }
     }
   }
   result.cells.resize(jobs.size());
+
+  // Set when a cell fails to resolve its strategy: the whole sweep's result
+  // is already useless (run_sweep reports the error), so workers stop
+  // pulling jobs instead of burning cores on the remaining cells.
+  std::atomic<bool> abort{false};
 
   const auto run_cell = [&](std::size_t i) {
     const CellJob& job = jobs[i];
@@ -86,6 +121,8 @@ SweepResult run_sweep(const SweepSpec& spec) {
     cell.strategy = job.strategy;
     cell.platform = spec.platforms[job.platform_index].name;
     cell.arrival_rate = job.arrival_rate;
+    cell.fault_rate = job.fault_rate;
+    cell.defrag_period = job.defrag_period;
 
     platform::Platform platform = spec.platforms[job.platform_index].build();
     core::KairosConfig kairos_config = spec.kairos;
@@ -94,12 +131,15 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
     EngineConfig engine_config = spec.engine;
     engine_config.mapper = job.strategy;
+    engine_config.fault_rate = job.fault_rate;
+    engine_config.defrag_period = job.defrag_period;
     Engine engine(manager, pools[job.platform_index], engine_config);
     PoissonWorkload workload(job.arrival_rate, spec.mean_lifetime);
 
     util::Stopwatch watch;
     cell.stats = engine.run(workload);
     cell.wall_ms = watch.elapsed_ms();
+    if (!cell.stats.mapper_error.empty()) abort.store(true);
   };
 
   int threads = spec.threads;
@@ -109,7 +149,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
   }
 
   if (threads == 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_cell(i);
+    for (std::size_t i = 0; i < jobs.size() && !abort.load(); ++i) {
+      run_cell(i);
+    }
   } else {
     // A shared cursor instead of one task per cell: cells differ wildly in
     // cost (strategy-dependent), so dynamic pulling keeps workers busy.
@@ -121,6 +163,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     for (std::size_t w = 0; w < worker_count; ++w) {
       workers.push_back(std::async(std::launch::async, [&] {
         for (;;) {
+          if (abort.load()) return;
           const std::size_t i = cursor.fetch_add(1);
           if (i >= jobs.size()) return;
           run_cell(i);
@@ -141,13 +184,23 @@ SweepResult run_sweep(const SweepSpec& spec) {
 }
 
 const std::vector<std::string>& sweep_csv_header() {
+  // mean_fragmentation / mean_live_apps / mean_utilisation are
+  // time-weighted averages (see ScenarioStats), not per-event means.
   static const std::vector<std::string> header = {
       "strategy",          "platform",        "arrival_rate",
+      "fault_rate",        "defrag_period",
       "arrivals",          "admitted",        "departures",
       "admission_rate",    "mean_mapping_cost", "mean_mapping_ms",
-      "mean_fragmentation", "mean_live_apps", "faults",
+      "mean_fragmentation", "mean_live_apps", "mean_utilisation",
+      "faults",            "faulted_elements", "link_faults",
       "fault_victims",     "fault_recovered", "fault_lost",
-      "repairs",           "defrag_performed", "wall_ms"};
+      "repairs",           "link_repairs",
+      "defrag_triggers",   "defrag_performed",
+      // Bookkeeping-bug canary (departures whose remove() failed): always 0
+      // for a healthy engine/manager pair. In the CSV rather than only the
+      // CLI exit code so a regression confined to one strategy x fault-rate
+      // cell cannot hide in a clean-looking sweep.
+      "failed_removes",    "wall_ms"};
   return header;
 }
 
@@ -156,6 +209,8 @@ void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv) {
   for (const auto& cell : result.cells) {
     const ScenarioStats& s = cell.stats;
     csv.write_row({cell.strategy, cell.platform, util::fmt(cell.arrival_rate, 3),
+                   util::fmt(cell.fault_rate, 4),
+                   util::fmt(cell.defrag_period, 1),
                    std::to_string(s.arrivals), std::to_string(s.admitted),
                    std::to_string(s.departures),
                    util::fmt(s.admission_rate(), 4),
@@ -163,10 +218,17 @@ void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv) {
                    util::fmt(s.mapping_ms.mean(), 5),
                    util::fmt(s.fragmentation.mean(), 4),
                    util::fmt(s.live_applications.mean(), 3),
-                   std::to_string(s.faults), std::to_string(s.fault_victims),
+                   util::fmt(s.compute_utilisation.mean(), 4),
+                   std::to_string(s.faults),
+                   std::to_string(s.faulted_elements),
+                   std::to_string(s.link_faults),
+                   std::to_string(s.fault_victims),
                    std::to_string(s.fault_recovered),
                    std::to_string(s.fault_lost), std::to_string(s.repairs),
+                   std::to_string(s.link_repairs),
+                   std::to_string(s.defrag_triggers),
                    std::to_string(s.defrag_performed),
+                   std::to_string(s.failed_removes),
                    util::fmt(cell.wall_ms, 2)});
   }
 }

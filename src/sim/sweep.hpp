@@ -1,4 +1,5 @@
-// The parallel sweep driver: strategy × platform × arrival-rate grids.
+// The parallel sweep driver: strategy × platform × arrival-rate ×
+// fault-rate × defrag-period grids.
 //
 // The ROADMAP's "per-strategy admission-rate sweeps on torus/irregular
 // platforms" made executable: every grid cell runs the same seeded scenario
@@ -6,7 +7,9 @@
 // own ResourceManager, so cells are fully independent and the driver can
 // fan them out over std::async workers. Results come back in deterministic
 // grid order regardless of the thread count, and serialise to a tidy CSV
-// whose schema is golden-file pinned in CI.
+// whose schema is golden-file pinned in CI. A cell that fails to resolve
+// its strategy aborts the sweep early — workers stop pulling jobs — since
+// every remaining cell of that strategy would fail identically.
 #pragma once
 
 #include <functional>
@@ -36,8 +39,17 @@ struct SweepSpec {
   std::vector<double> arrival_rates;
   double mean_lifetime = 30.0;
 
-  /// Per-cell engine settings (horizon, seed, fault/defrag processes). The
-  /// mapper field is overwritten with each cell's strategy.
+  /// Extra grid axes. Empty keeps the corresponding EngineConfig knob as a
+  /// fixed (non-swept) setting, so existing single-axis specs behave
+  /// unchanged; non-empty sweeps the knob per cell (0 disables the process
+  /// in that cell — a useful baseline column).
+  std::vector<double> fault_rates;
+  std::vector<double> defrag_periods;
+
+  /// Per-cell engine settings (horizon, seed, fault model/repair, trace
+  /// recording). The mapper field is overwritten with each cell's strategy;
+  /// fault_rate/defrag_period are overwritten when the axes above are
+  /// non-empty.
   EngineConfig engine;
 
   /// Manager configuration per cell (weights etc.). The mapper pointer is
@@ -60,15 +72,20 @@ struct SweepCell {
   std::string strategy;
   std::string platform;
   double arrival_rate = 0.0;
+  double fault_rate = 0.0;
+  double defrag_period = 0.0;
   ScenarioStats stats;
   double wall_ms = 0.0;  ///< this cell's scenario wall-clock
 };
 
 struct SweepResult {
-  /// Grid order: platform-major, then arrival rate, then strategy.
+  /// Grid order: platform-major, then arrival rate, then fault rate, then
+  /// defrag period, then strategy.
   std::vector<SweepCell> cells;
   double wall_ms = 0.0;  ///< whole-sweep wall-clock (the parallel win)
-  /// First mapper-resolution error, if any ("" when all cells ran).
+  /// First (in grid order) mapper-resolution error, if any ("" when all
+  /// cells ran). On error the sweep exits early: cells after the failing
+  /// one may be unpopulated (all-zero stats, empty strategy name).
   std::string error;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/csv.hpp"
@@ -150,6 +151,19 @@ util::Result<std::vector<TraceRow>> parse_trace(const std::string& csv_text) {
     rows.push_back(parsed);
   }
   return rows;
+}
+
+std::string write_trace_csv(const std::vector<TraceRow>& rows) {
+  std::string out = "time,pool_index,lifetime\n";
+  char buffer[96];
+  for (const TraceRow& row : rows) {
+    // %.17g prints the shortest-enough decimal that strtod maps back to the
+    // exact same double (DBL_DECIMAL_DIG), so replay sees identical times.
+    std::snprintf(buffer, sizeof(buffer), "%.17g,%zu,%.17g\n", row.time,
+                  row.pool_index, row.lifetime);
+    out += buffer;
+  }
+  return out;
 }
 
 // --- factory -----------------------------------------------------------------

@@ -122,6 +122,13 @@ class TraceWorkload final : public WorkloadModel {
 /// cells, negative times or non-positive lifetimes.
 util::Result<std::vector<TraceRow>> parse_trace(const std::string& csv_text);
 
+/// Serialises rows as a replayable trace CSV — header plus one
+/// `time,pool_index,lifetime` row each, with doubles printed at full
+/// round-trip precision so parse_trace(write_trace_csv(rows)) reproduces
+/// the rows bit-identically. The inverse of parse_trace; the output format
+/// of the engine's trace recorder (EngineConfig::record_trace).
+std::string write_trace_csv(const std::vector<TraceRow>& rows);
+
 /// Parameters for make_workload. The MMPP rates are derived from the target
 /// mean arrival rate: on_rate = burst_factor x arrival_rate and
 /// off_rate = idle_factor x arrival_rate.

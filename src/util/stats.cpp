@@ -45,6 +45,32 @@ void RunningStats::merge(const RunningStats& other) {
   n_ += other.n_;
 }
 
+void WeightedStats::add(double x, double weight) {
+  if (!(weight > 0.0)) return;  // negated so NaN weights are rejected too
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  weight_ += weight;
+  weighted_sum_ += weight * x;
+}
+
+void WeightedStats::merge(const WeightedStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  weight_ += other.weight_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   assert(p >= 0.0 && p <= 100.0);

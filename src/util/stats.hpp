@@ -37,6 +37,38 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// Streaming accumulator for a *weighted* mean / min / max — the
+/// time-average primitive of the discrete-event engine: each sample is a
+/// state value weighted by how long the system stayed in that state, so
+/// mean() is the time-weighted average rather than the per-event average
+/// (which over-counts states that happen to see many events). Samples with
+/// non-positive weight are ignored: a state that persisted for zero time
+/// contributes nothing to a time average, including its min/max.
+class WeightedStats {
+ public:
+  void add(double x, double weight);
+
+  /// Number of positive-weight samples.
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Total accumulated weight (for the engine: covered sim-time).
+  double weight() const { return weight_; }
+  /// Weighted mean sum(w*x)/sum(w); 0 when no sample was accepted.
+  double mean() const { return weight_ == 0.0 ? 0.0 : weighted_sum_ / weight_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const WeightedStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double weight_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Percentile of a sample (linear interpolation between closest ranks).
 /// p in [0, 100]. Returns 0 for an empty sample.
 double percentile(std::vector<double> values, double p);

@@ -1,0 +1,247 @@
+// Tests for the correlated fault domains: the FaultModel's draw contract
+// (one RNG pick per fault, element-domain bit-identical to the legacy
+// engine, correlated domains expanding the same anchor), engine-level
+// behaviour of package/row/link faults, and per-seed determinism of the
+// fault victim sequence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::sim {
+namespace {
+
+core::KairosConfig config() {
+  core::KairosConfig c;
+  c.weights = {4.0, 100.0};
+  c.validation_rejects = false;
+  return c;
+}
+
+std::vector<graph::Application> small_pool() {
+  return gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 20, 71);
+}
+
+TEST(FaultDomainTest, NamesRoundTripAndUnknownIsRejected) {
+  for (const auto domain : {FaultDomain::kElement, FaultDomain::kPackage,
+                            FaultDomain::kRow, FaultDomain::kLink}) {
+    const auto parsed = parse_fault_domain(to_string(domain));
+    ASSERT_TRUE(parsed.ok()) << to_string(domain);
+    EXPECT_EQ(parsed.value(), domain);
+  }
+  const auto unknown = parse_fault_domain("pakage");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("pakage"), std::string::npos);
+  EXPECT_NE(unknown.error().find("element"), std::string::npos);
+}
+
+TEST(FaultModelTest, ElementDomainIsBitIdenticalToTheLegacyDraw) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  crisp.set_element_failed(platform::ElementId{3}, true);  // skew the list
+
+  for (const std::uint64_t seed : {1ull, 42ull, 0xFEEDull}) {
+    // The legacy engine's draw: healthy elements in id order, one
+    // uniform_int pick.
+    util::Xoshiro256 legacy_rng(seed);
+    std::vector<platform::ElementId> healthy;
+    for (const auto& element : crisp.elements()) {
+      if (!element.is_failed()) healthy.push_back(element.id());
+    }
+    const auto legacy_pick = static_cast<std::size_t>(legacy_rng.uniform_int(
+        0, static_cast<std::int64_t>(healthy.size()) - 1));
+
+    util::Xoshiro256 model_rng(seed);
+    const FaultModel model;
+    const FaultSet set = model.draw(crisp, model_rng);
+    ASSERT_EQ(set.elements.size(), 1u);
+    EXPECT_EQ(set.elements[0], healthy[legacy_pick]);
+    EXPECT_TRUE(set.links.empty());
+    // Both consumed exactly the same amount of RNG state.
+    EXPECT_EQ(legacy_rng.next(), model_rng.next());
+  }
+}
+
+TEST(FaultModelTest, CorrelatedDomainsExpandTheSameAnchor) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  for (const std::uint64_t seed : {7ull, 99ull, 12345ull}) {
+    util::Xoshiro256 element_rng(seed);
+    util::Xoshiro256 package_rng(seed);
+    FaultModelConfig package_config;
+    package_config.domain = FaultDomain::kPackage;
+    const FaultSet single = FaultModel().draw(crisp, element_rng);
+    const FaultSet package =
+        FaultModel(package_config).draw(crisp, package_rng);
+    ASSERT_EQ(single.elements.size(), 1u);
+    ASSERT_FALSE(package.elements.empty());
+    // The package set contains the element-domain victim...
+    EXPECT_NE(std::find(package.elements.begin(), package.elements.end(),
+                        single.elements[0]),
+              package.elements.end());
+    // ...and every member shares the anchor's package (or IS the anchor,
+    // when it has none — the ARM/FPGA case).
+    const int anchor_package =
+        crisp.element(single.elements[0]).package();
+    if (anchor_package < 0) {
+      EXPECT_EQ(package.elements.size(), 1u);
+    } else {
+      EXPECT_EQ(package.elements,
+                platform::package_members(crisp, anchor_package));
+    }
+  }
+}
+
+TEST(FaultModelTest, PackageDomainTakesDownTheWholePackage) {
+  platform::CrispLayout layout;
+  platform::Platform crisp =
+      platform::make_crisp_platform(platform::CrispConfig{}, layout);
+  // 5 packages, each 9 DSPs + 2 memories + 1 test unit.
+  EXPECT_EQ(platform::package_count(crisp), 5);
+  const auto members = platform::package_members(crisp, 2);
+  EXPECT_EQ(members.size(), 12u);
+  for (const auto id : members) {
+    EXPECT_EQ(crisp.element(id).package(), 2);
+  }
+  EXPECT_TRUE(platform::package_members(crisp, -1).empty());
+  EXPECT_TRUE(platform::package_members(crisp, 99).empty());
+}
+
+TEST(FaultModelTest, RowDomainGroupsByConfiguredWidth) {
+  platform::BuilderConfig builder;
+  builder.element_type = platform::ElementType::kDsp;
+  platform::Platform torus = platform::make_torus(4, 4, builder);
+  FaultModelConfig row_config;
+  row_config.domain = FaultDomain::kRow;
+  row_config.row_width = 4;
+  util::Xoshiro256 rng(5);
+  const FaultSet set = FaultModel(row_config).draw(torus, rng);
+  ASSERT_EQ(set.elements.size(), 4u);  // a full healthy row
+  const std::int32_t row = set.elements[0].value / 4;
+  for (const auto id : set.elements) {
+    EXPECT_EQ(id.value / 4, row);
+  }
+  // With a member already failed the row shrinks but stays one row.
+  torus.set_element_failed(set.elements[1], true);
+  util::Xoshiro256 rng2(5);  // same seed -> same anchor row
+  const FaultSet shrunk = FaultModel(row_config).draw(torus, rng2);
+  ASSERT_EQ(shrunk.elements.size(), 3u);
+}
+
+TEST(FaultModelTest, LinkDomainDrawsAHealthyLink) {
+  platform::Platform ring = platform::make_ring(5);
+  FaultModelConfig link_config;
+  link_config.domain = FaultDomain::kLink;
+  const FaultModel model(link_config);
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const FaultSet set = model.draw(ring, rng);
+    ASSERT_EQ(set.links.size(), 1u);
+    EXPECT_TRUE(set.elements.empty());
+    EXPECT_FALSE(ring.link(set.links[0]).is_failed());
+  }
+  // Once every link is down there is nothing left to draw.
+  for (const auto& link : ring.links()) {
+    ring.set_link_failed(link.id(), true);
+  }
+  EXPECT_TRUE(model.draw(ring, rng).empty());
+}
+
+TEST(FaultModelTest, ExhaustedPlatformDrawsNothingAndConsumesNoRng) {
+  platform::Platform mesh = platform::make_mesh(2, 2);
+  for (const auto& element : mesh.elements()) {
+    mesh.set_element_failed(element.id(), true);
+  }
+  util::Xoshiro256 rng(3);
+  util::Xoshiro256 untouched(3);
+  EXPECT_TRUE(FaultModel().draw(mesh, rng).empty());
+  EXPECT_EQ(rng.next(), untouched.next());
+}
+
+// --- engine-level behaviour ----------------------------------------------------
+
+ScenarioStats run_with_domain(FaultDomain domain, std::uint64_t seed,
+                              double fault_rate = 0.03,
+                              double mean_repair = 15.0) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::ResourceManager manager(crisp, config());
+  EngineConfig engine_config;
+  engine_config.horizon = 400.0;
+  engine_config.seed = seed;
+  engine_config.fault_rate = fault_rate;
+  engine_config.mean_repair = mean_repair;
+  engine_config.fault_model.domain = domain;
+  PoissonWorkload workload(0.3, 30.0);
+  const auto pool = small_pool();  // must outlive the run
+  Engine engine(manager, pool, engine_config);
+  ScenarioStats stats = engine.run(workload);
+  EXPECT_TRUE(crisp.invariants_hold());
+  return stats;
+}
+
+TEST(FaultModelEngineTest, PackageFaultsTakeDownMultipleElementsPerEvent) {
+  const ScenarioStats stats = run_with_domain(FaultDomain::kPackage, 21);
+  ASSERT_GT(stats.faults, 0);
+  // At least one fault anchored inside a package (12 members), so elements
+  // must outnumber events; repairs restore what failed, element for element.
+  EXPECT_GT(stats.faulted_elements, stats.faults);
+  EXPECT_EQ(stats.link_faults, 0);
+  EXPECT_GT(stats.repairs, 0);
+  EXPECT_EQ(stats.fault_victims, stats.fault_recovered + stats.fault_lost);
+  EXPECT_EQ(stats.failed_removes, 0);
+}
+
+TEST(FaultModelEngineTest, LinkFaultsAreCircumventedAndRepaired) {
+  const ScenarioStats stats = run_with_domain(FaultDomain::kLink, 8, 0.05);
+  ASSERT_GT(stats.faults, 0);
+  EXPECT_EQ(stats.faulted_elements, 0);
+  EXPECT_EQ(stats.repairs, 0);
+  EXPECT_EQ(stats.link_faults, stats.faults);
+  EXPECT_GT(stats.link_repairs, 0);
+  EXPECT_LE(stats.link_repairs, stats.link_faults);
+  EXPECT_EQ(stats.fault_victims, stats.fault_recovered + stats.fault_lost);
+}
+
+TEST(FaultModelEngineTest, VictimSequenceIsDeterministicPerSeedForEveryDomain) {
+  for (const auto domain : {FaultDomain::kElement, FaultDomain::kPackage,
+                            FaultDomain::kRow, FaultDomain::kLink}) {
+    const ScenarioStats a = run_with_domain(domain, 77);
+    const ScenarioStats b = run_with_domain(domain, 77);
+    EXPECT_EQ(a.faults, b.faults) << to_string(domain);
+    EXPECT_EQ(a.faulted_elements, b.faulted_elements) << to_string(domain);
+    EXPECT_EQ(a.link_faults, b.link_faults) << to_string(domain);
+    EXPECT_EQ(a.fault_victims, b.fault_victims) << to_string(domain);
+    EXPECT_EQ(a.fault_lost, b.fault_lost) << to_string(domain);
+    EXPECT_EQ(a.arrivals, b.arrivals) << to_string(domain);
+    EXPECT_EQ(a.admitted, b.admitted) << to_string(domain);
+    EXPECT_DOUBLE_EQ(a.live_applications.mean(),
+                     b.live_applications.mean())
+        << to_string(domain);
+  }
+}
+
+TEST(FaultModelEngineTest, FaultClockIsIndependentOfTheDomainKind) {
+  // Same seed, different fault domains: every domain consumes the fault RNG
+  // stream identically (one victim pick, one repair draw, one next-fault
+  // gap per event), so the number of fault events cannot depend on what
+  // each event takes down. (Arrival counts may differ — domains change
+  // admission outcomes, which change the workload stream's lifetime
+  // draws — but the fault clock itself must not drift.)
+  const ScenarioStats element = run_with_domain(FaultDomain::kElement, 31);
+  const ScenarioStats package = run_with_domain(FaultDomain::kPackage, 31);
+  const ScenarioStats row = run_with_domain(FaultDomain::kRow, 31);
+  const ScenarioStats link = run_with_domain(FaultDomain::kLink, 31);
+  ASSERT_GT(element.faults, 0);
+  EXPECT_EQ(element.faults, package.faults);
+  EXPECT_EQ(element.faults, row.faults);
+  EXPECT_EQ(element.faults, link.faults);
+}
+
+}  // namespace
+}  // namespace kairos::sim

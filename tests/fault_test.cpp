@@ -211,6 +211,39 @@ TEST(FaultCircumventionTest, OverloadedPlatformReportsLostApplications) {
   EXPECT_TRUE(p.invariants_hold());
 }
 
+TEST(FaultCircumventionTest, CorrelatedSetEvictsSpanningVictimsExactlyOnce) {
+  // An application whose two tasks sit on two different elements of the
+  // failing set must be counted as ONE victim and re-admitted around the
+  // whole set — not bounced from member to member (evicted by the first
+  // element's fault, re-admitted onto the second, evicted again).
+  Platform p = platform::make_crisp_platform();
+  core::ResourceManager kairos(p);
+  const auto admitted = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(admitted.admitted);
+  const ElementId first = admitted.layout.placement(graph::TaskId{0}).element;
+  const ElementId second =
+      admitted.layout.placement(graph::TaskId{1}).element;
+  ASSERT_NE(first, second);
+
+  const auto report = kairos.circumvent_fault_set({first, second});
+  EXPECT_EQ(report.victims, 1);
+  EXPECT_EQ(report.recovered, 1);
+  EXPECT_EQ(report.lost, 0);
+  EXPECT_TRUE(p.element(first).is_failed());
+  EXPECT_TRUE(p.element(second).is_failed());
+  // The survivor avoids every member of the dead set.
+  for (const auto& [element, demand] : kairos.allocations_of(admitted.handle)) {
+    EXPECT_NE(element, first);
+    EXPECT_NE(element, second);
+  }
+  EXPECT_TRUE(p.invariants_hold());
+
+  // A single-element set is exactly circumvent_fault.
+  const auto single = kairos.circumvent_fault_set({ElementId{0}});
+  EXPECT_EQ(single.element, ElementId{0});
+  EXPECT_TRUE(p.element(ElementId{0}).is_failed());
+}
+
 TEST(FaultCircumventionTest, RepairedElementBecomesAllocatableAgain) {
   platform::BuilderConfig cfg;
   cfg.element_type = ElementType::kDsp;
@@ -241,6 +274,110 @@ TEST(FaultCircumventionTest, RepairedElementBecomesAllocatableAgain) {
     if (placement.element == ElementId{0}) uses_repaired = true;
   }
   EXPECT_TRUE(uses_repaired);
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+// --- link-fault circumvention (ResourceManager::circumvent_link_fault) ---------
+
+TEST(LinkFaultCircumventionTest, AppsUsingLinkFindsRouteOwners) {
+  Platform p = platform::make_crisp_platform();
+  core::ResourceManager kairos(p);
+  const auto report = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(report.admitted);
+  // The pair communicates, so some link carries its channel.
+  std::vector<LinkId> used;
+  for (const auto& link : p.links()) {
+    if (link.vc_used() > 0) used.push_back(link.id());
+  }
+  ASSERT_FALSE(used.empty());
+  for (const auto l : used) {
+    const auto owners = kairos.apps_using_link(l);
+    ASSERT_EQ(owners.size(), 1u);
+    EXPECT_EQ(owners[0], report.handle);
+  }
+  // A virgin link belongs to nobody.
+  for (const auto& link : p.links()) {
+    if (link.vc_used() == 0) {
+      EXPECT_TRUE(kairos.apps_using_link(link.id()).empty());
+      break;
+    }
+  }
+}
+
+TEST(LinkFaultCircumventionTest, VictimsAreReroutedAroundTheDeadLink) {
+  Platform p = platform::make_crisp_platform();
+  core::ResourceManager kairos(p);
+  const auto admitted = kairos.admit(dsp_pair_app());
+  ASSERT_TRUE(admitted.admitted);
+  LinkId victim{};
+  for (const auto& link : p.links()) {
+    if (link.vc_used() > 0) {
+      victim = link.id();
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  const auto live_before = kairos.live_handles();
+
+  const auto report = kairos.circumvent_link_fault(victim);
+  EXPECT_EQ(report.link, victim);
+  EXPECT_FALSE(report.element.valid());  // a link fault, not an element one
+  EXPECT_EQ(report.victims, 1);
+  EXPECT_EQ(report.victims, report.recovered + report.lost);
+  // CRISP has plenty of alternative paths: the app is re-admitted.
+  EXPECT_EQ(report.lost, 0);
+  EXPECT_EQ(kairos.live_handles(), live_before);  // handle preserved
+  EXPECT_TRUE(p.link(victim).is_failed());
+  EXPECT_FALSE(p.link_usable(victim));
+  // Nothing routes over the dead wire anymore.
+  EXPECT_TRUE(kairos.apps_using_link(victim).empty());
+  EXPECT_EQ(p.link(victim).vc_used(), 0);
+  EXPECT_TRUE(p.invariants_hold());
+}
+
+TEST(LinkFaultCircumventionTest, RepairedLinkCarriesRoutesAgain) {
+  // A 2-element chain: the only route a->b uses the only forward link, so
+  // failing it strands the pair until the link is repaired.
+  Platform p = platform::make_chain(2);
+  core::ResourceManager kairos(p);
+  graph::Application app("pair");
+  const graph::TaskId a = app.add_task("a");
+  const graph::TaskId b = app.add_task("b");
+  graph::Implementation impl;
+  impl.name = "v";
+  impl.target = ElementType::kGeneric;
+  impl.requirement = ResourceVector(600, 64, 0, 0);
+  impl.exec_time = 5;
+  app.task_mut(a).add_implementation(impl);
+  app.task_mut(b).add_implementation(impl);
+  app.add_channel(a, b, 20);
+
+  const auto first = kairos.admit(app);
+  ASSERT_TRUE(first.admitted) << first.reason;
+  // The channel crosses the chain in one of the two directions; fail the
+  // idle direction up front so the circumvented app cannot simply flip its
+  // placement and route the other way.
+  const auto forward = p.find_link(ElementId{0}, ElementId{1});
+  const auto backward = p.find_link(ElementId{1}, ElementId{0});
+  ASSERT_TRUE(forward.has_value() && backward.has_value());
+  const LinkId used =
+      p.link(*forward).vc_used() > 0 ? *forward : *backward;
+  const LinkId idle = used == *forward ? *backward : *forward;
+  p.set_link_failed(idle, true);
+
+  const auto report = kairos.circumvent_link_fault(used);
+  EXPECT_EQ(report.victims, 1);
+  // Capacity-wise the app still fits (the tasks are too big to share one
+  // element), but its channel has no usable path in either direction: the
+  // victim is lost, not recovered.
+  EXPECT_EQ(report.lost, 1);
+  EXPECT_EQ(kairos.live_count(), 0u);
+
+  kairos.repair_link(used);
+  kairos.repair_link(idle);
+  EXPECT_FALSE(p.link(used).is_failed());
+  const auto retry = kairos.admit(app);
+  EXPECT_TRUE(retry.admitted) << retry.reason;
   EXPECT_TRUE(p.invariants_hold());
 }
 

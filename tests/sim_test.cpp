@@ -101,7 +101,7 @@ TEST(ScenarioTest, StatsSeriesArePopulated) {
   EXPECT_LE(stats.compute_utilisation.max(), 1.0);
 }
 
-TEST(ScenarioTest, MapperSelectionIsApplied) {
+TEST(ScenarioTest, MapperSelectionIsAppliedAndRestoredAfterTheRun) {
   platform::Platform crisp = platform::make_crisp_platform();
   core::ResourceManager manager(crisp, config());
   ScenarioConfig scenario;
@@ -110,7 +110,18 @@ TEST(ScenarioTest, MapperSelectionIsApplied) {
   const ScenarioStats stats = run_scenario(manager, small_pool(), scenario);
   EXPECT_TRUE(stats.mapper_error.empty()) << stats.mapper_error;
   EXPECT_GT(stats.arrivals, 0);
-  EXPECT_EQ(manager.mapper().name(), "heft");
+  // The selection really drove the run (heft maps differently from the
+  // default incremental strategy at this seed)...
+  ScenarioConfig default_scenario = scenario;
+  default_scenario.mapper.clear();
+  platform::Platform crisp2 = platform::make_crisp_platform();
+  core::ResourceManager manager2(crisp2, config());
+  const ScenarioStats default_stats =
+      run_scenario(manager2, small_pool(), default_scenario);
+  EXPECT_NE(stats.mapping_cost.mean(), default_stats.mapping_cost.mean());
+  // ...but the caller's manager is handed back with its original strategy:
+  // a scenario run must not permanently mutate the manager it borrowed.
+  EXPECT_EQ(manager.mapper().name(), "incremental");
 }
 
 TEST(ScenarioTest, UnknownMapperNameFailsLoudlyWithoutRunning) {

@@ -137,6 +137,58 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(WeightedStatsTest, MeanIsWeighted) {
+  WeightedStats s;
+  s.add(0.0, 2.0);
+  s.add(1.0, 2.0);
+  s.add(2.0, 1.0);
+  s.add(1.0, 3.0);
+  s.add(0.0, 2.0);
+  // The time-average of the engine_test hand-computed scenario: 7/10.
+  EXPECT_DOUBLE_EQ(s.mean(), 0.7);
+  EXPECT_DOUBLE_EQ(s.weight(), 10.0);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(WeightedStatsTest, NonPositiveWeightsAreIgnored) {
+  WeightedStats s;
+  s.add(100.0, 0.0);   // a state that persisted for zero time
+  s.add(-50.0, -1.0);  // nonsense weight
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  s.add(3.0, 0.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  // min/max reflect only accepted samples: the ignored 100.0 never counted.
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(WeightedStatsTest, MergeMatchesSequential) {
+  WeightedStats a;
+  WeightedStats b;
+  WeightedStats all;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform_real(-5, 5);
+    const double w = rng.uniform_real(0.1, 2.0);
+    (i % 2 == 0 ? a : b).add(x, w);
+    all.add(x, w);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.weight(), all.weight(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  WeightedStats empty;
+  a.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(a.count(), all.count());
+}
+
 TEST(PercentileTest, InterpolatesBetweenRanks) {
   const std::vector<double> v{1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
