@@ -1,0 +1,258 @@
+// Pareto-front quality: the nsga2 multi-objective search vs. the scalar
+// strategies (incremental, sa, tabu) on the Table-I dataset sizes and the
+// 53-task beamforming case study.
+//
+// Every strategy maps the same bound application onto a fresh CRISP
+// platform; its solution(s) are scored on the shared objective axes
+// (communication bw×hops vs. the cost model's fragmentation term) and the
+// hypervolume of each strategy's front — a single point for the scalar
+// strategies, the whole archive for nsga2 — is measured against one shared
+// reference just outside the union of all points, so the numbers are
+// directly comparable per case.
+//
+// Doubles as the subsystem's acceptance gate (exit 1 on violation):
+//  * the nsga2 front must be mutually non-dominated, and
+//  * on the beamformer its best scalar cost must not exceed the paper's
+//    incremental mapper.
+//
+// `--smoke` shrinks the case list and the nsga2 budget so CI can run the
+// whole binary in seconds.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "gen/beamforming.hpp"
+#include "gen/datasets.hpp"
+#include "mappers/placement.hpp"
+#include "mappers/registry.hpp"
+#include "mo/hypervolume.hpp"
+#include "mo/objective.hpp"
+#include "mo/pareto.hpp"
+#include "platform/crisp.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace kairos;
+
+struct CaseStudy {
+  std::string name;
+  graph::Application app;
+};
+
+struct StrategyFront {
+  std::string strategy;
+  std::vector<mo::ParetoEntry> entries;  // one entry for scalar strategies
+  double wall_ms = 0.0;
+  bool ok = false;
+  std::string reason;
+};
+
+double best_scalar(const StrategyFront& front) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& entry : front.entries) {
+    best = std::min(best, entry.scalar_cost);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  core::KairosConfig kairos_config;
+  kairos_config.weights = {4.0, 100.0};
+  kairos_config.validation_rejects = false;
+
+  mappers::MapperOptions options;
+  options.weights = kairos_config.weights;
+  options.seed = 0x5EEDULL;
+  if (smoke) {
+    options.nsga2_population = 16;
+    options.nsga2_generations = 12;
+    options.sa_iterations = 1000;
+    options.tabu_iterations = 80;
+  }
+
+  // One representative application per Table-I communication size (the
+  // largest admissible sample of each dataset — the hardest instance) plus
+  // the beamformer.
+  std::vector<CaseStudy> cases;
+  const std::vector<gen::DatasetKind> kinds =
+      smoke ? std::vector<gen::DatasetKind>{gen::DatasetKind::kCommunicationSmall}
+            : std::vector<gen::DatasetKind>{
+                  gen::DatasetKind::kCommunicationSmall,
+                  gen::DatasetKind::kCommunicationMedium,
+                  gen::DatasetKind::kCommunicationLarge};
+  for (const gen::DatasetKind kind : kinds) {
+    platform::Platform filter_platform = platform::make_crisp_platform();
+    auto apps = gen::filter_admissible(gen::make_dataset(kind, 30, 0xC0FFEE),
+                                       filter_platform, kairos_config);
+    if (apps.empty()) {
+      std::fprintf(stderr, "no admissible %s applications\n",
+                   gen::dataset_spec(kind).name.c_str());
+      return 1;
+    }
+    auto largest = std::max_element(
+        apps.begin(), apps.end(),
+        [](const graph::Application& a, const graph::Application& b) {
+          return a.task_count() < b.task_count();
+        });
+    cases.push_back(CaseStudy{gen::dataset_spec(kind).name, *largest});
+  }
+  cases.push_back(
+      CaseStudy{"beamformer-53", gen::make_beamforming_application()});
+
+  const std::vector<std::string> scalar_strategies = {"incremental", "sa",
+                                                      "tabu"};
+  const auto& kinds_mo = mo::default_objectives();
+
+  util::Table table({"Case", "Strategy", "Front", "Hypervolume",
+                     "Best scalar", "Knee scalar", "Wall ms"});
+  table.set_align(0, util::Align::kLeft);
+  table.set_align(1, util::Align::kLeft);
+  util::CsvWriter csv("bench_pareto.csv");
+  csv.write_row({"case", "strategy", "front_size", "hypervolume",
+                 "best_scalar", "knee_scalar", "wall_ms"});
+
+  bool failed = false;
+  for (const CaseStudy& cs : cases) {
+    platform::Platform crisp = platform::make_crisp_platform();
+    const auto pins = core::resolve_pins(cs.app, crisp);
+    if (!pins.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cs.name.c_str(), pins.error().c_str());
+      return 1;
+    }
+    const core::BindingPhase binding(crisp);
+    const auto bound = binding.bind(cs.app, pins.value());
+    if (!bound.ok) {
+      std::fprintf(stderr, "%s: binding failed (%s)\n", cs.name.c_str(),
+                   bound.reason.c_str());
+      return 1;
+    }
+
+    // Shared scoring on the pristine platform: every strategy's layout is
+    // reduced to the same objective axes through the same distance cache.
+    mappers::DistanceCache distances(crisp);
+    const auto score =
+        [&](const std::vector<platform::ElementId>& element_of) {
+          const core::LayoutCostTerms terms = mappers::assignment_cost_terms(
+              cs.app, crisp, element_of, distances);
+          mo::ParetoEntry entry;
+          entry.objectives = mo::evaluate_objectives(
+              kinds_mo, terms, options.bonuses, 0.0);
+          entry.assignment = element_of;
+          entry.scalar_cost = terms.value(options.weights, options.bonuses);
+          return entry;
+        };
+
+    std::vector<StrategyFront> fronts;
+    for (const std::string& name : scalar_strategies) {
+      StrategyFront front;
+      front.strategy = name;
+      platform::Platform copy = crisp;
+      const auto mapper = mappers::make(name, options).value();
+      util::Stopwatch watch;
+      const auto result =
+          mapper->map(cs.app, bound.impl_of, pins.value(), copy);
+      front.wall_ms = watch.elapsed_ms();
+      front.ok = result.ok;
+      front.reason = result.reason;
+      if (result.ok) front.entries.push_back(score(result.element_of));
+      fronts.push_back(std::move(front));
+    }
+
+    StrategyFront nsga2;
+    nsga2.strategy = "nsga2";
+    double knee_scalar = 0.0;
+    {
+      auto nsga2_options = options;
+      nsga2_options.pareto_front = std::make_shared<mo::ParetoFront>();
+      platform::Platform copy = crisp;
+      const auto mapper = mappers::make("nsga2", nsga2_options).value();
+      util::Stopwatch watch;
+      const auto result =
+          mapper->map(cs.app, bound.impl_of, pins.value(), copy);
+      nsga2.wall_ms = watch.elapsed_ms();
+      nsga2.ok = result.ok;
+      nsga2.reason = result.reason;
+      knee_scalar = result.total_cost;
+      if (result.ok) nsga2.entries = nsga2_options.pareto_front->entries;
+    }
+    fronts.push_back(nsga2);
+
+    // One shared reference just outside the union of every strategy's
+    // points makes the per-case hypervolumes directly comparable.
+    std::vector<double> reference(kinds_mo.size(), 0.0);
+    for (const StrategyFront& front : fronts) {
+      for (const auto& entry : front.entries) {
+        for (std::size_t m = 0; m < reference.size(); ++m) {
+          reference[m] = std::max(reference[m], entry.objectives[m]);
+        }
+      }
+    }
+    for (double& r : reference) r = r * 1.05 + 1e-9;
+
+    for (const StrategyFront& front : fronts) {
+      if (!front.ok) {
+        std::fprintf(stderr, "%s/%s failed to map: %s\n", cs.name.c_str(),
+                     front.strategy.c_str(), front.reason.c_str());
+        failed = true;
+        continue;
+      }
+      std::vector<std::vector<double>> points;
+      points.reserve(front.entries.size());
+      for (const auto& entry : front.entries) {
+        points.push_back(entry.objectives);
+      }
+      const double volume = mo::hypervolume(std::move(points), reference);
+      const double best = best_scalar(front);
+      const double knee = front.strategy == "nsga2" ? knee_scalar : best;
+      table.add_row({cs.name, front.strategy,
+                     std::to_string(front.entries.size()),
+                     util::fmt(volume, 1), util::fmt(best, 1),
+                     util::fmt(knee, 1), util::fmt(front.wall_ms, 1)});
+      csv.write_row({cs.name, front.strategy,
+                     std::to_string(front.entries.size()),
+                     util::fmt(volume, 4), util::fmt(best, 4),
+                     util::fmt(knee, 4), util::fmt(front.wall_ms, 2)});
+    }
+
+    // Acceptance gates.
+    const StrategyFront& evolved = fronts.back();
+    for (std::size_t i = 0; i < evolved.entries.size(); ++i) {
+      for (std::size_t j = 0; j < evolved.entries.size(); ++j) {
+        if (i != j && mo::dominates(evolved.entries[i].objectives,
+                                    evolved.entries[j].objectives)) {
+          std::fprintf(stderr,
+                       "BUG: %s nsga2 front entry %zu dominates entry %zu\n",
+                       cs.name.c_str(), i, j);
+          failed = true;
+        }
+      }
+    }
+    if (cs.name == "beamformer-53" && evolved.ok && fronts.front().ok) {
+      const double incremental_cost = best_scalar(fronts.front());
+      if (best_scalar(evolved) > incremental_cost + 1e-9) {
+        std::fprintf(stderr,
+                     "BUG: beamformer nsga2 front (best %.3f) is worse than "
+                     "the incremental mapper (%.3f)\n",
+                     best_scalar(evolved), incremental_cost);
+        failed = true;
+      }
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("full resolution written to bench_pareto.csv\n");
+  return failed ? 1 : 0;
+}

@@ -7,32 +7,42 @@
 //
 //   usage: kairos_cli [--wc <w>] [--wf <w>] [--mcr] [--mapper <name>]
 //                     [--seed <n>] [--sa-full] [--cancel-bound <c>]
+//                     [--objectives <o,o,...>] [--front-csv <file>]
 //                     [--platform <file>] <app-file>...
-//          kairos_cli --workload <poisson|mmpp> | --trace <file>
+//          kairos_cli --workload <poisson|mmpp|mmpp:util=<u>> | --trace <file>
 //                     [--rate <r>] [--lifetime <t>] [--horizon <t>]
-//                     [--fault-rate <r>] [--fault-model <domain>]
+//                     [--fault-rate <r>] [--fault-model <domain|mix:...>]
 //                     [--repair <t>] [--defrag <t>] [--record-trace <file>]
 //                     [--mapper <name>] [--seed <n>] [--platform <file>]
 //                     [<app-file>...]
 //          kairos_cli --sweep [--fault-rate <r>] [--fault-rates <r,r,...>]
-//                     [--defrag-periods <t,t,...>] [--fault-model <domain>]
-//                     [--repair <t>] [--seed <n>]
+//                     [--defrag-periods <t,t,...>] [--fault-model <spec>]
+//                     [--repair <t>] [--seed <n>] [--mo]
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
 // the paper's incremental mapper. --sa-full switches SA trial moves back to
 // full re-evaluation (same result, slower — for comparisons); --cancel-bound
 // lets the portfolio cancel losing strategies once a feasible winner costs
-// at most <c>. Exit code is the number of rejected applications.
+// at most <c>. With --mapper=nsga2, --objectives picks the optimised
+// objective set by name and --front-csv dumps each admission's full Pareto
+// front (one row per non-dominated solution). Exit code is the number of
+// rejected applications.
 //
 // The second form drives the event-driven scenario engine instead of
 // admitting files once: applications (the given files, or a generated pool)
 // arrive per the chosen workload model, depart, and — with --fault-rate —
-// survive faults through the circumvention flow. --fault-model picks what
-// one fault takes down (element|package|row|link); --record-trace saves the
-// realised arrival sequence as a CSV that --trace replays to identical
-// statistics. The third form runs the strategy × platform × arrival-rate
-// (× fault-rate × defrag-period, when the list flags are given) sweep
-// driver in parallel and writes kairos_sweep.csv.
+// survive faults through the circumvention flow. --workload mmpp:util=0.7
+// first *calibrates* the MMPP burst/idle factors against the actual
+// platform + pool (pilot runs + bisection, sim::calibrate_mmpp) so the run
+// measures ~70% mean compute utilisation. --fault-model picks what one
+// fault takes down (element|package|row|link) or a per-event domain mix
+// ("mix:element=0.9,package=0.1"); --record-trace saves the realised
+// arrival sequence as a CSV that --trace replays to identical statistics.
+// The third form runs the strategy × platform × arrival-rate (× fault-rate
+// × defrag-period, when the list flags are given) sweep driver in parallel
+// and writes kairos_sweep.csv; --mo appends per-cell Pareto front size and
+// hypervolume columns.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,9 +56,11 @@
 #include "gen/datasets.hpp"
 #include "graph/app_io.hpp"
 #include "mappers/registry.hpp"
+#include "mo/objective.hpp"
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
+#include "sim/calibrate.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
@@ -111,6 +123,12 @@ int report_scenario(const kairos::sim::ScenarioStats& stats,
               "mean mapping %.3f ms\n",
               stats.live_applications.mean(),
               100.0 * stats.fragmentation.mean(), stats.mapping_ms.mean());
+  std::printf("  p95 live %.2f (stddev %.2f), p95 fragmentation %.1f%%, "
+              "p95 utilisation %.1f%%\n",
+              stats.live_applications.percentile(95.0),
+              stats.live_applications.stddev(),
+              100.0 * stats.fragmentation.percentile(95.0),
+              100.0 * stats.compute_utilisation.percentile(95.0));
   if (stats.faults > 0 || stats.repairs > 0 || stats.link_repairs > 0) {
     std::printf("  faults: %ld events (%ld elements, %ld links), %ld+%ld "
                 "repairs; victims %ld = %ld recovered + %ld lost\n",
@@ -168,6 +186,9 @@ int main(int argc, char** argv) {
   std::string record_trace_path;
   std::vector<double> fault_rates;
   std::vector<double> defrag_periods;
+  std::vector<std::string> objective_names;
+  std::string front_csv_path;
+  bool mo_columns = false;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -303,19 +324,45 @@ int main(int argc, char** argv) {
                      "--defrag-periods requires a comma-separated list\n");
         return 64;
       }
+    } else if (arg == "--objectives") {
+      std::string text;
+      if (!next_string(text)) {
+        std::fprintf(stderr,
+                     "--objectives requires a comma-separated list "
+                     "(communication|fragmentation|external_fragmentation)\n");
+        return 64;
+      }
+      // Validate here (and normalise aliases like "comm") so a typo fails
+      // before any admission instead of inside the first map() call.
+      auto parsed = kairos::mo::parse_objectives(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.error().c_str());
+        return 64;
+      }
+      objective_names = kairos::mo::objective_names(parsed.value());
+    } else if (arg == "--front-csv") {
+      if (!next_string(front_csv_path)) {
+        std::fprintf(stderr, "--front-csv requires a file\n");
+        return 64;
+      }
+    } else if (arg == "--mo") {
+      mo_columns = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
                   "[--mapper <%s>] [--seed n] [--sa-full] [--cancel-bound c] "
+                  "[--objectives o,o,...] [--front-csv file] "
                   "[--platform file] <app-file>...\n"
-                  "       kairos_cli --workload <mmpp|poisson> | --trace file "
+                  "       kairos_cli --workload <mmpp|mmpp:util=u|poisson> | "
+                  "--trace file "
                   "[--rate r] [--lifetime t] [--horizon t] [--fault-rate r] "
-                  "[--fault-model element|package|row|link] [--repair t] "
+                  "[--fault-model element|package|row|link|mix:d=w,...] "
+                  "[--repair t] "
                   "[--defrag t] [--record-trace file] [--mapper name] "
                   "[--seed n] [<app-file>...]\n"
                   "       kairos_cli --sweep [--mapper name] [--rate r] "
                   "[--lifetime t] [--horizon t] [--fault-rate r] "
                   "[--fault-rates r,r,...] [--defrag-periods t,t,...] "
-                  "[--fault-model domain] [--repair t] [--seed n]\n",
+                  "[--fault-model spec] [--repair t] [--seed n] [--mo]\n",
                   mapper_list().c_str());
       return 0;
     } else {
@@ -325,12 +372,40 @@ int main(int argc, char** argv) {
 
   sim::FaultModelConfig fault_model;
   if (!fault_model_name.empty()) {
-    auto parsed = sim::parse_fault_domain(fault_model_name);
+    auto parsed = sim::parse_fault_model(fault_model_name);
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s\n", parsed.error().c_str());
       return 64;
     }
-    fault_model.domain = parsed.value();
+    fault_model = parsed.value();
+  }
+
+  // "--workload mmpp:util=0.7" asks for calibration against the measured
+  // platform utilisation before the real run.
+  double calibrate_util = -1.0;
+  if (const auto colon = workload_name.find(':');
+      colon != std::string::npos) {
+    const std::string suffix = workload_name.substr(colon + 1);
+    workload_name = workload_name.substr(0, colon);
+    char* end = nullptr;
+    const char* value = suffix.c_str() + 5;
+    if (workload_name != "mmpp" || suffix.rfind("util=", 0) != 0 ||
+        (calibrate_util = std::strtod(value, &end), end == value) ||
+        *end != '\0') {
+      std::fprintf(stderr,
+                   "calibrated workloads are spelled mmpp:util=<target>, "
+                   "e.g. --workload mmpp:util=0.7\n");
+      return 64;
+    }
+    // The full range check lives here, not only in calibrate_mmpp: a
+    // non-positive target would otherwise skip the calibration gate below
+    // and silently run uncalibrated.
+    if (!(calibrate_util > 0.0) || !(calibrate_util < 1.0)) {
+      std::fprintf(stderr,
+                   "mmpp:util target must be in (0, 1), got '%s'\n",
+                   value);
+      return 64;
+    }
   }
 
   // Reject flag/mode mismatches loudly: a silently dropped flag produces a
@@ -345,6 +420,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--record-trace records a single scenario run, not a "
                  "sweep; use it with --workload or --trace\n");
+    return 64;
+  }
+  if ((!objective_names.empty() || !front_csv_path.empty()) &&
+      mapper_name != "nsga2") {
+    std::fprintf(stderr,
+                 "--objectives/--front-csv configure the multi-objective "
+                 "search; use them with --mapper=nsga2\n");
+    return 64;
+  }
+  if (!front_csv_path.empty() && (sweep || !workload_name.empty() ||
+                                  !trace_path.empty())) {
+    std::fprintf(stderr,
+                 "--front-csv dumps per-admission fronts of the one-shot "
+                 "form; for sweeps use --sweep --mo\n");
+    return 64;
+  }
+  if (mo_columns && !sweep) {
+    std::fprintf(stderr, "--mo adds sweep columns; use it with --sweep\n");
     return 64;
   }
 
@@ -379,6 +472,8 @@ int main(int argc, char** argv) {
     spec.engine.defrag_period = defrag_period;
     spec.engine.sa_incremental = !sa_full;
     spec.engine.portfolio_cancel_bound = cancel_bound;
+    spec.engine.objectives = objective_names;
+    spec.multi_objective = mo_columns;
     const sim::SweepResult result = sim::run_sweep(spec);
     if (!result.error.empty()) {
       std::fprintf(stderr, "%s\n", result.error.c_str());
@@ -404,6 +499,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::shared_ptr<mo::ParetoFront> front_sink;
   if (!mapper_name.empty()) {
     mappers::MapperOptions options;
     options.weights = config.weights;
@@ -413,6 +509,11 @@ int main(int argc, char** argv) {
     options.seed = seed;
     options.sa_incremental = !sa_full;
     options.portfolio_cancel_bound = cancel_bound;
+    options.objectives = objective_names;
+    if (!front_csv_path.empty()) {
+      front_sink = std::make_shared<mo::ParetoFront>();
+      options.pareto_front = front_sink;
+    }
     auto made = mappers::make(mapper_name, options);
     if (!made.ok()) {
       std::fprintf(stderr, "%s\n", made.error().c_str());
@@ -456,6 +557,15 @@ int main(int argc, char** argv) {
                   pool.size());
     }
 
+    sim::EngineConfig engine_config;
+    engine_config.horizon = horizon;
+    engine_config.seed = seed;
+    engine_config.fault_rate = fault_rate;
+    engine_config.mean_repair = mean_repair;
+    engine_config.fault_model = fault_model;
+    engine_config.defrag_period = defrag_period;
+    engine_config.record_trace = !record_trace_path.empty();
+
     std::unique_ptr<sim::WorkloadModel> workload;
     if (!trace_path.empty()) {
       std::string text;
@@ -476,6 +586,34 @@ int main(int argc, char** argv) {
       sim::WorkloadParams params;
       params.arrival_rate = arrival_rate;
       params.mean_lifetime = mean_lifetime;
+      if (calibrate_util > 0.0) {
+        // Fit the MMPP burst/idle factors to the requested mean compute
+        // utilisation against this very platform + pool — and this very
+        // engine configuration, so the pilots see the same fault/defrag
+        // processes as the run they calibrate (minus trace recording).
+        const platform::Platform base = platform;
+        sim::CalibrationConfig calibration;
+        const double pilot_horizon = calibration.engine.horizon;
+        calibration.engine = engine_config;
+        calibration.engine.record_trace = false;
+        // Pilots keep the calibration-sized horizon (unless the real run is
+        // even shorter) — a dozen pilots must stay a fraction of the run,
+        // not a multiple of it.
+        calibration.engine.horizon = std::min(horizon, pilot_horizon);
+        auto calibrated = sim::calibrate_mmpp(
+            calibrate_util, [&base] { return base; }, config, pool, params,
+            calibration);
+        if (!calibrated.ok()) {
+          std::fprintf(stderr, "%s\n", calibrated.error().c_str());
+          return 64;
+        }
+        const sim::CalibrationResult& fit = calibrated.value();
+        std::printf("mmpp calibration: target %.1f%% utilisation -> rate "
+                    "scale %.3f (achieved %.1f%%, %d pilot runs)\n",
+                    100.0 * calibrate_util, fit.scale,
+                    100.0 * fit.achieved_utilisation, fit.pilots);
+        params = fit.params;
+      }
       auto made = sim::make_workload(workload_name, params);
       if (!made.ok()) {
         std::fprintf(stderr, "%s\n", made.error().c_str());
@@ -486,14 +624,6 @@ int main(int argc, char** argv) {
 
     core::ResourceManager kairos(platform, config);
     std::printf("mapper strategy: %s\n", kairos.mapper().name().c_str());
-    sim::EngineConfig engine_config;
-    engine_config.horizon = horizon;
-    engine_config.seed = seed;
-    engine_config.fault_rate = fault_rate;
-    engine_config.mean_repair = mean_repair;
-    engine_config.fault_model = fault_model;
-    engine_config.defrag_period = defrag_period;
-    engine_config.record_trace = !record_trace_path.empty();
     sim::Engine engine(kairos, pool, engine_config);
     const sim::ScenarioStats stats = engine.run(*workload);
     if (engine_config.record_trace && stats.mapper_error.empty()) {
@@ -517,6 +647,27 @@ int main(int argc, char** argv) {
 
   core::ResourceManager kairos(platform, config);
   std::printf("mapper strategy: %s\n", kairos.mapper().name().c_str());
+
+  std::optional<util::CsvWriter> front_csv;
+  long front_rows = 0;
+  if (front_sink) {
+    front_csv.emplace(front_csv_path);
+    if (!front_csv->ok()) {
+      std::fprintf(stderr, "cannot write front file '%s'\n",
+                   front_csv_path.c_str());
+      return 66;
+    }
+    std::vector<std::string> header{"application"};
+    for (const std::string& name :
+         objective_names.empty()
+             ? mo::objective_names(mo::default_objectives())
+             : objective_names) {
+      header.push_back(name);
+    }
+    header.push_back("scalar_cost");
+    front_csv->write_row(header);
+  }
+
   int rejected = 0;
   for (const std::string& path : app_paths) {
     std::optional<graph::Application> loaded;
@@ -543,6 +694,25 @@ int main(int argc, char** argv) {
       std::printf("  %-16s -> %s\n", task.name().c_str(),
                   platform.element(placement.element).name().c_str());
     }
+    if (front_sink && front_csv) {
+      // One row per non-dominated solution of this admission's front (the
+      // committed layout is the knee point of exactly this set).
+      for (const auto& entry : front_sink->entries) {
+        std::vector<std::string> row{app.name()};
+        for (const double value : entry.objectives) {
+          row.push_back(util::fmt(value, 6));
+        }
+        row.push_back(util::fmt(entry.scalar_cost, 4));
+        front_csv->write_row(row);
+        ++front_rows;
+      }
+      std::printf("  pareto front: %zu solutions (dumped to %s)\n",
+                  front_sink->entries.size(), front_csv_path.c_str());
+    }
+  }
+  if (front_sink) {
+    std::printf("wrote %ld front rows to %s\n", front_rows,
+                front_csv_path.c_str());
   }
   std::printf("final fragmentation: %.1f%%, live applications: %zu\n",
               100.0 * platform::external_fragmentation(platform),

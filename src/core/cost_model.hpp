@@ -77,17 +77,28 @@ struct LayoutCostTerms {
   /// Pairs whose neighbor is used by another application only.
   std::int64_t other_app_pairs = 0;
 
+  /// The communication objective alone: Σ bandwidth × hops as a double —
+  /// one of the axes the multi-objective subsystem (src/mo/) optimises.
+  double communication_term() const {
+    return static_cast<double>(comm_bw_hops);
+  }
+
+  /// The fragmentation objective alone: total pairs discounted by the bonus
+  /// categories. One fixed expression, so equal integer terms always yield
+  /// the exact same double (the bit-identity contract of value()).
+  double fragmentation_term(const FragmentationBonuses& bonuses) const {
+    return static_cast<double>(frag_pairs) -
+           bonuses.peer * static_cast<double>(peer_pairs) -
+           bonuses.same_app * static_cast<double>(same_app_pairs) -
+           bonuses.other_app * static_cast<double>(other_app_pairs);
+  }
+
   /// The weighted objective. Evaluated as one fixed expression so that equal
   /// terms always yield the exact same double.
   double value(const CostWeights& weights,
                const FragmentationBonuses& bonuses) const {
-    const double fragmentation =
-        static_cast<double>(frag_pairs) -
-        bonuses.peer * static_cast<double>(peer_pairs) -
-        bonuses.same_app * static_cast<double>(same_app_pairs) -
-        bonuses.other_app * static_cast<double>(other_app_pairs);
-    return weights.communication * static_cast<double>(comm_bw_hops) +
-           weights.fragmentation * fragmentation;
+    return weights.communication * communication_term() +
+           weights.fragmentation * fragmentation_term(bonuses);
   }
 
   friend bool operator==(const LayoutCostTerms&,

@@ -22,6 +22,7 @@
 #include "core/cost_model.hpp"
 #include "core/mapping.hpp"
 #include "graph/application.hpp"
+#include "mo/pareto.hpp"
 #include "platform/platform.hpp"
 
 namespace kairos::mappers {
@@ -102,6 +103,26 @@ struct MapperOptions {
   int tabu_iterations = 250;
   int tabu_tenure = 8;
   int tabu_samples = 24;
+
+  /// NSGA-II multi-objective search ("nsga2"): population size, generations,
+  /// crossover probability, and the bound of the non-dominated archive the
+  /// final front is kept in.
+  int nsga2_population = 24;
+  int nsga2_generations = 32;
+  double nsga2_crossover = 0.9;
+  int nsga2_archive = 64;
+  /// Objective names for the multi-objective strategies (see
+  /// mo::parse_objective; e.g. {"communication", "external_fragmentation"}).
+  /// Empty selects mo::default_objectives() — communication vs. the cost
+  /// model's fragmentation term, the canonical 2-D trade-off.
+  std::vector<std::string> objectives{};
+  /// Side channel for the full Pareto front: Mapper::map returns one scalar
+  /// MappingResult (the knee point), so a caller that wants the whole
+  /// trade-off surface installs a sink here and the nsga2 strategy fills it
+  /// (objective names + mutually non-dominated entries) on every map() call.
+  /// Shared state owned by the caller — install a fresh sink per concurrent
+  /// mapper when racing strategies on threads.
+  std::shared_ptr<mo::ParetoFront> pareto_front{};
 
   /// Portfolio: registry names of the strategies to race (empty selects the
   /// built-in default set) and whether to race them on worker threads.

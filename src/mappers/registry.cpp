@@ -10,6 +10,7 @@
 #include "mappers/portfolio_mapper.hpp"
 #include "mappers/sa_mapper.hpp"
 #include "mappers/tabu_mapper.hpp"
+#include "mo/nsga2_mapper.hpp"
 
 namespace kairos::mappers {
 
@@ -39,6 +40,10 @@ const std::map<std::string, Factory>& registry() {
        [](const MapperOptions& o) { return std::make_shared<SaMapper>(o); }},
       {"tabu",
        [](const MapperOptions& o) { return std::make_shared<TabuMapper>(o); }},
+      {"nsga2",
+       [](const MapperOptions& o) {
+         return std::make_shared<mo::Nsga2Mapper>(o);
+       }},
       {"portfolio",
        [](const MapperOptions& o) {
          return std::make_shared<PortfolioMapper>(o);

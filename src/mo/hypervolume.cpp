@@ -1,0 +1,82 @@
+#include "mo/hypervolume.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kairos::mo {
+
+namespace {
+
+/// 2-D hypervolume of points already known to strictly dominate `(rx, ry)`,
+/// passed as (x, y) pairs. Walks the lower staircase in ascending x: each
+/// point improving the best y so far adds the horizontal strip between its
+/// y and the previous best, spanning from its x to the reference — the
+/// strips are disjoint and their union is exactly the dominated region.
+double hypervolume_2d(std::vector<std::pair<double, double>> points,
+                      double rx, double ry) {
+  std::sort(points.begin(), points.end());
+  double volume = 0.0;
+  double best_y = ry;
+  for (const auto& [x, y] : points) {
+    if (y >= best_y) continue;  // dominated by the staircase so far
+    volume += (rx - x) * (best_y - y);
+    best_y = y;
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(std::vector<std::vector<double>> points,
+                   const std::vector<double>& reference) {
+  const std::size_t dims = reference.size();
+  assert(dims >= 1 && dims <= 3 && "hypervolume supports 1-3 objectives");
+
+  // Only points strictly inside the reference box enclose any volume.
+  points.erase(std::remove_if(points.begin(), points.end(),
+                              [&](const std::vector<double>& p) {
+                                assert(p.size() == dims);
+                                for (std::size_t m = 0; m < dims; ++m) {
+                                  if (p[m] >= reference[m]) return true;
+                                }
+                                return false;
+                              }),
+               points.end());
+  if (points.empty()) return 0.0;
+
+  if (dims == 1) {
+    double best = points.front()[0];
+    for (const auto& p : points) best = std::min(best, p[0]);
+    return reference[0] - best;
+  }
+
+  if (dims == 2) {
+    std::vector<std::pair<double, double>> flat;
+    flat.reserve(points.size());
+    for (const auto& p : points) flat.emplace_back(p[0], p[1]);
+    return hypervolume_2d(std::move(flat), reference[0], reference[1]);
+  }
+
+  // 3-D by slicing: sweep the third objective ascending; between one point's
+  // z and the next, the covered cross-section is the 2-D hypervolume of
+  // everything already swept, so the volume is a sum of prism slabs.
+  std::sort(points.begin(), points.end(),
+            [](const std::vector<double>& a, const std::vector<double>& b) {
+              return a[2] < b[2];
+            });
+  double volume = 0.0;
+  std::vector<std::pair<double, double>> swept;
+  swept.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    swept.emplace_back(points[i][0], points[i][1]);
+    const double z_next =
+        i + 1 < points.size() ? points[i + 1][2] : reference[2];
+    const double thickness = z_next - points[i][2];
+    if (thickness <= 0.0) continue;  // co-planar points share the next slab
+    volume +=
+        hypervolume_2d(swept, reference[0], reference[1]) * thickness;
+  }
+  return volume;
+}
+
+}  // namespace kairos::mo

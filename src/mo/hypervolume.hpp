@@ -1,0 +1,21 @@
+// The hypervolume indicator: the volume of objective space a front covers
+// between itself and a reference point (minimisation). The one strictly
+// Pareto-compliant unary front-quality measure — a front whose hypervolume
+// is larger is never worse — which makes it the number bench_pareto and the
+// sweep's multi-objective columns report per strategy.
+#pragma once
+
+#include <vector>
+
+namespace kairos::mo {
+
+/// Hypervolume of `points` (minimised objective vectors, all of
+/// `reference.size()` dimensions) with respect to `reference`. Points that
+/// do not strictly dominate the reference contribute nothing; dominated
+/// points are handled internally (the union of boxes already absorbs them).
+/// Supports 1-, 2- and 3-dimensional fronts — the shapes the mapping
+/// objectives produce; higher dimensions are not implemented.
+double hypervolume(std::vector<std::vector<double>> points,
+                   const std::vector<double>& reference);
+
+}  // namespace kairos::mo

@@ -1,0 +1,447 @@
+#include "mo/nsga2_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "core/mapping.hpp"
+#include "mappers/delta_cost.hpp"
+#include "mappers/placement.hpp"
+#include "mo/objective.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace kairos::mo {
+
+namespace {
+
+using mappers::DeltaCostEvaluator;
+using mappers::DistanceCache;
+using platform::ElementId;
+using platform::Platform;
+using platform::ResourceVector;
+
+struct Individual {
+  std::vector<ElementId> assignment;
+  /// Planned free capacity per element (base free minus this assignment).
+  std::vector<ResourceVector> free;
+  std::vector<double> objectives;
+  double scalar = 0.0;
+};
+
+/// Fast non-dominated sort (Deb et al.): rank 0 is the non-dominated front
+/// of the set, rank 1 the front once rank 0 is removed, and so on.
+std::vector<int> non_dominated_ranks(const std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<int> rank(n, -1);
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<int> counters(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      if (dominates(pop[p].objectives, pop[q].objectives)) {
+        dominated[p].push_back(q);
+        ++counters[q];
+      } else if (dominates(pop[q].objectives, pop[p].objectives)) {
+        dominated[q].push_back(p);
+        ++counters[p];
+      }
+    }
+  }
+  std::vector<std::size_t> front;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (counters[p] == 0) {
+      rank[p] = 0;
+      front.push_back(p);
+    }
+  }
+  int level = 0;
+  while (!front.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t p : front) {
+      for (const std::size_t q : dominated[p]) {
+        if (--counters[q] == 0) {
+          rank[q] = level + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    front = std::move(next);
+    ++level;
+  }
+  return rank;
+}
+
+/// Crowding distances of a whole (multi-front) population: computed per
+/// rank, so the distance is only comparable between same-rank individuals —
+/// exactly how the tournament and the environmental selection use it.
+std::vector<double> population_crowding(const std::vector<Individual>& pop,
+                                        const std::vector<int>& rank) {
+  std::vector<double> crowd(pop.size(), 0.0);
+  int max_rank = -1;
+  for (const int r : rank) max_rank = std::max(max_rank, r);
+  for (int level = 0; level <= max_rank; ++level) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (rank[i] == level) members.push_back(i);
+    }
+    std::vector<ParetoEntry> front;
+    front.reserve(members.size());
+    for (const std::size_t i : members) {
+      front.push_back(ParetoEntry{pop[i].objectives, {}, 0.0});
+    }
+    const std::vector<double> distance = crowding_distances(front);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      crowd[members[k]] = distance[k];
+    }
+  }
+  return crowd;
+}
+
+}  // namespace
+
+core::MappingResult Nsga2Mapper::map(const graph::Application& app,
+                                     const std::vector<int>& impl_of,
+                                     const core::PinTable& pins,
+                                     Platform& platform,
+                                     const mappers::StopToken& stop) const {
+  core::MappingResult result;
+  result.element_of.assign(app.task_count(), ElementId{});
+  assert(impl_of.size() == app.task_count());
+  assert(pins.size() == app.task_count());
+
+  // Resolve the objective set up front: a typo'd name must fail the map
+  // loudly (and atomically), not silently optimise something else.
+  std::vector<ObjectiveKind> kinds;
+  if (options_.objectives.empty()) {
+    kinds = default_objectives();
+  } else {
+    auto parsed = parse_objectives(util::join(options_.objectives, ","));
+    if (!parsed.ok()) {
+      result.reason = parsed.error();
+      return result;
+    }
+    kinds = std::move(parsed).value();
+  }
+  const bool need_extfrag =
+      std::find(kinds.begin(), kinds.end(),
+                ObjectiveKind::kExternalFragmentation) != kinds.end();
+
+  const auto requirements = mappers::requirements_of(app, impl_of);
+  const auto targets = mappers::targets_of(app, impl_of);
+  util::Xoshiro256 rng(options_.seed);
+  DistanceCache distances(platform);
+
+  std::vector<ResourceVector> base_free(platform.element_count());
+  for (const auto& e : platform.elements()) {
+    base_free[static_cast<std::size_t>(e.id().value)] = e.free();
+  }
+
+  std::vector<std::size_t> movable;
+  for (std::size_t t = 0; t < app.task_count(); ++t) {
+    if (!pins[t].has_value()) movable.push_back(t);
+  }
+
+  long evaluations = 0;
+
+  // Full evaluation of an individual whose assignment and free vector are
+  // already consistent — used for the seeds; offspring are evaluated by the
+  // incremental operators inside mutate().
+  const auto evaluate = [&](Individual& ind) {
+    ++evaluations;
+    DeltaCostEvaluator cost(app, platform, options_.weights, options_.bonuses,
+                            distances, ind.assignment);
+    const double extfrag =
+        need_extfrag ? ExternalFragEvaluator(platform, ind.assignment).value()
+                     : 0.0;
+    ind.objectives =
+        evaluate_objectives(kinds, cost.terms(), options_.bonuses, extfrag);
+    ind.scalar = cost.terms().value(options_.weights, options_.bonuses);
+  };
+
+  // Move/swap mutation plus a weakly-dominating local-repair pass, all
+  // priced through the incremental evaluators (O(degree) per operator).
+  // `rate` is the per-task mutation probability.
+  const auto mutate = [&](Individual& ind, double rate, int repair_trials) {
+    ++evaluations;
+    DeltaCostEvaluator cost(app, platform, options_.weights, options_.bonuses,
+                            distances, ind.assignment);
+    std::optional<ExternalFragEvaluator> frag;
+    if (need_extfrag) frag.emplace(platform, ind.assignment);
+    const auto objectives_now = [&]() {
+      return evaluate_objectives(kinds, cost.terms(), options_.bonuses,
+                                 frag ? frag->value() : 0.0);
+    };
+    const auto current_of = [&](std::size_t t) {
+      return cost.assignment()[t];
+    };
+
+    for (const std::size_t t : movable) {
+      if (!rng.bernoulli(rate)) continue;
+      const ElementId from = current_of(t);
+      const graph::TaskId tid{static_cast<std::int32_t>(t)};
+      if (movable.size() < 2 || !rng.bernoulli(0.5)) {
+        const std::vector<ElementId> candidates =
+            mappers::feasible_destinations(platform, from, targets[t],
+                                           requirements[t], ind.free, pins[t]);
+        if (candidates.empty()) continue;
+        const ElementId to = candidates[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(candidates.size()) -
+                                1))];
+        cost.apply_move(tid, to);
+        if (frag) frag->apply_move(t, to);
+        ind.free[static_cast<std::size_t>(from.value)] += requirements[t];
+        ind.free[static_cast<std::size_t>(to.value)] -= requirements[t];
+      } else {
+        const std::size_t u = movable[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(movable.size()) - 1))];
+        const ElementId other = current_of(u);
+        if (u == t || targets[u] != targets[t] || other == from) continue;
+        const auto fidx = static_cast<std::size_t>(from.value);
+        const auto oidx = static_cast<std::size_t>(other.value);
+        if (!requirements[u].fits_within(ind.free[fidx] + requirements[t]) ||
+            !requirements[t].fits_within(ind.free[oidx] + requirements[u])) {
+          continue;
+        }
+        cost.apply_swap(tid, graph::TaskId{static_cast<std::int32_t>(u)});
+        if (frag) frag->apply_swap(t, u);
+        ind.free[fidx] += requirements[t] - requirements[u];
+        ind.free[oidx] += requirements[u] - requirements[t];
+      }
+    }
+
+    // Local repair: greedy *Pareto-safe* improvement — a move is kept only
+    // when it is no worse in every objective and better in at least one, so
+    // repair can never drag an individual away from the front it serves.
+    for (int i = 0; i < repair_trials && !movable.empty(); ++i) {
+      const std::size_t t = movable[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(movable.size()) - 1))];
+      const ElementId from = current_of(t);
+      const std::vector<ElementId> candidates =
+          mappers::feasible_destinations(platform, from, targets[t],
+                                         requirements[t], ind.free, pins[t]);
+      if (candidates.empty()) continue;
+      const ElementId to = candidates[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(candidates.size()) - 1))];
+      const std::vector<double> before = objectives_now();
+      cost.apply_move(graph::TaskId{static_cast<std::int32_t>(t)}, to);
+      if (frag) frag->apply_move(t, to);
+      const std::vector<double> after = objectives_now();
+      if (dominates(after, before)) {
+        ind.free[static_cast<std::size_t>(from.value)] += requirements[t];
+        ind.free[static_cast<std::size_t>(to.value)] -= requirements[t];
+      } else {
+        cost.undo();
+        if (frag) frag->undo();
+      }
+    }
+
+    ind.assignment = cost.assignment();
+    ind.objectives = objectives_now();
+    ind.scalar = cost.terms().value(options_.weights, options_.bonuses);
+  };
+
+  // Capacity repair of a crossed-over assignment: genes are type- and
+  // pin-correct by construction (both parents are feasible and pins agree),
+  // so only element capacities can be violated. Overloaded elements shed
+  // random tasks to random elements with room until the plan fits.
+  const auto repair = [&](Individual& ind) -> bool {
+    std::vector<ResourceVector> load(platform.element_count());
+    for (std::size_t t = 0; t < ind.assignment.size(); ++t) {
+      load[static_cast<std::size_t>(ind.assignment[t].value)] +=
+          requirements[t];
+    }
+    const auto free_of = [&](std::size_t e) {
+      return base_free[e] - load[e];
+    };
+    int budget = static_cast<int>(4 * ind.assignment.size()) + 8;
+    for (const auto& element : platform.elements()) {
+      std::size_t e = static_cast<std::size_t>(element.id().value);
+      while (!load[e].fits_within(base_free[e])) {
+        if (--budget < 0) return false;
+        // Random resident task of the overloaded element...
+        std::vector<std::size_t> residents;
+        for (const std::size_t t : movable) {
+          if (static_cast<std::size_t>(ind.assignment[t].value) == e) {
+            residents.push_back(t);
+          }
+        }
+        if (residents.empty()) return false;  // pinned overload: unfixable
+        const std::size_t t = residents[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(residents.size()) -
+                                1))];
+        // ... moved to a random element with room for it.
+        std::vector<ElementId> room;
+        for (const auto& candidate : platform.elements()) {
+          const auto c = static_cast<std::size_t>(candidate.id().value);
+          if (c == e) continue;
+          if (mappers::can_host(platform, candidate.id(), targets[t],
+                                requirements[t], free_of(c), pins[t])) {
+            room.push_back(candidate.id());
+          }
+        }
+        if (room.empty()) return false;
+        const ElementId to = room[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(room.size()) - 1))];
+        load[e] -= requirements[t];
+        load[static_cast<std::size_t>(to.value)] += requirements[t];
+        ind.assignment[t] = to;
+      }
+    }
+    ind.free.resize(platform.element_count());
+    for (std::size_t e = 0; e < ind.free.size(); ++e) ind.free[e] = free_of(e);
+    return true;
+  };
+
+  // --- seeds -----------------------------------------------------------
+  ParetoArchive archive(
+      static_cast<std::size_t>(std::max(1, options_.nsga2_archive)));
+  Individual best_scalar;
+  best_scalar.scalar = std::numeric_limits<double>::infinity();
+  const auto absorb = [&](const Individual& ind) {
+    archive.insert(ParetoEntry{ind.objectives, ind.assignment, ind.scalar});
+    if (ind.scalar < best_scalar.scalar) best_scalar = ind;
+  };
+
+  Individual seed_ff;
+  seed_ff.free = base_free;
+  const auto seeded = mappers::first_fit_assignment(
+      app, platform, targets, requirements, pins, seed_ff.free,
+      seed_ff.assignment);
+  if (!seeded.ok()) {
+    result.reason = seeded.error();
+    return result;
+  }
+  evaluate(seed_ff);
+  absorb(seed_ff);
+
+  std::vector<Individual> population;
+  const auto n = static_cast<std::size_t>(std::max(4, options_.nsga2_population));
+  population.reserve(2 * n);
+  population.push_back(seed_ff);
+
+  {
+    // The paper's single-solution answer as a seed: run the incremental
+    // mapper on a scratch copy (it allocates on success; the copy is
+    // discarded) and adopt its assignment. Guarantees the evolved front
+    // starts no worse than the paper's mapper — and therefore ends no
+    // worse, since archive entries are only ever displaced by dominators.
+    Platform scratch = platform;
+    const core::IncrementalMapper incremental(
+        core::MapperConfig{options_.weights, options_.bonuses,
+                           options_.extra_rings, options_.exact_knapsack});
+    const auto mapped = incremental.map(app, impl_of, pins, scratch);
+    if (mapped.ok) {
+      Individual seed_inc;
+      seed_inc.assignment = mapped.element_of;
+      seed_inc.free = base_free;
+      for (std::size_t t = 0; t < seed_inc.assignment.size(); ++t) {
+        seed_inc.free[static_cast<std::size_t>(seed_inc.assignment[t].value)] -=
+            requirements[t];
+      }
+      evaluate(seed_inc);
+      absorb(seed_inc);
+      population.push_back(seed_inc);
+    }
+  }
+
+  while (population.size() < n) {
+    Individual ind = seed_ff;
+    mutate(ind, 0.5, 0);  // strong perturbation spreads the initial spread
+    absorb(ind);
+    population.push_back(std::move(ind));
+  }
+
+  // --- the NSGA-II generational loop ----------------------------------
+  const double mutation_rate =
+      movable.empty() ? 0.0 : 1.0 / static_cast<double>(movable.size());
+  const int generations = std::max(0, options_.nsga2_generations);
+  for (int g = 0; g < generations && !stop.stop_requested(); ++g) {
+    const std::vector<int> rank = non_dominated_ranks(population);
+    const std::vector<double> crowd = population_crowding(population, rank);
+    const auto tournament = [&]() -> const Individual& {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(population.size()) - 1));
+      const auto j = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(population.size()) - 1));
+      if (rank[i] != rank[j]) return population[rank[i] < rank[j] ? i : j];
+      return population[crowd[i] >= crowd[j] ? i : j];
+    };
+
+    std::vector<Individual> offspring;
+    offspring.reserve(n);
+    for (std::size_t k = 0; k < n && !stop.stop_requested(); ++k) {
+      const Individual& a = tournament();
+      const Individual& b = tournament();
+      Individual child;
+      bool crossed = false;
+      if (!movable.empty() && rng.bernoulli(options_.nsga2_crossover)) {
+        child.assignment.resize(app.task_count());
+        for (std::size_t t = 0; t < app.task_count(); ++t) {
+          child.assignment[t] =
+              rng.bernoulli(0.5) ? a.assignment[t] : b.assignment[t];
+        }
+        crossed = repair(child);
+      }
+      if (!crossed) child = a;  // infeasible cross: fall back to a clone
+      mutate(child, mutation_rate, 4);
+      absorb(child);
+      offspring.push_back(std::move(child));
+    }
+
+    // Environmental selection over parents + offspring: whole fronts by
+    // ascending rank, the straddling front by descending crowding (index
+    // tie-break keeps the cut deterministic).
+    for (auto& child : offspring) population.push_back(std::move(child));
+    const std::vector<int> combined_rank = non_dominated_ranks(population);
+    const std::vector<double> combined_crowd =
+        population_crowding(population, combined_rank);
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                if (combined_rank[x] != combined_rank[y]) {
+                  return combined_rank[x] < combined_rank[y];
+                }
+                if (combined_crowd[x] != combined_crowd[y]) {
+                  return combined_crowd[x] > combined_crowd[y];
+                }
+                return x < y;
+              });
+    std::vector<Individual> next;
+    next.reserve(2 * n);
+    for (std::size_t i = 0; i < n && i < order.size(); ++i) {
+      next.push_back(std::move(population[order[i]]));
+    }
+    population = std::move(next);
+  }
+
+  // The best weighted-scalar point ever evaluated belongs on the reported
+  // front: crowding pruning could have dropped it from the archive interior
+  // even though nothing dominated it. Re-inserting is a no-op when it is
+  // still there, and a rejected insert means a dominator (which has an even
+  // cheaper scalar under the same weights) already represents it.
+  absorb(best_scalar);
+
+  if (options_.pareto_front) {
+    ParetoFront& sink = *options_.pareto_front;
+    sink.objective_names = objective_names(kinds);
+    sink.entries = archive.entries();
+    std::sort(sink.entries.begin(), sink.entries.end(),
+              [](const ParetoEntry& a, const ParetoEntry& b) {
+                return a.objectives < b.objectives;
+              });
+  }
+
+  const ParetoEntry& knee = archive.entries()[archive.knee_index()];
+  core::MappingResult committed = mappers::commit_assignment(
+      app, impl_of, knee.assignment, platform, options_.weights,
+      options_.bonuses);
+  committed.stats.iterations = static_cast<int>(evaluations);
+  return committed;
+}
+
+}  // namespace kairos::mo

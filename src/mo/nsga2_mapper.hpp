@@ -1,0 +1,49 @@
+// NSGA-II multi-objective mapping search (registry name "nsga2").
+//
+// Where sa/tabu walk one assignment towards one scalar optimum, this
+// strategy evolves a population of feasible assignments towards the whole
+// cost-vs-fragmentation trade-off surface, with the standard NSGA-II
+// machinery: fast non-dominated sorting, crowding-distance selection, binary
+// tournaments, uniform crossover with capacity repair, and move/swap
+// mutation. Every mutation and local-repair step is priced through the
+// shared incremental evaluators — mappers::DeltaCostEvaluator for the exact
+// integer cost terms and mo::ExternalFragEvaluator for the §III-A platform
+// metric — so trial operators cost O(degree), not a full re-evaluation.
+//
+// The population is seeded from first-fit perturbations *plus* the paper's
+// incremental mapper run on a scratch platform copy, so the evolved front
+// always contains a point at least as good (in every objective and hence in
+// the weighted scalar) as the paper's single-solution answer.
+//
+// Contract: the scalar Mapper result is the front's knee point, committed
+// atomically like every other strategy; the full front is exposed through
+// MapperOptions::pareto_front when a sink is installed. Deterministic per
+// MapperOptions::seed; the StopToken is polled per generation and a stopped
+// search commits the best front found so far.
+#pragma once
+
+#include "mappers/mapper.hpp"
+
+namespace kairos::mo {
+
+class Nsga2Mapper final : public mappers::Mapper {
+ public:
+  explicit Nsga2Mapper(mappers::MapperOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "nsga2"; }
+
+  using Mapper::map;
+  core::MappingResult map(const graph::Application& app,
+                          const std::vector<int>& impl_of,
+                          const core::PinTable& pins,
+                          platform::Platform& platform,
+                          const mappers::StopToken& stop) const override;
+
+  const mappers::MapperOptions& options() const { return options_; }
+
+ private:
+  mappers::MapperOptions options_;
+};
+
+}  // namespace kairos::mo

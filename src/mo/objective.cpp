@@ -1,0 +1,182 @@
+#include "mo/objective.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace kairos::mo {
+
+std::string to_string(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kCommunication:
+      return "communication";
+    case ObjectiveKind::kFragmentation:
+      return "fragmentation";
+    case ObjectiveKind::kExternalFragmentation:
+      return "external_fragmentation";
+  }
+  return "?";
+}
+
+util::Result<ObjectiveKind> parse_objective(const std::string& name) {
+  if (name == "communication" || name == "comm") {
+    return ObjectiveKind::kCommunication;
+  }
+  if (name == "fragmentation" || name == "frag") {
+    return ObjectiveKind::kFragmentation;
+  }
+  if (name == "external_fragmentation" || name == "extfrag") {
+    return ObjectiveKind::kExternalFragmentation;
+  }
+  return util::Error(
+      "unknown objective '" + name +
+      "' (known: communication|fragmentation|external_fragmentation)");
+}
+
+util::Result<std::vector<ObjectiveKind>> parse_objectives(
+    const std::string& names) {
+  std::vector<ObjectiveKind> kinds;
+  for (const std::string& item : util::split(names, ',')) {
+    auto parsed = parse_objective(item);
+    if (!parsed.ok()) return util::Error(parsed.error());
+    for (const ObjectiveKind kind : kinds) {
+      if (kind == parsed.value()) {
+        return util::Error("duplicate objective '" + item + "'");
+      }
+    }
+    kinds.push_back(parsed.value());
+  }
+  if (kinds.empty()) return util::Error("objective list is empty");
+  return kinds;
+}
+
+const std::vector<ObjectiveKind>& default_objectives() {
+  static const std::vector<ObjectiveKind> kinds = {
+      ObjectiveKind::kCommunication, ObjectiveKind::kFragmentation};
+  return kinds;
+}
+
+std::vector<std::string> objective_names(
+    const std::vector<ObjectiveKind>& kinds) {
+  std::vector<std::string> names;
+  names.reserve(kinds.size());
+  for (const ObjectiveKind kind : kinds) names.push_back(to_string(kind));
+  return names;
+}
+
+std::vector<double> evaluate_objectives(
+    const std::vector<ObjectiveKind>& kinds,
+    const core::LayoutCostTerms& terms,
+    const core::FragmentationBonuses& bonuses,
+    double external_fragmentation) {
+  std::vector<double> values;
+  values.reserve(kinds.size());
+  for (const ObjectiveKind kind : kinds) {
+    switch (kind) {
+      case ObjectiveKind::kCommunication:
+        values.push_back(terms.communication_term());
+        break;
+      case ObjectiveKind::kFragmentation:
+        values.push_back(terms.fragmentation_term(bonuses));
+        break;
+      case ObjectiveKind::kExternalFragmentation:
+        values.push_back(external_fragmentation);
+        break;
+    }
+  }
+  return values;
+}
+
+ExternalFragEvaluator::ExternalFragEvaluator(
+    const platform::Platform& platform,
+    const std::vector<platform::ElementId>& initial)
+    : platform_(&platform),
+      element_of_(initial),
+      planned_on_(platform.element_count(), 0),
+      used_by_others_(platform.element_count(), 0) {
+  for (const auto& element : platform.elements()) {
+    used_by_others_[static_cast<std::size_t>(element.id().value)] =
+        element.is_used() ? 1 : 0;
+  }
+  for (const platform::ElementId e : element_of_) {
+    if (e.valid()) ++planned_on_[static_cast<std::size_t>(e.value)];
+  }
+  // One from-scratch pair scan at construction; every later update is the
+  // incremental O(degree) flip in flip_usage().
+  for (const auto& element : platform.elements()) {
+    const auto e = static_cast<std::size_t>(element.id().value);
+    for (const platform::ElementId n : platform.neighbors(element.id())) {
+      if (n.value <= element.id().value) continue;  // unordered pairs once
+      ++total_pairs_;
+      if (used(e) != used(static_cast<std::size_t>(n.value))) {
+        ++fragmented_pairs_;
+      }
+    }
+  }
+}
+
+void ExternalFragEvaluator::flip_usage(std::size_t e, bool now_used) {
+  // Neighbors' own usage is untouched by a single element's flip, so each
+  // adjacent pair's fragmented bit is recomputed against the stable side.
+  const platform::ElementId id{static_cast<std::int32_t>(e)};
+  for (const platform::ElementId n : platform_->neighbors(id)) {
+    const bool neighbor_used = used(static_cast<std::size_t>(n.value));
+    const bool was_fragmented = (!now_used) != neighbor_used;
+    const bool is_fragmented = now_used != neighbor_used;
+    fragmented_pairs_ +=
+        static_cast<std::int64_t>(is_fragmented) -
+        static_cast<std::int64_t>(was_fragmented);
+  }
+}
+
+void ExternalFragEvaluator::detach(std::size_t t) {
+  const platform::ElementId at = element_of_[t];
+  assert(at.valid() && "detach of an unplaced task");
+  const auto e = static_cast<std::size_t>(at.value);
+  --planned_on_[e];
+  assert(planned_on_[e] >= 0);
+  if (planned_on_[e] == 0 && used_by_others_[e] == 0) flip_usage(e, false);
+  element_of_[t] = platform::ElementId{};
+}
+
+void ExternalFragEvaluator::attach(std::size_t t, platform::ElementId to) {
+  assert(!element_of_[t].valid() && "attach of a placed task");
+  const auto e = static_cast<std::size_t>(to.value);
+  const bool was_used = used(e);
+  ++planned_on_[e];
+  if (!was_used) flip_usage(e, true);
+  element_of_[t] = to;
+}
+
+void ExternalFragEvaluator::apply_move(std::size_t t,
+                                       platform::ElementId to) {
+  last_ = LastOp{LastOp::kMove, t, 0, element_of_[t], platform::ElementId{}};
+  detach(t);
+  attach(t, to);
+}
+
+void ExternalFragEvaluator::apply_swap(std::size_t t, std::size_t u) {
+  assert(t != u);
+  last_ = LastOp{LastOp::kSwap, t, u, element_of_[t], element_of_[u]};
+  detach(t);
+  detach(u);
+  attach(t, last_.from_u);
+  attach(u, last_.from_t);
+}
+
+void ExternalFragEvaluator::undo() {
+  assert(last_.kind != LastOp::kNothing && "undo without a pending op");
+  const LastOp op = last_;
+  last_ = LastOp{};
+  if (op.kind == LastOp::kMove) {
+    detach(op.t);
+    attach(op.t, op.from_t);
+  } else if (op.kind == LastOp::kSwap) {
+    detach(op.t);
+    detach(op.u);
+    attach(op.t, op.from_t);
+    attach(op.u, op.from_u);
+  }
+}
+
+}  // namespace kairos::mo

@@ -1,0 +1,121 @@
+// The objective vector of the multi-objective subsystem.
+//
+// The scalar cost of §III-D mixes competing terms with fixed weights; here
+// each term is a first-class objective selectable by name, so a search can
+// characterise the whole trade-off surface instead of one weighted point:
+//
+//  * communication          — Σ bandwidth × hops (core::LayoutCostTerms).
+//  * fragmentation          — the cost model's bonus-discounted neighbor-pair
+//                             term (the §III-D fragmentation objective).
+//  * external_fragmentation — the platform-level §III-A metric (fraction of
+//                             adjacent element pairs with exactly one used
+//                             side) the Fig. 9 experiment tracks, evaluated
+//                             for a *planned* assignment without committing
+//                             it.
+//
+// ExternalFragEvaluator is the incremental counterpart of
+// platform::external_fragmentation for planned assignments: like the
+// mappers' DeltaCostEvaluator it maintains its value under move/swap/undo in
+// O(element degree), so a multi-objective search prices all objectives per
+// trial move without any full rescan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "platform/platform.hpp"
+#include "util/result.hpp"
+
+namespace kairos::mo {
+
+enum class ObjectiveKind : std::uint8_t {
+  kCommunication,
+  kFragmentation,
+  kExternalFragmentation,
+};
+
+std::string to_string(ObjectiveKind kind);
+
+/// Parses one objective name. Canonical names are the to_string values;
+/// the short aliases "comm", "frag" and "extfrag" are accepted for CLI use.
+util::Result<ObjectiveKind> parse_objective(const std::string& name);
+
+/// Parses a comma-separated objective list ("communication,extfrag").
+/// Fails on unknown names, duplicates, or an empty list.
+util::Result<std::vector<ObjectiveKind>> parse_objectives(
+    const std::string& names);
+
+/// The default objective set: the two terms the paper's cost function mixes
+/// (communication vs. fragmentation) — the canonical 2-D trade-off.
+const std::vector<ObjectiveKind>& default_objectives();
+
+std::vector<std::string> objective_names(
+    const std::vector<ObjectiveKind>& kinds);
+
+/// Evaluates the objective vector from the exact integer term breakdown and
+/// the planned layout's external fragmentation (only read when the set
+/// contains kExternalFragmentation).
+std::vector<double> evaluate_objectives(
+    const std::vector<ObjectiveKind>& kinds,
+    const core::LayoutCostTerms& terms,
+    const core::FragmentationBonuses& bonuses, double external_fragmentation);
+
+/// Incrementally maintained external fragmentation (§III-A) of a planned
+/// assignment: an element counts as used when it hosts a task of another
+/// application (snapshot at construction, like DeltaCostEvaluator) or a
+/// task of the planned assignment. apply/undo mirror the DeltaCostEvaluator
+/// API one-for-one so the two are driven in lockstep by a search.
+class ExternalFragEvaluator {
+ public:
+  ExternalFragEvaluator(const platform::Platform& platform,
+                        const std::vector<platform::ElementId>& initial);
+
+  /// Fragmented fraction in [0, 1]; 0 for a platform without links.
+  double value() const {
+    return total_pairs_ == 0
+               ? 0.0
+               : static_cast<double>(fragmented_pairs_) /
+                     static_cast<double>(total_pairs_);
+  }
+
+  /// Moves task `t` (an index into the assignment) to `to`. O(degree of the
+  /// two touched elements), and only when an element flips between used and
+  /// unused.
+  void apply_move(std::size_t t, platform::ElementId to);
+
+  /// Exchanges the elements of two placed tasks. Usage counts are conserved
+  /// per element, so this never changes value() — tracked for undo symmetry.
+  void apply_swap(std::size_t t, std::size_t u);
+
+  /// Reverts the most recent apply_move/apply_swap (one level).
+  void undo();
+
+ private:
+  struct LastOp {
+    enum Kind { kNothing, kMove, kSwap } kind = kNothing;
+    std::size_t t = 0;
+    std::size_t u = 0;
+    platform::ElementId from_t;
+    platform::ElementId from_u;
+  };
+
+  bool used(std::size_t e) const {
+    return planned_on_[e] > 0 || used_by_others_[e] != 0;
+  }
+  void attach(std::size_t t, platform::ElementId to);
+  void detach(std::size_t t);
+  /// Adjusts fragmented_pairs_ for element `e` flipping its used bit.
+  void flip_usage(std::size_t e, bool now_used);
+
+  const platform::Platform* platform_;
+  std::vector<platform::ElementId> element_of_;
+  std::vector<int> planned_on_;
+  std::vector<std::uint8_t> used_by_others_;
+  std::int64_t total_pairs_ = 0;
+  std::int64_t fragmented_pairs_ = 0;
+  LastOp last_;
+};
+
+}  // namespace kairos::mo

@@ -1,0 +1,131 @@
+#include "mo/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace kairos::mo {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return false;
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<double> crowding_distances(const std::vector<ParetoEntry>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const double inf = std::numeric_limits<double>::infinity();
+  if (n <= 2) return std::vector<double>(n, inf);
+
+  const std::size_t objectives = front.front().objectives.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t m = 0; m < objectives; ++m) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Index tie-break keeps the sort (and thus pruning) deterministic when
+    // several entries share an objective value.
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double va = front[a].objectives[m];
+      const double vb = front[b].objectives[m];
+      return va != vb ? va < vb : a < b;
+    });
+    distance[order.front()] = inf;
+    distance[order.back()] = inf;
+    const double span = front[order.back()].objectives[m] -
+                        front[order.front()].objectives[m];
+    if (span <= 0.0) continue;  // degenerate objective: no interior spread
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] += (front[order[i + 1]].objectives[m] -
+                             front[order[i - 1]].objectives[m]) /
+                            span;
+    }
+  }
+  return distance;
+}
+
+ParetoArchive::ParetoArchive(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool ParetoArchive::insert(ParetoEntry entry) {
+  for (const ParetoEntry& held : entries_) {
+    if (held.objectives == entry.objectives ||
+        dominates(held.objectives, entry.objectives)) {
+      return false;
+    }
+  }
+  // One stable erase pass: surviving entries keep their relative order, so
+  // the archive's content is independent of how victims were interleaved.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ParetoEntry& held) {
+                                  return dominates(entry.objectives,
+                                                   held.objectives);
+                                }),
+                 entries_.end());
+  entries_.push_back(std::move(entry));
+
+  if (entries_.size() > capacity_) {
+    const std::vector<double> distance = crowding_distances(entries_);
+    // The payload's scalar anchor is exempt from pruning: a scalarised
+    // caller (the nsga2 knee/commit path) must never lose its cheapest
+    // weighted point to a diversity decision. Per-objective extremes are
+    // already safe through their infinite crowding distance.
+    const std::size_t protected_entry = min_scalar_index();
+    std::size_t victim = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i == protected_entry) continue;
+      if (victim == entries_.size() || distance[i] < distance[victim]) {
+        victim = i;
+      }
+    }
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return true;
+}
+
+std::size_t ParetoArchive::knee_index() const {
+  assert(!entries_.empty());
+  const std::size_t objectives = entries_.front().objectives.size();
+  std::vector<double> lo(objectives, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(objectives, -std::numeric_limits<double>::infinity());
+  for (const ParetoEntry& entry : entries_) {
+    for (std::size_t m = 0; m < objectives; ++m) {
+      lo[m] = std::min(lo[m], entry.objectives[m]);
+      hi[m] = std::max(hi[m], entry.objectives[m]);
+    }
+  }
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t m = 0; m < objectives; ++m) {
+      const double span = hi[m] - lo[m];
+      if (span <= 0.0) continue;  // flat objective: no discriminating power
+      const double normalised = (entries_[i].objectives[m] - lo[m]) / span;
+      d2 += normalised * normalised;
+    }
+    if (d2 < best_distance) {
+      best_distance = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t ParetoArchive::min_scalar_index() const {
+  assert(!entries_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].scalar_cost < entries_[best].scalar_cost) best = i;
+  }
+  return best;
+}
+
+}  // namespace kairos::mo

@@ -1,0 +1,93 @@
+// Pareto dominance and a bounded non-dominated archive — the bookkeeping
+// half of the multi-objective subsystem.
+//
+// The mapping objective of §III-D is a *sum* of competing terms
+// (communication distance vs. external resource fragmentation), so a single
+// scalar winner hides the trade-off surface: a layout that halves the hop
+// count at the price of stranding border elements scores the same as one
+// that does the opposite. This module keeps the whole surface instead: a
+// ParetoArchive holds mutually non-dominated objective vectors (minimised),
+// rejecting dominated inserts, evicting entries a new insert dominates, and
+// — when a capacity bound is exceeded — pruning the most crowded interior
+// point (NSGA-II crowding distance; per-objective extremes have infinite
+// crowding and are never pruned, so the front's span survives pruning).
+//
+// All tie-breaks are index-ordered and the archive is mutated only through
+// insert(), so a search feeding it is deterministic per seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace kairos::mo {
+
+/// One point of a front: the objective vector (minimised) plus the payload
+/// the optimiser wants back — for mapping searches the task assignment and
+/// the configured-weights scalar cost. Tests exercising the archive alone
+/// may leave the payload empty.
+struct ParetoEntry {
+  std::vector<double> objectives;
+  std::vector<platform::ElementId> assignment;
+  double scalar_cost = 0.0;
+};
+
+/// Strict Pareto dominance for minimisation: a is no worse everywhere and
+/// strictly better somewhere. Requires equal sizes; false for empty vectors
+/// (an empty objective vector dominates nothing and nothing dominates it).
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// NSGA-II crowding distances for a set of mutually non-dominated entries:
+/// per objective, entries are sorted and each interior entry accumulates the
+/// normalised span of its two neighbors; the per-objective extremes get
+/// +infinity. Returned in entry order.
+std::vector<double> crowding_distances(const std::vector<ParetoEntry>& front);
+
+class ParetoArchive {
+ public:
+  explicit ParetoArchive(std::size_t capacity = 64);
+
+  /// Inserts a candidate point. Rejected (returns false) when an archived
+  /// entry dominates it or has the exact same objective vector (duplicate
+  /// payloads add nothing to a front); otherwise every entry the candidate
+  /// dominates is evicted, the candidate enters, and — if the capacity is
+  /// now exceeded — the interior entry with the smallest crowding distance
+  /// is pruned (which may be the candidate itself; insert still returns
+  /// true, since the candidate did enter the front). The entry with the
+  /// smallest payload scalar_cost is exempt from pruning, so a scalarised
+  /// caller never loses its cheapest weighted point to a diversity
+  /// decision.
+  bool insert(ParetoEntry entry);
+
+  const std::vector<ParetoEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Index of the knee point: objectives are min-max normalised over the
+  /// archive and the entry closest (L2) to the ideal point (all-zeros after
+  /// normalisation) wins; ties break to the lowest index. The natural
+  /// scalar answer when the caller wants one solution off the front.
+  /// Requires a non-empty archive.
+  std::size_t knee_index() const;
+
+  /// Index of the entry with the smallest payload scalar_cost (ties to the
+  /// lowest index). Requires a non-empty archive.
+  std::size_t min_scalar_index() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<ParetoEntry> entries_;
+};
+
+/// A front snapshot with its objective names — the side-channel payload a
+/// multi-objective mapper fills for its caller (see
+/// mappers::MapperOptions::pareto_front).
+struct ParetoFront {
+  std::vector<std::string> objective_names;
+  std::vector<ParetoEntry> entries;
+};
+
+}  // namespace kairos::mo

@@ -1,0 +1,117 @@
+#include "sim/calibrate.hpp"
+
+#include <cmath>
+
+namespace kairos::sim {
+
+namespace {
+
+/// One pilot: an MMPP scenario at `scale` × the seed burst/idle factors on
+/// a fresh platform clone. Returns the time-weighted mean compute
+/// utilisation (the quantity being calibrated).
+util::Result<double> measure(
+    double scale, const std::function<platform::Platform()>& build_platform,
+    const core::KairosConfig& kairos,
+    const std::vector<graph::Application>& pool,
+    const WorkloadParams& seed_params, const CalibrationConfig& config) {
+  WorkloadParams params = seed_params;
+  params.mmpp_burst_factor *= scale;
+  params.mmpp_idle_factor *= scale;
+  auto workload = make_workload("mmpp", params);
+  if (!workload.ok()) return util::Error(workload.error());
+
+  platform::Platform platform = build_platform();
+  core::KairosConfig cell_config = kairos;
+  core::ResourceManager manager(platform, cell_config);
+  Engine engine(manager, pool, config.engine);
+  const ScenarioStats stats = engine.run(*workload.value());
+  if (!stats.mapper_error.empty()) return util::Error(stats.mapper_error);
+  return stats.compute_utilisation.mean();
+}
+
+}  // namespace
+
+util::Result<CalibrationResult> calibrate_mmpp(
+    double target_utilisation,
+    const std::function<platform::Platform()>& build_platform,
+    const core::KairosConfig& kairos,
+    const std::vector<graph::Application>& pool,
+    const WorkloadParams& seed_params, const CalibrationConfig& config) {
+  if (!(target_utilisation > 0.0) || !(target_utilisation < 1.0)) {
+    return util::Error("calibration target utilisation must be in (0, 1)");
+  }
+  if (pool.empty()) {
+    return util::Error("calibration needs a non-empty application pool");
+  }
+  if (seed_params.mmpp_burst_factor <= 0.0 &&
+      seed_params.mmpp_idle_factor <= 0.0) {
+    return util::Error("mmpp burst/idle factors must not both be 0");
+  }
+
+  CalibrationResult result;
+
+  // Bracket the target: double the multiplier until the measured
+  // utilisation reaches the target or the search hits the saturation bound
+  // (platform cannot be driven harder by offering more load).
+  double lo = 0.0;
+  double lo_measured = 0.0;
+  double hi = 1.0;
+  double hi_measured = 0.0;
+  for (;;) {
+    auto measured = measure(hi, build_platform, kairos, pool, seed_params,
+                            config);
+    if (!measured.ok()) return util::Error(measured.error());
+    ++result.pilots;
+    hi_measured = measured.value();
+    if (hi_measured >= target_utilisation || hi >= config.max_scale) break;
+    lo = hi;
+    lo_measured = hi_measured;
+    hi *= 2.0;
+    if (hi > config.max_scale) hi = config.max_scale;
+  }
+
+  if (hi_measured < target_utilisation) {
+    // Saturated: even the maximum offered load cannot reach the target.
+    // Report the best effort instead of failing — the caller sees the gap.
+    result.scale = hi;
+    result.achieved_utilisation = hi_measured;
+  } else {
+    // Bisect [lo, hi]; utilisation is monotone (noisy, but the pilot seed
+    // is fixed, so the measured function itself is deterministic).
+    double best_scale = hi;
+    double best_measured = hi_measured;
+    for (int i = 0; i < config.max_iterations; ++i) {
+      if (std::abs(best_measured - target_utilisation) <= config.tolerance) {
+        break;
+      }
+      const double mid = 0.5 * (lo + hi);
+      auto measured = measure(mid, build_platform, kairos, pool, seed_params,
+                              config);
+      if (!measured.ok()) return util::Error(measured.error());
+      ++result.pilots;
+      const double value = measured.value();
+      if (std::abs(value - target_utilisation) <
+          std::abs(best_measured - target_utilisation)) {
+        best_scale = mid;
+        best_measured = value;
+      }
+      if (value < target_utilisation) {
+        lo = mid;
+        lo_measured = value;
+      } else {
+        hi = mid;
+        hi_measured = value;
+      }
+    }
+    (void)lo_measured;
+    result.scale = best_scale;
+    result.achieved_utilisation = best_measured;
+  }
+
+  result.params = seed_params;
+  result.params.mmpp_burst_factor *= result.scale;
+  result.params.mmpp_idle_factor *= result.scale;
+  return result;
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,77 @@
+// MMPP workload calibration (ROADMAP follow-up): fit the burst/idle rate
+// factors to a *measured* platform-utilisation target instead of hand-picked
+// values.
+//
+// The MMPP model's on/off rates are derived from WorkloadParams as
+// on = burst_factor × arrival_rate and off = idle_factor × arrival_rate;
+// hand-picking the factors says nothing about how loaded the platform will
+// actually run, because admission, lifetimes and platform capacity all sit
+// between offered arrivals and occupied resources. calibrate_mmpp closes
+// that loop empirically: it scales both factors by a common multiplier
+// (preserving the burst/idle *shape*), runs short pilot scenarios through
+// the real engine + ResourceManager, measures the time-weighted mean
+// compute utilisation, and bisects the multiplier until the measurement
+// hits the target. Deterministic: pilots run on fresh platform clones with
+// a fixed seed, so the same inputs always calibrate to the same factors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "graph/application.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "util/result.hpp"
+
+namespace kairos::sim {
+
+struct CalibrationConfig {
+  /// Pilot-scenario configuration: horizon, seed, and — crucially — the
+  /// fault/repair/defrag processes of the run being calibrated, so the
+  /// pilots measure utilisation under the *same* conditions the fitted
+  /// factors will be used in (a fault-free pilot would overshoot a faulty
+  /// run's target). The mapper/trace fields are honored like any engine
+  /// run's; front tracking is irrelevant to the measurement.
+  EngineConfig engine;
+  /// Accept when |measured − target| <= tolerance.
+  double tolerance = 0.02;
+  /// Bisection steps after bracketing (each step is one pilot run).
+  int max_iterations = 12;
+  /// Upper bound of the bracketing search on the rate multiplier. If even
+  /// this offered load cannot reach the target (the platform saturates
+  /// below it), calibration returns the saturated best effort.
+  double max_scale = 64.0;
+
+  CalibrationConfig() {
+    // A moderate default pilot length: long enough for a steady
+    // time-weighted mean, short enough that a dozen pilots stay cheap.
+    engine.horizon = 400.0;
+  }
+};
+
+struct CalibrationResult {
+  /// The calibrated parameters: seed params with mmpp_burst_factor and
+  /// mmpp_idle_factor scaled by the fitted multiplier.
+  WorkloadParams params;
+  double scale = 1.0;                 ///< the fitted multiplier
+  double achieved_utilisation = 0.0;  ///< measured at `scale`
+  int pilots = 0;                     ///< scenario runs spent calibrating
+};
+
+/// Fits MMPP burst/idle factors so a scenario over `pool` on the given
+/// platform measures `target_utilisation` mean compute utilisation.
+/// `build_platform` is called once per pilot (each pilot mutates its own
+/// clone). Fails on a target outside (0, 1), an empty pool, or invalid seed
+/// parameters; an unreachable target returns the saturated best effort
+/// (check achieved_utilisation against the target).
+util::Result<CalibrationResult> calibrate_mmpp(
+    double target_utilisation,
+    const std::function<platform::Platform()>& build_platform,
+    const core::KairosConfig& kairos,
+    const std::vector<graph::Application>& pool,
+    const WorkloadParams& seed_params, const CalibrationConfig& config = {});
+
+}  // namespace kairos::sim

@@ -50,6 +50,10 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
   assert(config_.horizon > 0.0);
 
   ScenarioStats stats;
+  if (config_.track_front) {
+    stats.admission_front =
+        mo::ParetoArchive(std::max<std::size_t>(1, config_.front_capacity));
+  }
   MapperGuard mapper_guard(*manager_);
   if (!config_.mapper.empty()) {
     mappers::MapperOptions options;
@@ -60,6 +64,7 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
     options.seed = config_.seed;
     options.sa_incremental = config_.sa_incremental;
     options.portfolio_cancel_bound = config_.portfolio_cancel_bound;
+    options.objectives = config_.objectives;
     auto made = mappers::make(config_.mapper, options);
     if (!made.ok()) {
       // Fail loudly: running the manager's previous strategy here would
@@ -79,7 +84,7 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
     events.push(Event{*first, EventKind::kArrival, 0, -1, {}, {}});
   }
   if (config_.fault_rate > 0.0) {
-    const EventKind fault_kind = fault_model.domain() == FaultDomain::kLink
+    const EventKind fault_kind = fault_model.link_only()
                                      ? EventKind::kLinkFault
                                      : EventKind::kElementFault;
     events.push(Event{util::exponential(fault_rng, 1.0 / config_.fault_rate),
@@ -142,6 +147,13 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
           ++stats.admitted;
           stats.mapping_cost.add(report.mapping_cost);
           stats.mapping_ms.add(report.times.mapping_ms);
+          if (config_.track_front) {
+            stats.admission_front.insert(mo::ParetoEntry{
+                {report.mapping_cost,
+                 platform::external_fragmentation(manager_->platform())},
+                {},
+                report.mapping_cost});
+          }
           lifetime = workload.lifetime(workload_rng);
           events.push(Event{event.time + lifetime, EventKind::kDeparture, 0,
                             report.handle, {}, {}});

@@ -29,6 +29,7 @@
 
 #include "core/resource_manager.hpp"
 #include "graph/application.hpp"
+#include "mo/pareto.hpp"
 #include "sim/events.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/workload.hpp"
@@ -46,9 +47,13 @@ struct EngineConfig {
   std::string mapper;
   /// Strategy knobs that exist only in mappers::MapperOptions (everything
   /// else is taken from the manager's config) — threaded through so a sweep
-  /// over "sa"/"portfolio" honors them rather than silently resetting them.
+  /// over "sa"/"portfolio"/"nsga2" honors them rather than silently
+  /// resetting them.
   bool sa_incremental = true;
   double portfolio_cancel_bound = -1.0;
+  /// Objective names for the multi-objective strategies (empty = their
+  /// default set); only consulted when `mapper` installs a strategy.
+  std::vector<std::string> objectives{};
 
   /// Expected faults per time unit (0 disables the fault process). Each
   /// fault event's victim set is drawn by the fault model below and
@@ -69,6 +74,13 @@ struct EngineConfig {
   /// Record the realised arrival sequence into ScenarioStats::trace so the
   /// run can be replayed (and minimised) through TraceWorkload.
   bool record_trace = false;
+  /// Collect each admission's (mapping cost, post-admission external
+  /// fragmentation) point into ScenarioStats::admission_front — the
+  /// scenario's cost-vs-fragmentation trade-off surface (opt-in; the sweep
+  /// driver's multi-objective columns are derived from it).
+  bool track_front = false;
+  /// Capacity of the admission front's non-dominated archive.
+  std::size_t front_capacity = 64;
 };
 
 struct ScenarioStats {
@@ -129,6 +141,13 @@ struct ScenarioStats {
   /// runtime — the quantities the mapper-strategy matrix compares.
   util::RunningStats mapping_cost;
   util::RunningStats mapping_ms;
+
+  /// Opt-in (EngineConfig::track_front): the mutually non-dominated set of
+  /// per-admission (mapping cost, external fragmentation right after the
+  /// admission) points — how cheaply the strategy buys layouts vs. how much
+  /// fragmentation it leaves behind, kept as a front instead of two
+  /// uncorrelated means. Empty when tracking is off.
+  mo::ParetoArchive admission_front{64};
 
   /// The realised arrival sequence (EngineConfig::record_trace): one row
   /// per arrival with its pool pick and — for admitted applications — the

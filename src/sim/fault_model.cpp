@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/strings.hpp"
+
 namespace kairos::sim {
 
 std::string to_string(FaultDomain domain) {
@@ -27,13 +29,76 @@ util::Result<FaultDomain> parse_fault_domain(const std::string& name) {
                      "' (known: element|package|row|link)");
 }
 
-FaultModel::FaultModel(FaultModelConfig config) : config_(config) {}
+util::Result<FaultModelConfig> parse_fault_model(const std::string& spec) {
+  FaultModelConfig config;
+  if (spec.rfind("mix:", 0) != 0) {
+    auto domain = parse_fault_domain(spec);
+    if (!domain.ok()) return util::Error(domain.error());
+    config.domain = domain.value();
+    return config;
+  }
+
+  // "mix:element=0.9,package=0.1" — domain=weight pairs, comma-separated.
+  double total = 0.0;
+  for (const std::string& item : util::split(spec.substr(4), ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      return util::Error("fault-model mix entry '" + item +
+                         "' is not domain=weight");
+    }
+    auto domain = parse_fault_domain(item.substr(0, eq));
+    if (!domain.ok()) return util::Error(domain.error());
+    const std::string weight_text = item.substr(eq + 1);
+    double weight = 0.0;
+    if (!util::parse_double(weight_text, weight) || !(weight >= 0.0)) {
+      return util::Error("fault-model mix weight '" + weight_text +
+                         "' must be a number >= 0");
+    }
+    for (const auto& [existing, _] : config.mix) {
+      if (existing == domain.value()) {
+        return util::Error("duplicate fault-model mix domain '" +
+                           to_string(domain.value()) + "'");
+      }
+    }
+    config.mix.emplace_back(domain.value(), weight);
+    total += weight;
+  }
+  if (total <= 0.0) {
+    return util::Error("fault-model mix weights must not all be 0");
+  }
+  return config;
+}
+
+FaultModel::FaultModel(FaultModelConfig config) : config_(std::move(config)) {
+  mix_weights_.reserve(config_.mix.size());
+  for (const auto& [_, weight] : config_.mix) mix_weights_.push_back(weight);
+}
+
+bool FaultModel::link_only() const {
+  if (config_.mix.empty()) return config_.domain == FaultDomain::kLink;
+  for (const auto& [domain, weight] : config_.mix) {
+    if (weight > 0.0 && domain != FaultDomain::kLink) return false;
+  }
+  return true;
+}
 
 FaultSet FaultModel::draw(const platform::Platform& platform,
                           util::Xoshiro256& rng) const {
+  if (config_.mix.empty()) {
+    return draw_domain(config_.domain, platform, rng);
+  }
+  // Exactly one extra pick for the mix draw; the chosen domain then draws
+  // its victims exactly as it would standalone.
+  const std::size_t pick = rng.weighted_index(mix_weights_);
+  return draw_domain(config_.mix[pick].first, platform, rng);
+}
+
+FaultSet FaultModel::draw_domain(FaultDomain domain,
+                                 const platform::Platform& platform,
+                                 util::Xoshiro256& rng) const {
   FaultSet set;
 
-  if (config_.domain == FaultDomain::kLink) {
+  if (domain == FaultDomain::kLink) {
     std::vector<platform::LinkId> healthy;
     for (const auto& link : platform.links()) {
       if (!link.is_failed()) healthy.push_back(link.id());
@@ -57,7 +122,7 @@ FaultSet FaultModel::draw(const platform::Platform& platform,
       rng.uniform_int(0, static_cast<std::int64_t>(healthy.size()) - 1));
   const platform::ElementId anchor = healthy[pick];
 
-  switch (config_.domain) {
+  switch (domain) {
     case FaultDomain::kElement:
       set.elements.push_back(anchor);
       break;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -46,7 +47,18 @@ struct FaultModelConfig {
   /// <= 0 infers floor(sqrt(element_count)) — exact for the square
   /// mesh/torus builders, whose ids are assigned row-major.
   int row_width = 0;
+  /// Optional per-event domain mix (e.g. 90% element / 10% package): when
+  /// non-empty, every fault event first draws its domain from these weights
+  /// — one extra RNG pick, consumed even when the chosen domain then has no
+  /// healthy victim left — and `domain` above is ignored. Weights are
+  /// relative (not required to sum to 1).
+  std::vector<std::pair<FaultDomain, double>> mix;
 };
+
+/// Parses a full fault-model spec: either a single domain name or a mix
+/// ("mix:element=0.9,package=0.1"). Fails on unknown domains, duplicate mix
+/// entries, negative weights, or an all-zero mix.
+util::Result<FaultModelConfig> parse_fault_model(const std::string& spec);
 
 /// The victims of one fault event.
 struct FaultSet {
@@ -62,14 +74,26 @@ class FaultModel {
 
   FaultDomain domain() const { return config_.domain; }
 
+  /// True iff every fault this model can draw is a link fault — how the
+  /// engine labels the recurring fault event (the element/link handling is
+  /// shared, so the label only matters for introspection).
+  bool link_only() const;
+
   /// Draws the next fault's victim set. Victims are restricted to currently
   /// healthy elements/links; an empty set means nothing is left to fault
-  /// (in which case no RNG draw is consumed, matching the legacy engine).
+  /// (in which case no victim draw is consumed, matching the legacy engine
+  /// — a configured mix still pays its one domain pick per event).
   FaultSet draw(const platform::Platform& platform,
                 util::Xoshiro256& rng) const;
 
  private:
+  FaultSet draw_domain(FaultDomain domain,
+                       const platform::Platform& platform,
+                       util::Xoshiro256& rng) const;
+
   FaultModelConfig config_;
+  /// Mix weights in config_.mix order, precomputed for the weighted pick.
+  std::vector<double> mix_weights_;
 };
 
 }  // namespace kairos::sim

@@ -1,9 +1,12 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <thread>
 
+#include "mo/hypervolume.hpp"
 #include "platform/builders.hpp"
 #include "platform/crisp.hpp"
 #include "sim/workload.hpp"
@@ -32,6 +35,7 @@ const std::vector<SweepSpec::PlatformCase>& default_sweep_platforms() {
 
 SweepResult run_sweep(const SweepSpec& spec) {
   SweepResult result;
+  result.multi_objective = spec.multi_objective;
   util::Stopwatch sweep_watch;
 
   for (const double rate : spec.arrival_rates) {
@@ -133,6 +137,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     engine_config.mapper = job.strategy;
     engine_config.fault_rate = job.fault_rate;
     engine_config.defrag_period = job.defrag_period;
+    if (spec.multi_objective) engine_config.track_front = true;
     Engine engine(manager, pools[job.platform_index], engine_config);
     PoissonWorkload workload(job.arrival_rate, spec.mean_lifetime);
 
@@ -204,32 +209,67 @@ const std::vector<std::string>& sweep_csv_header() {
   return header;
 }
 
+std::vector<std::string> sweep_csv_header(bool multi_objective) {
+  std::vector<std::string> header = sweep_csv_header();
+  if (multi_objective) {
+    header.push_back("front_size");
+    header.push_back("front_hypervolume");
+  }
+  return header;
+}
+
+double front_hypervolume(const mo::ParetoArchive& front) {
+  if (front.empty()) return 0.0;
+  std::vector<std::vector<double>> points;
+  points.reserve(front.size());
+  std::vector<double> reference(front.entries().front().objectives.size(),
+                                0.0);
+  for (const auto& entry : front.entries()) {
+    points.push_back(entry.objectives);
+    for (std::size_t m = 0; m < reference.size(); ++m) {
+      reference[m] = std::max(reference[m], entry.objectives[m]);
+    }
+  }
+  // Nudge the reference strictly outside the bounding box so every front
+  // member — including single-point fronts — encloses some volume. The
+  // nudge grows by a *magnitude* so a negative per-axis maximum (possible
+  // under negative weights) still moves outward, not inward.
+  for (double& r : reference) r += std::max(std::abs(r) * 0.05, 1e-9);
+  return mo::hypervolume(std::move(points), reference);
+}
+
 void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv) {
-  csv.write_row(sweep_csv_header());
+  csv.write_row(sweep_csv_header(result.multi_objective));
   for (const auto& cell : result.cells) {
     const ScenarioStats& s = cell.stats;
-    csv.write_row({cell.strategy, cell.platform, util::fmt(cell.arrival_rate, 3),
-                   util::fmt(cell.fault_rate, 4),
-                   util::fmt(cell.defrag_period, 1),
-                   std::to_string(s.arrivals), std::to_string(s.admitted),
-                   std::to_string(s.departures),
-                   util::fmt(s.admission_rate(), 4),
-                   util::fmt(s.mapping_cost.mean(), 4),
-                   util::fmt(s.mapping_ms.mean(), 5),
-                   util::fmt(s.fragmentation.mean(), 4),
-                   util::fmt(s.live_applications.mean(), 3),
-                   util::fmt(s.compute_utilisation.mean(), 4),
-                   std::to_string(s.faults),
-                   std::to_string(s.faulted_elements),
-                   std::to_string(s.link_faults),
-                   std::to_string(s.fault_victims),
-                   std::to_string(s.fault_recovered),
-                   std::to_string(s.fault_lost), std::to_string(s.repairs),
-                   std::to_string(s.link_repairs),
-                   std::to_string(s.defrag_triggers),
-                   std::to_string(s.defrag_performed),
-                   std::to_string(s.failed_removes),
-                   util::fmt(cell.wall_ms, 2)});
+    std::vector<std::string> row = {
+        cell.strategy, cell.platform, util::fmt(cell.arrival_rate, 3),
+        util::fmt(cell.fault_rate, 4),
+        util::fmt(cell.defrag_period, 1),
+        std::to_string(s.arrivals), std::to_string(s.admitted),
+        std::to_string(s.departures),
+        util::fmt(s.admission_rate(), 4),
+        util::fmt(s.mapping_cost.mean(), 4),
+        util::fmt(s.mapping_ms.mean(), 5),
+        util::fmt(s.fragmentation.mean(), 4),
+        util::fmt(s.live_applications.mean(), 3),
+        util::fmt(s.compute_utilisation.mean(), 4),
+        std::to_string(s.faults),
+        std::to_string(s.faulted_elements),
+        std::to_string(s.link_faults),
+        std::to_string(s.fault_victims),
+        std::to_string(s.fault_recovered),
+        std::to_string(s.fault_lost), std::to_string(s.repairs),
+        std::to_string(s.link_repairs),
+        std::to_string(s.defrag_triggers),
+        std::to_string(s.defrag_performed),
+        std::to_string(s.failed_removes),
+        util::fmt(cell.wall_ms, 2)};
+    if (result.multi_objective) {
+      row.push_back(std::to_string(s.admission_front.size()));
+      row.push_back(util::fmt(front_hypervolume(s.admission_front), 4));
+    }
+    csv.write_row(row);
   }
 }
 

@@ -66,6 +66,13 @@ struct SweepSpec {
   /// Worker threads; 0 picks std::thread::hardware_concurrency(). 1 runs
   /// the grid serially (the baseline the speedup bench compares against).
   int threads = 0;
+
+  /// Opt-in multi-objective columns: every cell additionally tracks its
+  /// per-admission (mapping cost, external fragmentation) Pareto front
+  /// (EngineConfig::track_front) and the CSV gains front_size and
+  /// front_hypervolume columns. Off by default so the pinned golden CSV
+  /// schema is untouched.
+  bool multi_objective = false;
 };
 
 struct SweepCell {
@@ -87,6 +94,9 @@ struct SweepResult {
   /// cells ran). On error the sweep exits early: cells after the failing
   /// one may be unpopulated (all-zero stats, empty strategy name).
   std::string error;
+  /// Copied from SweepSpec::multi_objective so write_sweep_csv knows which
+  /// schema the cells carry.
+  bool multi_objective = false;
 };
 
 /// The default platform axis (CRISP 2-package + DSP torus), shared by the
@@ -100,8 +110,18 @@ const std::vector<SweepSpec::PlatformCase>& default_sweep_platforms();
 SweepResult run_sweep(const SweepSpec& spec);
 
 /// The stable header of write_sweep_csv — golden-file pinned in CI so the
-/// row schema cannot drift silently.
+/// row schema cannot drift silently. With `multi_objective` the pinned
+/// columns are followed by front_size and front_hypervolume (the opt-in
+/// extension; the default schema stays byte-identical).
+std::vector<std::string> sweep_csv_header(bool multi_objective);
 const std::vector<std::string>& sweep_csv_header();
+
+/// Hypervolume of a cell's admission front, measured against a reference
+/// just outside the front's own bounding box (1.05 × the per-cell maxima
+/// on every axis). Self-referenced, so the value compares strategies of
+/// similar cost scale — cross-cell comparisons should use front_size or
+/// recompute against a shared reference.
+double front_hypervolume(const mo::ParetoArchive& front);
 
 /// One header row plus one row per cell, in grid order.
 void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv);

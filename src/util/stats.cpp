@@ -56,6 +56,50 @@ void WeightedStats::add(double x, double weight) {
   ++n_;
   weight_ += weight;
   weighted_sum_ += weight * x;
+  // West's weighted Welford: the update must see the *post*-update total
+  // weight and use the mean both before and after the shift.
+  const double delta = x - welford_mean_;
+  welford_mean_ += delta * (weight / weight_);
+  m2_ += weight * delta * (x - welford_mean_);
+  sketch_.emplace_back(x, weight);
+  if (sketch_.size() > kSketchCapacity) compact();
+}
+
+double WeightedStats::variance() const {
+  if (n_ < 2 || weight_ == 0.0) return 0.0;
+  return m2_ / weight_;
+}
+
+double WeightedStats::stddev() const { return std::sqrt(variance()); }
+
+double WeightedStats::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<std::pair<double, double>> sorted = sketch_;
+  std::sort(sorted.begin(), sorted.end());
+  const double target = p / 100.0 * weight_;
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : sorted) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return sorted.back().first;  // floating-point shortfall: the max
+}
+
+void WeightedStats::compact() {
+  // Halve the sketch by fusing value-adjacent centroids: their weights add
+  // and the value becomes the weighted midpoint, so total weight (and the
+  // cumulative-weight walk of percentile()) stays consistent.
+  std::sort(sketch_.begin(), sketch_.end());
+  std::vector<std::pair<double, double>> fused;
+  fused.reserve(sketch_.size() / 2 + 1);
+  for (std::size_t i = 0; i + 1 < sketch_.size(); i += 2) {
+    const auto& [va, wa] = sketch_[i];
+    const auto& [vb, wb] = sketch_[i + 1];
+    fused.emplace_back((va * wa + vb * wb) / (wa + wb), wa + wb);
+  }
+  if (sketch_.size() % 2 == 1) fused.push_back(sketch_.back());
+  sketch_ = std::move(fused);
 }
 
 void WeightedStats::merge(const WeightedStats& other) {
@@ -66,9 +110,16 @@ void WeightedStats::merge(const WeightedStats& other) {
   }
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  // Chan's parallel combination of the Welford accumulators.
+  const double delta = other.welford_mean_ - welford_mean_;
+  const double combined = weight_ + other.weight_;
+  m2_ += other.m2_ + delta * delta * weight_ * other.weight_ / combined;
+  welford_mean_ += delta * (other.weight_ / combined);
   n_ += other.n_;
   weight_ += other.weight_;
   weighted_sum_ += other.weighted_sum_;
+  sketch_.insert(sketch_.end(), other.sketch_.begin(), other.sketch_.end());
+  while (sketch_.size() > kSketchCapacity) compact();
 }
 
 double percentile(std::vector<double> values, double p) {

@@ -37,13 +37,14 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Streaming accumulator for a *weighted* mean / min / max — the
-/// time-average primitive of the discrete-event engine: each sample is a
-/// state value weighted by how long the system stayed in that state, so
-/// mean() is the time-weighted average rather than the per-event average
-/// (which over-counts states that happen to see many events). Samples with
-/// non-positive weight are ignored: a state that persisted for zero time
-/// contributes nothing to a time average, including its min/max.
+/// Streaming accumulator for a *weighted* mean / variance / min / max plus
+/// a percentile estimate — the time-average primitive of the discrete-event
+/// engine: each sample is a state value weighted by how long the system
+/// stayed in that state, so mean() is the time-weighted average rather than
+/// the per-event average (which over-counts states that happen to see many
+/// events). Samples with non-positive weight are ignored: a state that
+/// persisted for zero time contributes nothing to a time average, including
+/// its min/max/percentiles.
 class WeightedStats {
  public:
   void add(double x, double weight);
@@ -58,15 +59,45 @@ class WeightedStats {
   double min() const { return n_ == 0 ? 0.0 : min_; }
   double max() const { return n_ == 0 ? 0.0 : max_; }
 
+  /// Weighted population variance sum(w·(x − mean)²)/sum(w), maintained
+  /// with West's weighted Welford update (single pass, no catastrophic
+  /// cancellation). Frequency-weight semantics — the engine's weights are
+  /// durations, so this is the variance of the state *over time*, not over
+  /// events. 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Estimated weighted percentile, p in [0, 100]: the smallest sampled
+  /// value whose cumulative weight reaches p% of the total (so
+  /// percentile(95) is the level the state stayed at or below for 95% of
+  /// the covered time). Exact while the sample sketch holds every sample;
+  /// past the sketch capacity neighboring values are merged into weighted
+  /// centroids, making the result an estimate. 0 when empty.
+  double percentile(double p) const;
+
   /// Merges another accumulator into this one (parallel-friendly).
   void merge(const WeightedStats& other);
 
  private:
+  void compact();
+
+  /// Sketch bound: scenarios produce a few thousand state samples, so the
+  /// percentile is usually exact; the cap only bounds pathological runs.
+  static constexpr std::size_t kSketchCapacity = 8192;
+
   std::size_t n_ = 0;
   double weight_ = 0.0;
   double weighted_sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  /// Welford state: running weighted mean (kept separately so the pinned
+  /// mean() = sum(w·x)/sum(w) expression stays bit-identical) and the
+  /// weighted sum of squared deviations.
+  double welford_mean_ = 0.0;
+  double m2_ = 0.0;
+  /// (value, weight) centroids backing percentile(); compacted by merging
+  /// value-adjacent pairs when kSketchCapacity is exceeded.
+  std::vector<std::pair<double, double>> sketch_;
 };
 
 /// Percentile of a sample (linear interpolation between closest ranks).

@@ -243,5 +243,88 @@ TEST(FaultModelEngineTest, FaultClockIsIndependentOfTheDomainKind) {
   EXPECT_EQ(element.faults, link.faults);
 }
 
+TEST(FaultModelParseTest, SingleDomainAndMixSpecs) {
+  const auto element = parse_fault_model("element");
+  ASSERT_TRUE(element.ok());
+  EXPECT_EQ(element.value().domain, FaultDomain::kElement);
+  EXPECT_TRUE(element.value().mix.empty());
+
+  const auto mix = parse_fault_model("mix:element=0.9,package=0.1");
+  ASSERT_TRUE(mix.ok());
+  ASSERT_EQ(mix.value().mix.size(), 2u);
+  EXPECT_EQ(mix.value().mix[0].first, FaultDomain::kElement);
+  EXPECT_DOUBLE_EQ(mix.value().mix[0].second, 0.9);
+  EXPECT_EQ(mix.value().mix[1].first, FaultDomain::kPackage);
+  EXPECT_DOUBLE_EQ(mix.value().mix[1].second, 0.1);
+
+  EXPECT_FALSE(parse_fault_model("mix:element=0.9,pakage=0.1").ok());
+  EXPECT_FALSE(parse_fault_model("mix:element").ok());        // no weight
+  EXPECT_FALSE(parse_fault_model("mix:element=-1").ok());     // negative
+  EXPECT_FALSE(parse_fault_model("mix:element=0,row=0").ok());  // all zero
+  EXPECT_FALSE(
+      parse_fault_model("mix:element=1,element=1").ok());  // duplicate
+  EXPECT_FALSE(parse_fault_model("pakage").ok());
+}
+
+TEST(FaultModelMixTest, MixDrawsAreDeterministicAndDomainShaped) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  FaultModelConfig config;
+  config.mix = {{FaultDomain::kElement, 0.8}, {FaultDomain::kPackage, 0.2}};
+  const FaultModel model(config);
+  EXPECT_FALSE(model.link_only());
+
+  // Per-seed determinism of the victim-set sequence.
+  for (const std::uint64_t seed : {3ull, 19ull}) {
+    util::Xoshiro256 a(seed);
+    util::Xoshiro256 b(seed);
+    for (int i = 0; i < 20; ++i) {
+      const FaultSet fa = model.draw(crisp, a);
+      const FaultSet fb = model.draw(crisp, b);
+      ASSERT_EQ(fa.elements, fb.elements);
+      ASSERT_TRUE(fa.links.empty());
+    }
+  }
+
+  // Over many draws both mix members must occur: single-element sets from
+  // the element domain and multi-element sets from the package domain.
+  util::Xoshiro256 rng(7);
+  bool saw_single = false;
+  bool saw_package = false;
+  for (int i = 0; i < 200; ++i) {
+    const FaultSet set = model.draw(crisp, rng);
+    ASSERT_FALSE(set.empty());
+    saw_single |= set.elements.size() == 1;
+    saw_package |= set.elements.size() > 1;
+  }
+  EXPECT_TRUE(saw_single);
+  EXPECT_TRUE(saw_package);
+}
+
+TEST(FaultModelMixTest, DegenerateMixMatchesItsOnlyDomainModuloOnePick) {
+  // A one-entry mix behaves exactly like the plain domain, except that it
+  // first spends its documented extra RNG pick per event.
+  platform::Platform crisp = platform::make_crisp_platform();
+  FaultModelConfig mix_config;
+  mix_config.mix = {{FaultDomain::kRow, 1.0}};
+  const FaultModel mixed(mix_config);
+  FaultModelConfig plain_config;
+  plain_config.domain = FaultDomain::kRow;
+  const FaultModel plain(plain_config);
+
+  // Same seed: the mixed model's sets equal the plain model's sets drawn
+  // from an RNG that pre-consumes one uniform per event.
+  util::Xoshiro256 a(123);
+  util::Xoshiro256 b(123);
+  for (int i = 0; i < 25; ++i) {
+    const FaultSet mixed_set = mixed.draw(crisp, a);
+    (void)b.uniform01();
+    const FaultSet plain_set = plain.draw(crisp, b);
+    EXPECT_EQ(mixed_set.elements, plain_set.elements);
+  }
+  FaultModelConfig link_mix;
+  link_mix.mix = {{FaultDomain::kLink, 1.0}, {FaultDomain::kRow, 0.0}};
+  EXPECT_TRUE(FaultModel(link_mix).link_only());
+}
+
 }  // namespace
 }  // namespace kairos::sim

@@ -103,7 +103,7 @@ using kairos::testing::snapshots_equal;
 TEST(MapperRegistryTest, ListsTheExpectedStrategies) {
   const auto names = available();
   for (const char* expected : {"incremental", "first_fit", "random", "heft",
-                               "sa", "tabu", "portfolio"}) {
+                               "sa", "tabu", "nsga2", "portfolio"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
     EXPECT_TRUE(is_registered(expected)) << expected;
@@ -141,7 +141,8 @@ TEST(MapperRegistryTest, UnknownNameListsAllStrategiesSorted) {
   EXPECT_EQ(made.error(), "unknown mapper strategy 'no-such-mapper' (known: " +
                               expected + ")");
   EXPECT_EQ(expected,
-            "first_fit, heft, incremental, portfolio, random, sa, tabu");
+            "first_fit, heft, incremental, nsga2, portfolio, random, sa, "
+            "tabu");
 }
 
 // The registry-coverage contract: every strategy admits the quickstart

@@ -1,0 +1,326 @@
+// Tests for the multi-objective subsystem's primitives: Pareto dominance
+// (property-checked), the bounded non-dominated archive (never holds a
+// dominated point, crowding pruning keeps the extremes and the scalar
+// anchor), hand-computed crowding distances and hypervolumes (2-D and 3-D),
+// objective-name parsing, and the incremental ExternalFragEvaluator against
+// a from-scratch recount under random move/swap/undo sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "mo/hypervolume.hpp"
+#include "mo/objective.hpp"
+#include "mo/pareto.hpp"
+#include "platform/builders.hpp"
+#include "platform/crisp.hpp"
+#include "platform/fragmentation.hpp"
+#include "util/rng.hpp"
+
+namespace kairos::mo {
+namespace {
+
+using platform::ElementId;
+
+TEST(DominanceTest, BasicRelations) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 3.0}));
+  EXPECT_TRUE(dominates({1.0, 3.0}, {2.0, 3.0}));  // equal in one objective
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // trade-off
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));  // equality: no strict win
+  EXPECT_FALSE(dominates({}, {}));
+}
+
+// Antisymmetry and irreflexivity over random vectors: a point never
+// dominates itself, and mutual domination is impossible.
+TEST(DominanceTest, AntisymmetryProperty) {
+  util::Xoshiro256 rng(0xD0117);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> a(3);
+    std::vector<double> b(3);
+    for (int m = 0; m < 3; ++m) {
+      a[static_cast<std::size_t>(m)] = rng.uniform_real(0.0, 4.0);
+      b[static_cast<std::size_t>(m)] = rng.uniform_real(0.0, 4.0);
+    }
+    EXPECT_FALSE(dominates(a, a));
+    EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+  }
+}
+
+TEST(CrowdingTest, HandComputedDistances) {
+  // Front sorted on the first objective: (0,4) (1,2) (3,1) (4,0).
+  const std::vector<ParetoEntry> front = {
+      {{0.0, 4.0}, {}, 0.0},
+      {{1.0, 2.0}, {}, 0.0},
+      {{3.0, 1.0}, {}, 0.0},
+      {{4.0, 0.0}, {}, 0.0},
+  };
+  const auto distance = crowding_distances(front);
+  ASSERT_EQ(distance.size(), 4u);
+  EXPECT_TRUE(std::isinf(distance[0]));
+  EXPECT_TRUE(std::isinf(distance[3]));
+  // Interior (1,2): (3-0)/4 on objective 0 plus (4-1)/4 on objective 1.
+  EXPECT_DOUBLE_EQ(distance[1], 0.75 + 0.75);
+  // Interior (3,1): (4-1)/4 plus (2-0)/4.
+  EXPECT_DOUBLE_EQ(distance[2], 0.75 + 0.5);
+}
+
+TEST(CrowdingTest, TinyFrontsAreAllExtreme) {
+  const std::vector<ParetoEntry> pair = {{{1.0, 2.0}, {}, 0.0},
+                                         {{2.0, 1.0}, {}, 0.0}};
+  for (const double d : crowding_distances(pair)) EXPECT_TRUE(std::isinf(d));
+  EXPECT_TRUE(crowding_distances({}).empty());
+}
+
+TEST(ParetoArchiveTest, InsertRejectsDominatedAndDuplicates) {
+  ParetoArchive archive(8);
+  EXPECT_TRUE(archive.insert({{2.0, 2.0}, {}, 0.0}));
+  EXPECT_FALSE(archive.insert({{3.0, 3.0}, {}, 0.0}));  // dominated
+  EXPECT_FALSE(archive.insert({{2.0, 2.0}, {}, 0.0}));  // duplicate
+  EXPECT_TRUE(archive.insert({{1.0, 3.0}, {}, 0.0}));   // trade-off
+  EXPECT_EQ(archive.size(), 2u);
+
+  // A dominator evicts everything it dominates in one insert.
+  EXPECT_TRUE(archive.insert({{1.0, 2.0}, {}, 0.0}));
+  ASSERT_EQ(archive.size(), 1u);
+  EXPECT_EQ(archive.entries().front().objectives,
+            (std::vector<double>{1.0, 2.0}));
+}
+
+// The invariant the NSGA-II search relies on: whatever is thrown at the
+// archive, its contents stay mutually non-dominated and within capacity.
+TEST(ParetoArchiveTest, NeverHoldsADominatedPointProperty) {
+  util::Xoshiro256 rng(0xA2C417E);
+  ParetoArchive archive(12);
+  for (int trial = 0; trial < 400; ++trial) {
+    ParetoEntry entry;
+    entry.objectives = {rng.uniform_real(0.0, 10.0),
+                        rng.uniform_real(0.0, 10.0)};
+    entry.scalar_cost = entry.objectives[0] + entry.objectives[1];
+    archive.insert(entry);
+
+    ASSERT_LE(archive.size(), 12u);
+    const auto& entries = archive.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (std::size_t j = 0; j < entries.size(); ++j) {
+        ASSERT_FALSE(i != j && dominates(entries[i].objectives,
+                                         entries[j].objectives))
+            << "archive holds a dominated point after trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(ParetoArchiveTest, CrowdingPruningKeepsExtremesAndScalarAnchor) {
+  // A staircase front larger than capacity: every point is non-dominated.
+  ParetoArchive archive(6);
+  const int points = 20;
+  for (int i = 0; i < points; ++i) {
+    ParetoEntry entry;
+    entry.objectives = {static_cast<double>(i),
+                        static_cast<double>(points - i)};
+    entry.scalar_cost = 4.0 * entry.objectives[0] + entry.objectives[1];
+    EXPECT_TRUE(archive.insert(entry));
+  }
+  ASSERT_EQ(archive.size(), 6u);
+
+  double best_scalar = std::numeric_limits<double>::infinity();
+  bool has_min_0 = false;
+  bool has_min_1 = false;
+  for (const auto& entry : archive.entries()) {
+    best_scalar = std::min(best_scalar, entry.scalar_cost);
+    has_min_0 |= entry.objectives[0] == 0.0;
+    has_min_1 |= entry.objectives[1] == 1.0;  // min of objective 1
+  }
+  // Extremes (per-objective minima of the inserted set) survive pruning,
+  // and so does the cheapest scalarisation (here the objective-0 extreme).
+  EXPECT_TRUE(has_min_0);
+  EXPECT_TRUE(has_min_1);
+  EXPECT_DOUBLE_EQ(best_scalar, 0.0 * 4.0 + 20.0);
+}
+
+TEST(ParetoArchiveTest, ScalarAnchorSurvivesEvenAsInteriorPoint) {
+  // Capacity 2, three mutually non-dominated points; the *interior* point
+  // carries the smallest scalar_cost and must survive the pruning that
+  // would otherwise always evict the interior.
+  ParetoArchive archive(2);
+  EXPECT_TRUE(archive.insert({{0.0, 10.0}, {}, 50.0}));
+  EXPECT_TRUE(archive.insert({{10.0, 0.0}, {}, 60.0}));
+  EXPECT_TRUE(archive.insert({{5.0, 5.0}, {}, 1.0}));
+  ASSERT_EQ(archive.size(), 2u);
+  bool anchor_present = false;
+  for (const auto& entry : archive.entries()) {
+    anchor_present |= entry.scalar_cost == 1.0;
+  }
+  EXPECT_TRUE(anchor_present);
+}
+
+TEST(ParetoArchiveTest, KneeIsTheBalancedPoint) {
+  ParetoArchive archive(8);
+  archive.insert({{0.0, 10.0}, {}, 0.0});
+  archive.insert({{10.0, 0.0}, {}, 0.0});
+  archive.insert({{2.0, 2.0}, {}, 0.0});  // closest to the ideal corner
+  const auto& knee = archive.entries()[archive.knee_index()];
+  EXPECT_EQ(knee.objectives, (std::vector<double>{2.0, 2.0}));
+}
+
+TEST(HypervolumeTest, HandComputed2D) {
+  // Staircase {(1,3),(2,2),(3,1)} against (4,4): strips 3 + 2 + 1.
+  EXPECT_DOUBLE_EQ(
+      hypervolume({{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}}, {4.0, 4.0}), 6.0);
+  // A dominated point adds nothing.
+  EXPECT_DOUBLE_EQ(
+      hypervolume({{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}, {3.0, 3.0}},
+                  {4.0, 4.0}),
+      6.0);
+  // Points outside the reference box are ignored.
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 5.0}, {2.0, 2.0}}, {4.0, 4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(hypervolume({}, {4.0, 4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 1.0}}, {3.0, 4.0}), 6.0);
+}
+
+TEST(HypervolumeTest, HandComputed3D) {
+  // One box: (2-1)^3.
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 1.0, 1.0}}, {2.0, 2.0, 2.0}), 1.0);
+  // Two co-planar points at z=1 against (3,3,3): 2-D union 3, thickness 2.
+  EXPECT_DOUBLE_EQ(
+      hypervolume({{1.0, 2.0, 1.0}, {2.0, 1.0, 1.0}}, {3.0, 3.0, 3.0}), 6.0);
+  // Stacked slabs: box of (2,2,1) is [2,3]^2 x [1,3] (volume 2), box of
+  // (1,1,2) is [1,3]^2 x [2,3] (volume 4), overlapping in [2,3]^3 (1):
+  // union 2 + 4 - 1 = 5.
+  EXPECT_DOUBLE_EQ(
+      hypervolume({{2.0, 2.0, 1.0}, {1.0, 1.0, 2.0}}, {3.0, 3.0, 3.0}), 5.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 1.0}}, {2.0, 2.0}), 1.0);
+}
+
+TEST(ObjectiveParseTest, NamesAliasesAndErrors) {
+  EXPECT_EQ(parse_objective("communication").value(),
+            ObjectiveKind::kCommunication);
+  EXPECT_EQ(parse_objective("comm").value(), ObjectiveKind::kCommunication);
+  EXPECT_EQ(parse_objective("frag").value(), ObjectiveKind::kFragmentation);
+  EXPECT_EQ(parse_objective("extfrag").value(),
+            ObjectiveKind::kExternalFragmentation);
+  EXPECT_FALSE(parse_objective("throughput").ok());
+
+  const auto parsed = parse_objectives("comm,external_fragmentation");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(objective_names(parsed.value()),
+            (std::vector<std::string>{"communication",
+                                      "external_fragmentation"}));
+  EXPECT_FALSE(parse_objectives("comm,communication").ok());  // duplicate
+  EXPECT_FALSE(parse_objectives("").ok());
+  EXPECT_FALSE(parse_objectives("comm,,frag").ok());
+}
+
+TEST(ObjectiveEvaluateTest, PicksTheRequestedTerms) {
+  core::LayoutCostTerms terms;
+  terms.comm_bw_hops = 120;
+  terms.frag_pairs = 10;
+  terms.peer_pairs = 2;
+  terms.same_app_pairs = 3;
+  terms.other_app_pairs = 1;
+  const core::FragmentationBonuses bonuses{};
+  const auto values = evaluate_objectives(
+      {ObjectiveKind::kExternalFragmentation, ObjectiveKind::kCommunication,
+       ObjectiveKind::kFragmentation},
+      terms, bonuses, 0.25);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 0.25);
+  EXPECT_DOUBLE_EQ(values[1], 120.0);
+  EXPECT_DOUBLE_EQ(values[2], terms.fragmentation_term(bonuses));
+}
+
+/// From-scratch reference: the §III-A definition applied to the planned
+/// assignment (used-by-others OR hosts a planned task).
+double reference_external_frag(const platform::Platform& platform,
+                               const std::vector<ElementId>& assignment) {
+  std::vector<int> planned(platform.element_count(), 0);
+  for (const ElementId e : assignment) {
+    if (e.valid()) ++planned[static_cast<std::size_t>(e.value)];
+  }
+  const auto used = [&](ElementId e) {
+    return planned[static_cast<std::size_t>(e.value)] > 0 ||
+           platform.element(e).is_used();
+  };
+  long pairs = 0;
+  long fragmented = 0;
+  for (const auto& element : platform.elements()) {
+    for (const ElementId n : platform.neighbors(element.id())) {
+      if (n.value <= element.id().value) continue;
+      ++pairs;
+      if (used(element.id()) != used(n)) ++fragmented;
+    }
+  }
+  return pairs == 0 ? 0.0
+                    : static_cast<double>(fragmented) /
+                          static_cast<double>(pairs);
+}
+
+TEST(ExternalFragEvaluatorTest, MatchesPlatformMetricForEmptyAssignment) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  core::ResourceManager manager(crisp, config);
+  // Occupy some elements through a real admission so is_used() is exercised.
+  const auto pool = gen::make_dataset(gen::DatasetKind::kCommunicationSmall,
+                                      5, 0xC0FFEE);
+  for (const auto& app : pool) manager.admit(app);
+
+  const ExternalFragEvaluator evaluator(crisp, {});
+  EXPECT_DOUBLE_EQ(evaluator.value(),
+                   platform::external_fragmentation(crisp));
+}
+
+TEST(ExternalFragEvaluatorTest, IncrementalMatchesRecountUnderMoveSwapUndo) {
+  platform::BuilderConfig cfg;
+  cfg.element_type = platform::ElementType::kDsp;
+  platform::Platform torus = platform::make_torus(5, 5, cfg);
+  util::Xoshiro256 rng(0xF4A6);
+
+  const std::size_t tasks = 8;
+  std::vector<ElementId> assignment(tasks);
+  for (auto& e : assignment) {
+    e = ElementId{static_cast<std::int32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(torus.element_count()) -
+                               1))};
+  }
+  ExternalFragEvaluator evaluator(torus, assignment);
+  ASSERT_DOUBLE_EQ(evaluator.value(),
+                   reference_external_frag(torus, assignment));
+
+  for (int step = 0; step < 300; ++step) {
+    const auto t = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(tasks) - 1));
+    const bool do_swap = rng.bernoulli(0.4);
+    if (do_swap) {
+      const auto u = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(tasks) - 1));
+      if (u == t) continue;
+      evaluator.apply_swap(t, u);
+      if (rng.bernoulli(0.3)) {
+        evaluator.undo();
+        continue;
+      }
+      std::swap(assignment[t], assignment[u]);
+    } else {
+      const ElementId to{static_cast<std::int32_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(torus.element_count()) - 1))};
+      if (to == assignment[t]) continue;
+      evaluator.apply_move(t, to);
+      if (rng.bernoulli(0.3)) {
+        evaluator.undo();
+        continue;
+      }
+      assignment[t] = to;
+    }
+    ASSERT_DOUBLE_EQ(evaluator.value(),
+                     reference_external_frag(torus, assignment))
+        << "diverged at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace kairos::mo

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "mo/pareto.hpp"
 #include "platform/builders.hpp"
 #include "sim/sweep.hpp"
 #include "util/csv.hpp"
@@ -191,6 +192,67 @@ TEST(SweepTest, CsvSchemaIsPinnedAndRowsMatchHeader) {
   EXPECT_EQ(rows.front(), header);
   for (const auto& row : rows) {
     EXPECT_EQ(row.size(), header.size());
+  }
+  std::remove(path.c_str());
+}
+
+// The multi-objective columns are strictly opt-in: the default schema (and
+// thus the golden file) is untouched, and with the flag the cells carry a
+// non-dominated admission front plus two extra CSV columns.
+TEST(SweepTest, MultiObjectiveColumnsAreOptIn) {
+  EXPECT_EQ(sweep_csv_header(false), sweep_csv_header());
+  const auto extended = sweep_csv_header(true);
+  ASSERT_EQ(extended.size(), sweep_csv_header().size() + 2);
+  EXPECT_EQ(extended[extended.size() - 2], "front_size");
+  EXPECT_EQ(extended.back(), "front_hypervolume");
+
+  auto spec = small_spec();
+  spec.threads = 1;
+  spec.multi_objective = true;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.multi_objective);
+  for (const auto& cell : result.cells) {
+    ASSERT_GT(cell.stats.admitted, 0);
+    const auto& front = cell.stats.admission_front;
+    ASSERT_FALSE(front.empty());
+    // (mapping cost, external fragmentation) points, mutually non-dominated.
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      ASSERT_EQ(front.entries()[i].objectives.size(), 2u);
+      for (std::size_t j = 0; j < front.size(); ++j) {
+        EXPECT_FALSE(i != j &&
+                     mo::dominates(front.entries()[i].objectives,
+                                   front.entries()[j].objectives));
+      }
+    }
+    EXPECT_GT(front_hypervolume(front), 0.0);
+  }
+  // Tracking must not perturb the scenario itself: identical counters with
+  // and without the flag.
+  auto plain_spec = small_spec();
+  plain_spec.threads = 1;
+  const SweepResult plain = run_sweep(plain_spec);
+  ASSERT_EQ(plain.cells.size(), result.cells.size());
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    EXPECT_EQ(plain.cells[i].stats.arrivals, result.cells[i].stats.arrivals);
+    EXPECT_EQ(plain.cells[i].stats.admitted, result.cells[i].stats.admitted);
+    EXPECT_TRUE(plain.cells[i].stats.admission_front.empty());
+  }
+
+  const std::string path = ::testing::TempDir() + "sweep_mo_test.csv";
+  {
+    util::CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    write_sweep_csv(result, csv);
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = util::parse_csv(buffer.str());
+  ASSERT_EQ(rows.size(), 1u + result.cells.size());
+  EXPECT_EQ(rows.front(), extended);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), extended.size());
   }
   std::remove(path.c_str());
 }

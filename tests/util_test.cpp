@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "util/csv.hpp"
@@ -187,6 +188,62 @@ TEST(WeightedStatsTest, MergeMatchesSequential) {
   WeightedStats empty;
   a.merge(empty);  // merging nothing changes nothing
   EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(WeightedStatsTest, WeightedVarianceIsHandComputed) {
+  WeightedStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // one sample: no spread
+  // Values 2 (weight 1) and 5 (weight 3): mean 4.25;
+  // variance = (1·(2−4.25)² + 3·(5−4.25)²) / 4 = (5.0625 + 1.6875)/4.
+  s.add(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.25);
+  EXPECT_NEAR(s.variance(), 6.75 / 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(6.75 / 4.0), 1e-12);
+}
+
+TEST(WeightedStatsTest, WeightedVarianceSurvivesMerge) {
+  WeightedStats a;
+  WeightedStats b;
+  WeightedStats all;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform_real(-5, 5);
+    const double w = rng.uniform_real(0.1, 2.0);
+    (i % 3 == 0 ? a : b).add(x, w);
+    all.add(x, w);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(WeightedStatsTest, PercentileIsTheWeightedCumulativeLevel) {
+  WeightedStats s;
+  EXPECT_DOUBLE_EQ(s.percentile(95), 0.0);  // empty
+  // A state at level 1 for 90 time units, level 7 for 9, level 30 for 1:
+  // the level held for 95% of the time is 7; the median level is 1.
+  s.add(7.0, 9.0);
+  s.add(1.0, 90.0);
+  s.add(30.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(WeightedStatsTest, PercentileSketchCompactionStaysClose) {
+  // Push far past the sketch capacity: the p95 of uniform [0, 1) weights
+  // must stay an estimate close to 0.95 even after compaction.
+  WeightedStats s;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 40000; ++i) {
+    s.add(rng.uniform01(), 1.0);
+  }
+  EXPECT_NEAR(s.percentile(95), 0.95, 0.02);
+  EXPECT_NEAR(s.percentile(50), 0.50, 0.02);
+  // Moments are exact regardless of sketch compaction (uniform: var 1/12).
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
 }
 
 TEST(PercentileTest, InterpolatesBetweenRanks) {
