@@ -17,7 +17,8 @@
 //                     [<app-file>...]
 //          kairos_cli --sweep [--fault-rate <r>] [--fault-rates <r,r,...>]
 //                     [--defrag-periods <t,t,...>] [--fault-model <spec>]
-//                     [--repair <t>] [--seed <n>] [--mo]
+//                     [--repair <t>] [--seed <n>] [--mo] [--p95]
+//          kairos_cli --version            (any mode: --trace-json <file>)
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
 // the paper's incremental mapper. --sa-full switches SA trial moves back to
@@ -41,7 +42,14 @@
 // The third form runs the strategy × platform × arrival-rate (× fault-rate
 // × defrag-period, when the list flags are given) sweep driver in parallel
 // and writes kairos_sweep.csv; --mo appends per-cell Pareto front size and
-// hypervolume columns.
+// hypervolume columns, --p95 per-cell time-weighted 95th-percentile
+// live/fragmentation/utilisation columns.
+//
+// Observability: --version prints the embedded build stamp (git SHA,
+// compiler, build type) and exits; --trace-json <file> records every
+// instrumented span of the run — admission phases, engine events, sweep
+// cells — and writes Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing. Both work with every mode.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -57,6 +65,8 @@
 #include "graph/app_io.hpp"
 #include "mappers/registry.hpp"
 #include "mo/objective.hpp"
+#include "obs/build_info.hpp"
+#include "obs/trace.hpp"
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
@@ -160,6 +170,27 @@ bool parse_double_list(const std::string& text, std::vector<double>& out) {
   return !out.empty();
 }
 
+/// Writes the tracer's collected spans as Chrome trace-event JSON when
+/// main() returns, whatever the exit path — a failed run's partial trace is
+/// exactly what one wants to look at.
+struct TraceJsonDump {
+  std::string path;  ///< empty: tracing was not requested
+
+  ~TraceJsonDump() {
+    if (path.empty()) return;
+    kairos::obs::Tracer::global().stop();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", path.c_str());
+      return;
+    }
+    kairos::obs::Tracer::global().write_json(out);
+    std::printf("wrote span trace to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                path.c_str());
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +220,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> objective_names;
   std::string front_csv_path;
   bool mo_columns = false;
+  bool percentile_columns = false;
+  std::string trace_json_path;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -347,6 +380,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--mo") {
       mo_columns = true;
+    } else if (arg == "--p95") {
+      percentile_columns = true;
+    } else if (arg == "--trace-json") {
+      if (!next_string(trace_json_path)) {
+        std::fprintf(stderr, "--trace-json requires an output file\n");
+        return 64;
+      }
+    } else if (arg == "--version") {
+      std::printf("%s\n", obs::build_info_line().c_str());
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: kairos_cli [--wc w] [--wf w] [--mcr] "
                   "[--mapper <%s>] [--seed n] [--sa-full] [--cancel-bound c] "
@@ -362,7 +405,9 @@ int main(int argc, char** argv) {
                   "       kairos_cli --sweep [--mapper name] [--rate r] "
                   "[--lifetime t] [--horizon t] [--fault-rate r] "
                   "[--fault-rates r,r,...] [--defrag-periods t,t,...] "
-                  "[--fault-model spec] [--repair t] [--seed n] [--mo]\n",
+                  "[--fault-model spec] [--repair t] [--seed n] [--mo] "
+                  "[--p95]\n"
+                  "       common: [--version] [--trace-json file]\n",
                   mapper_list().c_str());
       return 0;
     } else {
@@ -440,6 +485,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--mo adds sweep columns; use it with --sweep\n");
     return 64;
   }
+  if (percentile_columns && !sweep) {
+    std::fprintf(stderr, "--p95 adds sweep columns; use it with --sweep\n");
+    return 64;
+  }
+
+  // Arm span collection before any admission runs; the dump object writes
+  // the JSON on every main() exit path from here on.
+  TraceJsonDump trace_dump;
+  if (!trace_json_path.empty()) {
+    trace_dump.path = trace_json_path;
+    obs::Tracer::global().start();
+  }
 
   if (sweep) {
     // The strategy × platform × arrival-rate (× fault-rate × defrag-period)
@@ -474,6 +531,7 @@ int main(int argc, char** argv) {
     spec.engine.portfolio_cancel_bound = cancel_bound;
     spec.engine.objectives = objective_names;
     spec.multi_objective = mo_columns;
+    spec.percentiles = percentile_columns;
     const sim::SweepResult result = sim::run_sweep(spec);
     if (!result.error.empty()) {
       std::fprintf(stderr, "%s\n", result.error.c_str());
@@ -657,6 +715,9 @@ int main(int argc, char** argv) {
                    front_csv_path.c_str());
       return 66;
     }
+    // Provenance stamp: fronts get compared across builds, so each file
+    // records which build produced it.
+    front_csv->write_comment(obs::build_info_line());
     std::vector<std::string> header{"application"};
     for (const std::string& name :
          objective_names.empty()

@@ -4,10 +4,44 @@
 #include <cassert>
 
 #include "mappers/incremental_mapper.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/fragmentation.hpp"
-#include "util/timer.hpp"
 
 namespace kairos::core {
+
+namespace {
+
+// Admission metrics, resolved once (handles stay valid across reset()).
+struct AdmissionMetrics {
+  obs::Counter attempts = obs::Registry::global().counter("admission.attempts");
+  obs::Counter admitted = obs::Registry::global().counter("admission.admitted");
+  obs::Histogram binding_ms =
+      obs::Registry::global().histogram("admission.binding_ms");
+  obs::Histogram mapping_ms =
+      obs::Registry::global().histogram("admission.mapping_ms");
+  obs::Histogram routing_ms =
+      obs::Registry::global().histogram("admission.routing_ms");
+  obs::Histogram validation_ms =
+      obs::Registry::global().histogram("admission.validation_ms");
+  obs::Histogram total_ms =
+      obs::Registry::global().histogram("admission.total_ms");
+
+  static const AdmissionMetrics& get() {
+    static const AdmissionMetrics instance;
+    return instance;
+  }
+};
+
+// Rejections are counted per failing phase; the failure path is cold, so the
+// by-name lookup (one registry lock) is fine here.
+void count_rejection(Phase phase) {
+  obs::Registry::global()
+      .counter("admission.rejected." + to_string(phase))
+      .add(1);
+}
+
+}  // namespace
 
 ResourceManager::ResourceManager(platform::Platform& platform,
                                  KairosConfig config)
@@ -47,6 +81,27 @@ std::string to_string(Phase phase) {
 AdmissionReport ResourceManager::admit(const graph::Application& app) {
   AdmissionReport report;
 
+  const AdmissionMetrics& metrics = AdmissionMetrics::get();
+  metrics.attempts.add(1);
+  obs::Span admission("admission");
+  admission.arg("app", app.name());
+  // On every exit path: tally the outcome and the total wall-clock.
+  struct Outcome {
+    const AdmissionReport& report;
+    const AdmissionMetrics& metrics;
+    obs::Span& span;
+    ~Outcome() {
+      if (report.admitted) {
+        metrics.admitted.add(1);
+        span.arg("outcome", "admitted");
+      } else {
+        count_rejection(report.failed_phase);
+        span.arg("outcome", "rejected:" + to_string(report.failed_phase));
+      }
+      metrics.total_ms.record(span.elapsed_ms());
+    }
+  } outcome{report, metrics, admission};
+
   // --- specification checks (outside the paper's four phases) -------------
   const auto well_formed = app.validate();
   if (!well_formed.ok()) {
@@ -66,10 +121,14 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   platform::Transaction txn(*platform_);
 
   // --- binding -------------------------------------------------------------
-  util::Stopwatch watch;
-  const BindingPhase binding(*platform_);
-  const BindingResult bound = binding.bind(app, pins.value());
-  report.times.binding_ms = watch.elapsed_ms();
+  BindingResult bound;
+  {
+    obs::Span phase("phase.binding");
+    const BindingPhase binding(*platform_);
+    bound = binding.bind(app, pins.value());
+    report.times.binding_ms = phase.elapsed_ms();
+  }
+  metrics.binding_ms.record(report.times.binding_ms);
   if (!bound.ok) {
     report.failed_phase = Phase::kBinding;
     report.reason = bound.reason;
@@ -78,10 +137,13 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   report.binding_cost = bound.total_cost;
 
   // --- mapping ---------------------------------------------------------------
-  watch.reset();
-  const MappingResult mapped =
-      config_.mapper->map(app, bound.impl_of, pins.value(), *platform_);
-  report.times.mapping_ms = watch.elapsed_ms();
+  MappingResult mapped;
+  {
+    obs::Span phase("phase.mapping");
+    mapped = config_.mapper->map(app, bound.impl_of, pins.value(), *platform_);
+    report.times.mapping_ms = phase.elapsed_ms();
+  }
+  metrics.mapping_ms.record(report.times.mapping_ms);
   report.mapping_stats = mapped.stats;
   if (!mapped.ok) {
     report.failed_phase = Phase::kMapping;
@@ -91,10 +153,14 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   report.mapping_cost = mapped.total_cost;
 
   // --- routing ----------------------------------------------------------------
-  watch.reset();
-  const RoutingPhase routing(config_.routing);
-  RoutingResult routed = routing.route(app, mapped.element_of, *platform_);
-  report.times.routing_ms = watch.elapsed_ms();
+  RoutingResult routed;
+  {
+    obs::Span phase("phase.routing");
+    const RoutingPhase routing(config_.routing);
+    routed = routing.route(app, mapped.element_of, *platform_);
+    report.times.routing_ms = phase.elapsed_ms();
+  }
+  metrics.routing_ms.record(report.times.routing_ms);
   if (!routed.ok) {
     report.failed_phase = Phase::kRouting;
     report.reason = routed.reason;
@@ -104,12 +170,15 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
 
   // --- validation ----------------------------------------------------------------
   if (config_.validation_enabled) {
-    watch.reset();
-    const ValidationPhase validation(config_.validation);
-    const ValidationResult validated =
-        validation.validate(app, bound.impl_of, mapped.element_of,
-                            routed.routes);
-    report.times.validation_ms = watch.elapsed_ms();
+    ValidationResult validated;
+    {
+      obs::Span phase("phase.validation");
+      const ValidationPhase validation(config_.validation);
+      validated = validation.validate(app, bound.impl_of, mapped.element_of,
+                                      routed.routes);
+      report.times.validation_ms = phase.elapsed_ms();
+    }
+    metrics.validation_ms.record(report.times.validation_ms);
     report.throughput = validated.throughput;
     if (!validated.ok && config_.validation_rejects) {
       report.failed_phase = Phase::kValidation;
@@ -291,9 +360,25 @@ void ResourceManager::repair_link(platform::LinkId l) {
 }
 
 ResourceManager::DefragReport ResourceManager::defragment() {
+  obs::Span span("defrag");
+  static const obs::Counter defrag_runs =
+      obs::Registry::global().counter("defrag.runs");
+  static const obs::Counter defrag_rollbacks =
+      obs::Registry::global().counter("defrag.rollbacks");
+  static const obs::Histogram defrag_ms =
+      obs::Registry::global().histogram("defrag.total_ms");
+  defrag_runs.add(1);
+
   DefragReport report;
   report.fragmentation_before = platform::external_fragmentation(*platform_);
   report.applications = static_cast<int>(live_.size());
+  // Tally the wall-clock on every exit path.
+  struct Timing {
+    obs::Span& span;
+    const obs::Histogram& histogram;
+    ~Timing() { histogram.record(span.elapsed_ms()); }
+  } timing{span, defrag_ms};
+
   if (live_.empty()) {
     report.performed = true;
     report.fragmentation_after = report.fragmentation_before;
@@ -328,6 +413,8 @@ ResourceManager::DefragReport ResourceManager::defragment() {
       platform_->restore(snap);
       live_ = backup;
       report.fragmentation_after = report.fragmentation_before;
+      defrag_rollbacks.add(1);
+      span.arg("outcome", "rolled_back");
       return report;
     }
     // Keep the caller's handle stable.

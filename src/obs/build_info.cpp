@@ -1,0 +1,35 @@
+#include "obs/build_info.hpp"
+
+// CMake injects these on this source file only (see the build_info stamping
+// block in CMakeLists.txt); the fallbacks keep ad-hoc compiles working.
+#ifndef KAIROS_GIT_SHA
+#define KAIROS_GIT_SHA "unknown"
+#endif
+#ifndef KAIROS_COMPILER
+#define KAIROS_COMPILER "unknown"
+#endif
+#ifndef KAIROS_BUILD_TYPE
+#define KAIROS_BUILD_TYPE "unknown"
+#endif
+#ifndef KAIROS_CXX_FLAGS
+#define KAIROS_CXX_FLAGS ""
+#endif
+
+namespace kairos::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{KAIROS_GIT_SHA, KAIROS_COMPILER,
+                              KAIROS_BUILD_TYPE, KAIROS_CXX_FLAGS};
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::string line = "kairos " + info.git_sha + " (" + info.compiler + ", " +
+                     info.build_type;
+  if (!info.flags.empty()) line += ", flags: " + info.flags;
+  line += ")";
+  return line;
+}
+
+}  // namespace kairos::obs

@@ -1,0 +1,308 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace kairos::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::element() {
+  if (after_key_) {
+    // The value belonging to the preceding key: no separator.
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) *out_ << ',';
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  element();
+  *out_ << '{';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  first_.pop_back();
+  *out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  element();
+  *out_ << '[';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  first_.pop_back();
+  *out_ << ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  element();
+  *out_ << '"' << json_escape(name) << "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  element();
+  *out_ << '"' << json_escape(text) << '"';
+}
+
+void JsonWriter::value(double number) {
+  element();
+  // RFC 8259 has no NaN / infinity; clamp rather than emit an unparsable
+  // token (a perf record with one broken sample must stay machine-readable).
+  if (!std::isfinite(number)) number = 0.0;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", number);
+  *out_ << buffer;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  element();
+  *out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  element();
+  *out_ << (flag ? "true" : "false");
+}
+
+namespace {
+
+/// Recursive-descent structural validator. Tracks position for error
+/// reporting; depth-limited so a hostile input cannot blow the stack.
+class Validator {
+ public:
+  explicit Validator(const std::string& text) : text_(&text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!parse_value(0)) {
+      fill_error(error);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_->size()) {
+      reason_ = "trailing characters after document";
+      fill_error(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void fill_error(std::string* error) const {
+    if (error) {
+      *error = reason_ + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  char peek() const { return pos_ < text_->size() ? (*text_)[pos_] : '\0'; }
+  bool eof() const { return pos_ >= text_->size(); }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* why) {
+    if (reason_.empty()) reason_ = why;
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_->compare(pos_, n, word) != 0) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string() {
+    if (peek() != '"') return fail("expected string");
+    ++pos_;
+    while (!eof()) {
+      const char c = (*text_)[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) break;
+        const char esc = (*text_)[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    if (peek() == '0') {
+      ++pos_;  // RFC 8259: the integer part is "0" or starts with 1-9
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("leading zero");
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected fraction digit");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected exponent digit");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!parse_string()) return false;
+          skip_ws();
+          if (peek() != ':') return fail("expected ':'");
+          ++pos_;
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          if (!parse_value(depth + 1)) return false;
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return parse_string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return parse_number();
+    }
+  }
+
+  const std::string* text_;
+  std::size_t pos_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool json_valid(const std::string& text, std::string* error) {
+  return Validator(text).run(error);
+}
+
+}  // namespace kairos::obs

@@ -1,0 +1,124 @@
+#ifndef KAIROS_NO_OBS
+
+#include "obs/trace.hpp"
+
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+
+namespace kairos::obs {
+
+namespace {
+
+/// Per-thread nesting depth of open spans (only maintained while armed).
+thread_local int g_span_depth = 0;
+
+std::atomic<int> g_next_thread_id{1};
+
+}  // namespace
+
+int current_thread_id() {
+  thread_local const int id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_release); }
+
+double Tracer::now_us() const {
+  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  const std::vector<TraceEvent> events = this->events();
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  for (const TraceEvent& event : events) {
+    json.begin_object();
+    json.kv("name", event.name);
+    json.kv("cat", "kairos");
+    json.kv("ph", "X");
+    json.kv("ts", event.ts_us);
+    json.kv("dur", event.dur_us);
+    json.kv("pid", static_cast<std::int64_t>(1));
+    json.kv("tid", static_cast<std::int64_t>(event.tid));
+    json.key("args");
+    json.begin_object();
+    json.kv("depth", static_cast<std::int64_t>(event.depth));
+    for (const auto& [key, value] : event.args) json.kv(key, value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("otherData");
+  json.begin_object();
+  const BuildInfo& build = build_info();
+  json.kv("git_sha", build.git_sha);
+  json.kv("compiler", build.compiler);
+  json.kv("build_type", build.build_type);
+  json.kv("flags", build.flags);
+  json.end_object();
+  json.kv("displayTimeUnit", "ms");
+  json.end_object();
+}
+
+Span::Span(const std::string& name) {
+  Tracer& tracer = Tracer::global();
+  if (tracer.active()) {
+    armed_ = true;
+    name_ = name;
+    start_us_ = tracer.now_us();
+    depth_ = g_span_depth++;
+  }
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  --g_span_depth;
+  Tracer& tracer = Tracer::global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.ts_us = start_us_;
+  // Duration from the span's own stopwatch, so the slice matches what the
+  // caller's elapsed_ms() reported (one clock, no skew).
+  event.dur_us = watch_.elapsed_us();
+  event.tid = current_thread_id();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  tracer.record(std::move(event));
+}
+
+void Span::arg(const std::string& key, const std::string& value) {
+  if (!armed_) return;
+  args_.emplace_back(key, value);
+}
+
+}  // namespace kairos::obs
+
+#endif  // KAIROS_NO_OBS

@@ -1,0 +1,160 @@
+// Structured span tracing: RAII obs::Span records how long a named section
+// ran, on which thread, and how deeply nested it was; obs::Tracer collects
+// the finished spans and serialises them as Chrome trace-event JSON
+// ("complete" X events), loadable directly in Perfetto / chrome://tracing.
+//
+// The instrumented sections are the admission lifecycle (one span per
+// admission with per-phase child spans), the scenario engine's event loop
+// (one span per event kind) and the sweep driver's cells (each std::async
+// worker is its own thread, hence its own track in the trace viewer).
+//
+// Span doubles as the library's stopwatch: elapsed_ms() is how the
+// resource manager populates the per-phase PhaseTimes of Fig. 7 and the
+// sweep driver its wall-clock columns. Those are *product data*, not
+// observability, so Span keeps timing even under KAIROS_NO_OBS — the macro
+// strips the recording side effects (tracer append, depth bookkeeping),
+// leaving a plain two-clock-read stopwatch.
+//
+// Tracing is off by default: an un-started Tracer makes Span construction
+// two relaxed atomic loads plus the clock read; nothing is allocated or
+// stored. Tracer::start() arms collection process-wide.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.hpp"
+
+#ifndef KAIROS_NO_OBS
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace kairos::obs {
+
+/// One finished span, in trace-viewer terms: a "complete" slice.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< start, microseconds since Tracer::start()
+  double dur_us = 0.0;  ///< duration, microseconds
+  int tid = 0;          ///< dense per-thread id (one viewer track each)
+  int depth = 0;        ///< nesting depth on its thread at start (root = 0)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+#ifndef KAIROS_NO_OBS
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer all Spans report to.
+  static Tracer& global();
+
+  /// Clears previously collected events and arms collection; timestamps are
+  /// measured from this call.
+  void start();
+  /// Disarms collection; collected events stay available.
+  void stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since start() (0 when never started).
+  double now_us() const;
+
+  void record(TraceEvent event);
+
+  /// Snapshot of the collected events (finished spans, completion order).
+  std::vector<TraceEvent> events() const;
+
+  /// Serialises the collected events as one Chrome trace-event JSON
+  /// document: {"traceEvents":[...],"otherData":{build stamp},
+  /// "displayTimeUnit":"ms"}. Valid JSON even when empty.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> active_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Dense id of the calling thread (assigned on first use, stable after).
+int current_thread_id();
+
+/// RAII span. Always times (elapsed_ms below); when the global tracer was
+/// active at construction, the destructor appends one TraceEvent with the
+/// thread's nesting depth. Move-free by design: a span marks a lexical
+/// scope.
+class Span {
+ public:
+  /// Takes the name by reference and copies it only when the tracer is
+  /// active, so an unarmed span in a hot loop allocates nothing.
+  explicit Span(const std::string& name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Attaches a key/value to the emitted trace event. Cheap no-op when the
+  /// span is not being recorded.
+  void arg(const std::string& key, const std::string& value);
+
+  /// Elapsed wall-clock since construction — the stopwatch half of Span.
+  double elapsed_ms() const { return watch_.elapsed_ms(); }
+
+ private:
+  util::Stopwatch watch_;
+  std::string name_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+  bool armed_ = false;  ///< tracer was active when the span opened
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+#else  // KAIROS_NO_OBS — the stopwatch survives, the recording does not.
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global() {
+    static Tracer instance;
+    return instance;
+  }
+
+  void start() {}
+  void stop() {}
+  bool active() const { return false; }
+  double now_us() const { return 0.0; }
+  void record(TraceEvent) {}
+  std::vector<TraceEvent> events() const { return {}; }
+  void write_json(std::ostream& out) const {
+    out << "{\"traceEvents\":[],\"otherData\":{},\"displayTimeUnit\":\"ms\"}";
+  }
+};
+
+inline int current_thread_id() { return 0; }
+
+class Span {
+ public:
+  explicit Span(const std::string&) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const std::string&, const std::string&) {}
+  double elapsed_ms() const { return watch_.elapsed_ms(); }
+
+ private:
+  util::Stopwatch watch_;
+};
+
+#endif  // KAIROS_NO_OBS
+
+}  // namespace kairos::obs

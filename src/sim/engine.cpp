@@ -1,10 +1,13 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <set>
 
 #include "mappers/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/fragmentation.hpp"
 #include "util/rng.hpp"
 
@@ -80,6 +83,18 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
   const FaultModel fault_model(config_.fault_model);
   EventQueue events;
 
+  // Per-event-kind observability, resolved once per run so the loop body
+  // does no name lookups: engine.events.<kind> counters and an
+  // "event.<kind>" span name per kind.
+  std::array<obs::Counter, kEventKindCount> event_counters;
+  std::array<std::string, kEventKindCount> event_span_names;
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const std::string kind_name = to_string(static_cast<EventKind>(k));
+    event_counters[k] =
+        obs::Registry::global().counter("engine.events." + kind_name);
+    event_span_names[k] = "event." + kind_name;
+  }
+
   if (const auto first = workload.next_arrival_time(0.0, workload_rng)) {
     events.push(Event{*first, EventKind::kArrival, 0, -1, {}, {}});
   }
@@ -133,6 +148,10 @@ ScenarioStats Engine::run(WorkloadModel& workload) {
     const Event event = events.pop();
     sample_state_until(std::min(event.time, config_.horizon));
     if (event.time > config_.horizon) break;
+
+    const auto kind_index = static_cast<std::size_t>(event.kind);
+    event_counters[kind_index].add(1);
+    obs::Span event_span(event_span_names[kind_index]);
 
     switch (event.kind) {
       case EventKind::kArrival: {

@@ -8,6 +8,7 @@
 // deterministic queue the engine drains.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <queue>
 #include <string>
@@ -27,6 +28,10 @@ enum class EventKind : std::uint8_t {
   kLinkRepair,     ///< a failed link comes back online
   kDefragTrigger,  ///< periodic defragmentation pass
 };
+
+/// Number of EventKind values (for per-kind lookup tables).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kDefragTrigger) + 1;
 
 std::string to_string(EventKind kind);
 

@@ -7,11 +7,11 @@
 #include <thread>
 
 #include "mo/hypervolume.hpp"
+#include "obs/trace.hpp"
 #include "platform/builders.hpp"
 #include "platform/crisp.hpp"
 #include "sim/workload.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 namespace kairos::sim {
 
@@ -36,7 +36,8 @@ const std::vector<SweepSpec::PlatformCase>& default_sweep_platforms() {
 SweepResult run_sweep(const SweepSpec& spec) {
   SweepResult result;
   result.multi_objective = spec.multi_objective;
-  util::Stopwatch sweep_watch;
+  result.percentiles = spec.percentiles;
+  obs::Span sweep_span("sweep");
 
   for (const double rate : spec.arrival_rates) {
     if (rate <= 0.0) {
@@ -122,8 +123,13 @@ SweepResult run_sweep(const SweepSpec& spec) {
   const auto run_cell = [&](std::size_t i) {
     const CellJob& job = jobs[i];
     SweepCell& cell = result.cells[i];
+    // One span per cell; each std::async worker gets its own thread id, so
+    // the trace viewer shows one track per worker with the cells it pulled.
+    obs::Span cell_span("sweep.cell");
     cell.strategy = job.strategy;
     cell.platform = spec.platforms[job.platform_index].name;
+    cell_span.arg("strategy", cell.strategy);
+    cell_span.arg("platform", cell.platform);
     cell.arrival_rate = job.arrival_rate;
     cell.fault_rate = job.fault_rate;
     cell.defrag_period = job.defrag_period;
@@ -141,9 +147,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
     Engine engine(manager, pools[job.platform_index], engine_config);
     PoissonWorkload workload(job.arrival_rate, spec.mean_lifetime);
 
-    util::Stopwatch watch;
-    cell.stats = engine.run(workload);
-    cell.wall_ms = watch.elapsed_ms();
+    {
+      obs::Span run_span("engine.run");
+      cell.stats = engine.run(workload);
+      cell.wall_ms = run_span.elapsed_ms();
+    }
     if (!cell.stats.mapper_error.empty()) abort.store(true);
   };
 
@@ -184,7 +192,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       break;
     }
   }
-  result.wall_ms = sweep_watch.elapsed_ms();
+  result.wall_ms = sweep_span.elapsed_ms();
   return result;
 }
 
@@ -209,11 +217,19 @@ const std::vector<std::string>& sweep_csv_header() {
   return header;
 }
 
-std::vector<std::string> sweep_csv_header(bool multi_objective) {
+std::vector<std::string> sweep_csv_header(bool multi_objective,
+                                          bool percentiles) {
   std::vector<std::string> header = sweep_csv_header();
   if (multi_objective) {
     header.push_back("front_size");
     header.push_back("front_hypervolume");
+  }
+  if (percentiles) {
+    // Time-weighted 95th percentiles of the state series whose means the
+    // pinned columns carry — the tail a mean hides.
+    header.push_back("p95_live_apps");
+    header.push_back("p95_fragmentation");
+    header.push_back("p95_utilisation");
   }
   return header;
 }
@@ -239,7 +255,7 @@ double front_hypervolume(const mo::ParetoArchive& front) {
 }
 
 void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv) {
-  csv.write_row(sweep_csv_header(result.multi_objective));
+  csv.write_row(sweep_csv_header(result.multi_objective, result.percentiles));
   for (const auto& cell : result.cells) {
     const ScenarioStats& s = cell.stats;
     std::vector<std::string> row = {
@@ -268,6 +284,11 @@ void write_sweep_csv(const SweepResult& result, util::CsvWriter& csv) {
     if (result.multi_objective) {
       row.push_back(std::to_string(s.admission_front.size()));
       row.push_back(util::fmt(front_hypervolume(s.admission_front), 4));
+    }
+    if (result.percentiles) {
+      row.push_back(util::fmt(s.live_applications.percentile(95.0), 3));
+      row.push_back(util::fmt(s.fragmentation.percentile(95.0), 4));
+      row.push_back(util::fmt(s.compute_utilisation.percentile(95.0), 4));
     }
     csv.write_row(row);
   }

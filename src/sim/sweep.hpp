@@ -73,6 +73,14 @@ struct SweepSpec {
   /// front_hypervolume columns. Off by default so the pinned golden CSV
   /// schema is untouched.
   bool multi_objective = false;
+
+  /// Opt-in tail-behaviour columns: p95_live_apps, p95_fragmentation and
+  /// p95_utilisation (time-weighted 95th percentiles of the same state
+  /// series whose means the pinned columns report). Means hide the
+  /// transient pile-ups that decide whether a configuration actually fits;
+  /// the tails show them. Off by default — the pinned golden CSV schema is
+  /// untouched.
+  bool percentiles = false;
 };
 
 struct SweepCell {
@@ -94,9 +102,10 @@ struct SweepResult {
   /// cells ran). On error the sweep exits early: cells after the failing
   /// one may be unpopulated (all-zero stats, empty strategy name).
   std::string error;
-  /// Copied from SweepSpec::multi_objective so write_sweep_csv knows which
-  /// schema the cells carry.
+  /// Copied from SweepSpec::multi_objective / percentiles so
+  /// write_sweep_csv knows which schema the cells carry.
   bool multi_objective = false;
+  bool percentiles = false;
 };
 
 /// The default platform axis (CRISP 2-package + DSP torus), shared by the
@@ -111,9 +120,12 @@ SweepResult run_sweep(const SweepSpec& spec);
 
 /// The stable header of write_sweep_csv — golden-file pinned in CI so the
 /// row schema cannot drift silently. With `multi_objective` the pinned
-/// columns are followed by front_size and front_hypervolume (the opt-in
-/// extension; the default schema stays byte-identical).
-std::vector<std::string> sweep_csv_header(bool multi_objective);
+/// columns are followed by front_size and front_hypervolume; with
+/// `percentiles` by p95_live_apps, p95_fragmentation and p95_utilisation
+/// (opt-in extensions in that order; the default schema stays
+/// byte-identical).
+std::vector<std::string> sweep_csv_header(bool multi_objective,
+                                          bool percentiles = false);
 const std::vector<std::string>& sweep_csv_header();
 
 /// Hypervolume of a cell's admission front, measured against a reference

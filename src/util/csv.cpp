@@ -75,6 +75,10 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
   return rows;
 }
 
+void CsvWriter::write_comment(const std::string& text) {
+  out_ << "# " << text << '\n';
+}
+
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) out_ << ',';

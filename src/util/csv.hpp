@@ -19,6 +19,11 @@ class CsvWriter {
 
   void write_row(const std::vector<std::string>& cells);
 
+  /// Writes a "# <text>" provenance line (build stamp etc.). Not RFC 4180 —
+  /// consumers that feed the file to a strict reader should drop lines
+  /// starting with '#'.
+  void write_comment(const std::string& text);
+
  private:
   std::ofstream out_;
 };

@@ -1,0 +1,76 @@
+// Compiled with KAIROS_NO_OBS (set on this target only in CMakeLists.txt):
+// pins that the observability headers degrade to inert inline stand-ins —
+// instrumented call sites compile unchanged, recording side effects vanish,
+// and the JSON expositions stay schema-valid empty skeletons. Everything
+// here must stay within this translation unit's view of the obs headers;
+// the library underneath was built with instrumentation on, so no obs
+// object crosses the TU boundary.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef KAIROS_NO_OBS
+#error "obs_noop_test must be compiled with KAIROS_NO_OBS"
+#endif
+
+namespace kairos::obs {
+namespace {
+
+TEST(NoopMetricsTest, HandlesAreInert) {
+  Registry registry;
+  const Counter counter = registry.counter("c");
+  const Gauge gauge = registry.gauge("g");
+  const Histogram histogram = registry.histogram("h");
+  counter.add(5);
+  gauge.set(2.0);
+  gauge.add(1.0);
+  histogram.record(42.0);
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.stats().count, 0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(registry.to_text().empty());
+
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(NoopTraceTest, TracerNeverArms) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  EXPECT_FALSE(tracer.active());
+  {
+    Span span("ignored");
+    span.arg("k", "v");
+  }
+  tracer.stop();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_DOUBLE_EQ(tracer.now_us(), 0.0);
+  EXPECT_EQ(current_thread_id(), 0);
+
+  std::ostringstream out;
+  tracer.write_json(out);
+  EXPECT_EQ(out.str(),
+            "{\"traceEvents\":[],\"otherData\":{},\"displayTimeUnit\":\"ms\"}");
+}
+
+// The stopwatch half of Span is product data (PhaseTimes, sweep wall-clock
+// columns), so it must keep ticking even with instrumentation compiled out.
+TEST(NoopTraceTest, SpanStillTimes) {
+  Span span("still-a-stopwatch");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(span.elapsed_ms(), 1.0);
+}
+
+}  // namespace
+}  // namespace kairos::obs

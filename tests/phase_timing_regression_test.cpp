@@ -1,0 +1,96 @@
+// Regression pin for the per-phase timing outputs behind Fig. 7. The
+// admission timing paths now run on obs::Span instead of ad-hoc stopwatches;
+// this suite pins that the *product* fields those paths feed — the
+// AdmissionReport::times a caller reads and the phase_ms_by_tasks aggregate
+// the bench harness builds — keep their semantics: every phase measured,
+// total is the sum of the phases, and the Fig. 7 aggregation still fills.
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+#include "core/resource_manager.hpp"
+#include "gen/beamforming.hpp"
+#include "platform/crisp.hpp"
+
+namespace kairos {
+namespace {
+
+TEST(PhaseTimingRegressionTest, AdmissionReportsEveryPhase) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  core::ResourceManager manager(crisp, config);
+
+  const core::AdmissionReport report =
+      manager.admit(gen::make_beamforming_application());
+  ASSERT_TRUE(report.admitted) << report.reason;
+
+  // All four phases ran, so all four stopwatches read > 0 — steady_clock
+  // resolution is far below a 53-task phase.
+  EXPECT_GT(report.times.binding_ms, 0.0);
+  EXPECT_GT(report.times.mapping_ms, 0.0);
+  EXPECT_GT(report.times.routing_ms, 0.0);
+  EXPECT_GT(report.times.validation_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.times.total_ms(),
+                   report.times.binding_ms + report.times.mapping_ms +
+                       report.times.routing_ms + report.times.validation_ms);
+  // Phase times are wall-clock of real work, not arbitrary magnitudes, but
+  // an admission that "took" multiple seconds per phase would mean the
+  // timing unit regressed (e.g. µs misread as ms).
+  EXPECT_LT(report.times.total_ms(), 10000.0);
+}
+
+TEST(PhaseTimingRegressionTest, RejectionStillTimesTheCompletedPhases) {
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  core::ResourceManager manager(crisp, config);
+
+  // Fill the platform until something bounces; the rejected attempt must
+  // still report timings for the phases it got through.
+  core::AdmissionReport rejected;
+  for (int i = 0; i < 64; ++i) {
+    const auto report = manager.admit(gen::make_beamforming_application());
+    if (!report.admitted) {
+      rejected = report;
+      break;
+    }
+  }
+  ASSERT_FALSE(rejected.admitted) << "platform never filled up";
+  ASSERT_NE(rejected.failed_phase, core::Phase::kNone);
+  EXPECT_GT(rejected.times.total_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(rejected.times.total_ms(),
+                   rejected.times.binding_ms + rejected.times.mapping_ms +
+                       rejected.times.routing_ms + rejected.times.validation_ms);
+}
+
+// The Fig. 7 data path: bench::run_sequences aggregates per-phase runtimes
+// keyed by task count. Order in the array: bind, map, route, validate.
+TEST(PhaseTimingRegressionTest, SequenceHarnessFillsPhaseMsByTasks) {
+  bench::SequenceConfig config;
+  config.apps_per_dataset = 10;
+  config.sequences = 2;
+
+  const bench::ExperimentResult result =
+      bench::run_sequences(gen::DatasetKind::kCommunicationSmall, config);
+  ASSERT_GT(result.admitted, 0);
+  ASSERT_FALSE(result.phase_ms_by_tasks.empty());
+
+  std::size_t samples = 0;
+  for (const auto& [tasks, phases] : result.phase_ms_by_tasks) {
+    EXPECT_GT(tasks, 0);
+    // Every task-count bucket carries the same number of samples in each of
+    // the four phase columns (one admission fills all four).
+    const std::size_t count = phases[0].count();
+    EXPECT_GT(count, 0u);
+    for (const auto& phase : phases) {
+      EXPECT_EQ(phase.count(), count);
+      EXPECT_GE(phase.mean(), 0.0);
+    }
+    samples += count;
+  }
+  // Each admitted application lands in exactly one task-count bucket.
+  EXPECT_EQ(samples, static_cast<std::size_t>(result.admitted));
+}
+
+}  // namespace
+}  // namespace kairos

@@ -122,9 +122,14 @@ TEST(SweepTest, FaultAndDefragAxesExpandTheGridInOrder) {
     // legitimately differ across cells — changed admission outcomes change
     // how many lifetime draws the workload stream consumes.)
     EXPECT_GT(cell.stats.arrivals, 0);
-    if (cell.fault_rate == 0.0) EXPECT_EQ(cell.stats.faults, 0);
-    if (cell.defrag_period == 0.0) EXPECT_EQ(cell.stats.defrag_triggers, 0);
-    if (cell.defrag_period > 0.0) EXPECT_GT(cell.stats.defrag_triggers, 0);
+    if (cell.fault_rate == 0.0) {
+      EXPECT_EQ(cell.stats.faults, 0);
+    }
+    if (cell.defrag_period == 0.0) {
+      EXPECT_EQ(cell.stats.defrag_triggers, 0);
+    } else {
+      EXPECT_GT(cell.stats.defrag_triggers, 0);
+    }
   }
   // The grid saw at least one actual fault somewhere (rate 0.05 over
   // horizon 80 across four cells makes a zero draw astronomically
@@ -253,6 +258,53 @@ TEST(SweepTest, MultiObjectiveColumnsAreOptIn) {
   EXPECT_EQ(rows.front(), extended);
   for (const auto& row : rows) {
     EXPECT_EQ(row.size(), extended.size());
+  }
+  std::remove(path.c_str());
+}
+
+// The p95 columns are strictly opt-in, compose with the multi-objective
+// extension in a fixed order, and report the same time-weighted percentile
+// the stats object computes.
+TEST(SweepTest, PercentileColumnsAreOptIn) {
+  EXPECT_EQ(sweep_csv_header(false, false), sweep_csv_header());
+  const auto extended = sweep_csv_header(false, true);
+  ASSERT_EQ(extended.size(), sweep_csv_header().size() + 3);
+  EXPECT_EQ(extended[extended.size() - 3], "p95_live_apps");
+  EXPECT_EQ(extended[extended.size() - 2], "p95_fragmentation");
+  EXPECT_EQ(extended.back(), "p95_utilisation");
+  // Both extensions together: mo columns first, then percentiles.
+  const auto both = sweep_csv_header(true, true);
+  ASSERT_EQ(both.size(), sweep_csv_header().size() + 5);
+  EXPECT_EQ(both[both.size() - 5], "front_size");
+  EXPECT_EQ(both.back(), "p95_utilisation");
+
+  auto spec = small_spec();
+  spec.threads = 1;
+  spec.percentiles = true;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.percentiles);
+
+  const std::string path = ::testing::TempDir() + "sweep_p95_test.csv";
+  {
+    util::CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    write_sweep_csv(result, csv);
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = util::parse_csv(buffer.str());
+  ASSERT_EQ(rows.size(), 1u + result.cells.size());
+  EXPECT_EQ(rows.front(), extended);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& row = rows[i + 1];
+    ASSERT_EQ(row.size(), extended.size());
+    // The p95 column carries the stats object's own percentile (3 decimals).
+    const double p95_live = std::stod(row[row.size() - 3]);
+    EXPECT_NEAR(p95_live,
+                result.cells[i].stats.live_applications.percentile(95.0),
+                5e-4);
   }
   std::remove(path.c_str());
 }
