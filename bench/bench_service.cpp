@@ -1,0 +1,245 @@
+// bench_service — admissions per second through the concurrent service.
+//
+// Drives the same churn workload (submit a pool of generated applications,
+// remove each one as its admission settles, repeat to a fixed submission
+// count) through service::AdmissionService at 1 worker thread and at 8, and
+// writes BENCH_service.json in the bench_perf style: build stamp, one
+// scenario per thread count with throughput and settle-latency percentiles
+// (service.latency_ms, measured by the service itself at promise
+// fulfilment), the 8-vs-1 speedup, and the observability counter totals
+// (commit conflicts, fallbacks, batches — the health of the optimistic
+// pipeline, not just its speed).
+//
+// The speedup is a *capacity* number: staging (the mapping search) runs
+// outside the manager's write lock, so it scales with cores until commits
+// saturate. On a single-core runner the two configurations time-slice one
+// CPU and the speedup honestly reports ~1x — which is why the JSON records
+// hardware_concurrency and the exit code does not judge the ratio. CI runs
+// `bench_service --smoke` for schema honesty and archives the artifact.
+//
+//   usage: bench_service [--smoke] [--threads <n>] [--out <file>]
+//          (default BENCH_service.json; --threads replaces the 8-thread
+//           configuration, e.g. --threads 16 measures 16 vs 1)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/resource_manager.hpp"
+#include "gen/datasets.hpp"
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "platform/crisp.hpp"
+#include "service/admission_service.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace kairos;
+
+/// Everything one thread-count configuration produced.
+struct ServiceRun {
+  int threads = 0;
+  long submissions = 0;
+  long admitted = 0;
+  long rejected = 0;
+  double wall_ms = 0.0;
+  double admissions_per_sec = 0.0;
+  obs::HistogramStats latency;  ///< service.latency_ms, submit -> settled
+  std::int64_t conflicts = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t batches = 0;
+};
+
+/// The churn workload: `submissions` admissions drawn round-robin from a
+/// deterministic pool, every admitted application removed as soon as its
+/// future settles (so the platform never saturates and the number measures
+/// admission throughput, not capacity).
+bool run_configuration(int threads, long submissions, ServiceRun& out) {
+  out.threads = threads;
+  out.submissions = submissions;
+
+  platform::Platform crisp = platform::make_crisp_platform();
+  core::KairosConfig config;
+  config.weights = {4.0, 100.0};
+  core::ResourceManager manager(crisp, config);
+
+  service::ServiceConfig service_config;
+  service_config.threads = threads;
+  service::AdmissionService service(manager, service_config);
+
+  const std::vector<graph::Application> pool =
+      gen::make_dataset(gen::DatasetKind::kCommunicationSmall, 24, 0x5EED);
+
+  // Per-run counter/histogram isolation; the service is idle here, so the
+  // reset boundary is crisp (see Registry::reset()'s contract).
+  obs::Registry::global().reset();
+
+  util::Stopwatch wall;
+  std::vector<std::future<core::AdmissionReport>> futures;
+  futures.reserve(static_cast<std::size_t>(submissions));
+  for (long i = 0; i < submissions; ++i) {
+    futures.push_back(
+        service.submit(pool[static_cast<std::size_t>(i) % pool.size()]));
+  }
+  for (std::future<core::AdmissionReport>& future : futures) {
+    const core::AdmissionReport report = future.get();
+    if (!report.admitted) {
+      ++out.rejected;
+      continue;
+    }
+    ++out.admitted;
+    const auto removed = service.remove(report.handle);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "bench_service: remove failed: %s\n",
+                   removed.error().c_str());
+      return false;
+    }
+  }
+  service.drain();
+  out.wall_ms = wall.elapsed_ms();
+  if (out.admitted == 0) {
+    std::fprintf(stderr, "bench_service: nothing admitted at %d threads\n",
+                 threads);
+    return false;
+  }
+  out.admissions_per_sec =
+      static_cast<double>(out.admitted) / (out.wall_ms / 1000.0);
+
+  const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+  const auto counter = [&](const char* name) {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? std::int64_t{0} : it->second;
+  };
+  const auto histogram = snapshot.histograms.find("service.latency_ms");
+  if (histogram != snapshot.histograms.end()) out.latency = histogram->second;
+  out.conflicts = counter("service.commit_conflicts");
+  out.fallbacks = counter("service.fallbacks");
+  out.batches = counter("service.batches");
+  service.stop();
+  return true;
+}
+
+void write_run_json(obs::JsonWriter& json, const ServiceRun& run) {
+  json.begin_object();
+  json.kv("threads", static_cast<std::int64_t>(run.threads));
+  json.kv("submissions", static_cast<std::int64_t>(run.submissions));
+  json.kv("admitted", static_cast<std::int64_t>(run.admitted));
+  json.kv("rejected", static_cast<std::int64_t>(run.rejected));
+  json.kv("wall_ms", run.wall_ms);
+  json.kv("admissions_per_sec", run.admissions_per_sec);
+  json.key("latency_ms");
+  json.begin_object();
+  json.kv("count", run.latency.count);
+  json.kv("mean", run.latency.mean);
+  json.kv("min", run.latency.min);
+  json.kv("max", run.latency.max);
+  json.kv("p50", run.latency.p50);
+  json.kv("p95", run.latency.p95);
+  json.kv("p99", run.latency.p99);
+  json.end_object();
+  json.kv("commit_conflicts", run.conflicts);
+  json.kv("fallbacks", run.fallbacks);
+  json.kv("batches", run.batches);
+  json.end_object();
+}
+
+bool write_report(const std::string& path, const ServiceRun& serial,
+                  const ServiceRun& parallel, bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_service: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", "kairos-bench-service-v1");
+  json.key("build");
+  {
+    const obs::BuildInfo& build = obs::build_info();
+    json.begin_object();
+    json.kv("git_sha", build.git_sha);
+    json.kv("compiler", build.compiler);
+    json.kv("build_type", build.build_type);
+    json.kv("flags", build.flags);
+    json.end_object();
+  }
+  json.kv("smoke", smoke);
+  json.kv("hardware_concurrency",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.key("scenarios");
+  json.begin_object();
+  json.key("serial");
+  write_run_json(json, serial);
+  json.key("parallel");
+  write_run_json(json, parallel);
+  json.end_object();
+  json.kv("speedup", parallel.admissions_per_sec / serial.admissions_per_sec);
+  json.end_object();
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int parallel_threads = 8;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      parallel_threads = std::atoi(argv[++i]);
+      if (parallel_threads < 1) {
+        std::fprintf(stderr, "bench_service: --threads must be >= 1\n");
+        return 64;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--smoke] [--threads <n>] "
+                   "[--out <file>]\n");
+      return 64;
+    }
+  }
+
+  const long submissions = smoke ? 80 : 1000;
+  std::printf("bench_service (%s): %s\n", smoke ? "smoke" : "full",
+              obs::build_info_line().c_str());
+  std::printf("  hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+
+  ServiceRun serial;
+  if (!run_configuration(1, submissions, serial)) return 1;
+  std::printf("  threads=1:  %7.0f admissions/s (p50 %.3f ms, p95 %.3f ms, "
+              "p99 %.3f ms)\n",
+              serial.admissions_per_sec, serial.latency.p50,
+              serial.latency.p95, serial.latency.p99);
+
+  ServiceRun parallel;
+  if (!run_configuration(parallel_threads, submissions, parallel)) return 1;
+  std::printf("  threads=%-2d: %7.0f admissions/s (p50 %.3f ms, p95 %.3f ms, "
+              "p99 %.3f ms); %lld conflicts, %lld fallbacks\n",
+              parallel.threads, parallel.admissions_per_sec,
+              parallel.latency.p50, parallel.latency.p95,
+              parallel.latency.p99,
+              static_cast<long long>(parallel.conflicts),
+              static_cast<long long>(parallel.fallbacks));
+
+  const double speedup =
+      parallel.admissions_per_sec / serial.admissions_per_sec;
+  std::printf("  speedup: %.2fx at %d threads (scales with cores; this "
+              "machine offers %u)\n",
+              speedup, parallel.threads, std::thread::hardware_concurrency());
+
+  if (!write_report(out_path, serial, parallel, smoke)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -18,6 +18,8 @@
 //          kairos_cli --sweep [--fault-rate <r>] [--fault-rates <r,r,...>]
 //                     [--defrag-periods <t,t,...>] [--fault-model <spec>]
 //                     [--repair <t>] [--seed <n>] [--mo] [--p95]
+//          kairos_cli --serve [--threads <n>] [--batch <n>]
+//                     [--mapper <name>] [--platform <file>] [<app-file>...]
 //          kairos_cli --version            (any mode: --trace-json <file>)
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
@@ -43,7 +45,9 @@
 // × defrag-period, when the list flags are given) sweep driver in parallel
 // and writes kairos_sweep.csv; --mo appends per-cell Pareto front size and
 // hypervolume columns, --p95 per-cell time-weighted 95th-percentile
-// live/fragmentation/utilisation columns.
+// live/fragmentation/utilisation columns. The fourth form is the admission
+// daemon: a service::AdmissionService worker pool serving a newline-
+// delimited command protocol over stdin/stdout (see run_serve below).
 //
 // Observability: --version prints the embedded build stamp (git SHA,
 // compiler, build type) and exits; --trace-json <file> records every
@@ -54,10 +58,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/resource_manager.hpp"
@@ -66,7 +73,9 @@
 #include "mappers/registry.hpp"
 #include "mo/objective.hpp"
 #include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/admission_service.hpp"
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
@@ -155,6 +164,148 @@ int report_scenario(const kairos::sim::ScenarioStats& stats,
   return 0;
 }
 
+/// --serve: a long-running admission daemon over stdin/stdout, backed by the
+/// concurrent service::AdmissionService. The protocol is newline-delimited
+/// text — one command per line, one or more response lines, commands with a
+/// variable number of responses terminated by "done":
+///
+///   admit <file>...    load + submit each file; per app one line,
+///                      "admitted handle=<h> app=<name> ms=<t>" or
+///                      "rejected phase=<p> app=<name> reason=<r>"
+///   gen <n> [seed]     submit <n> generated applications (default seed 71)
+///   remove <handle>    "removed handle=<h>" or "error <reason>"
+///   stats              one line: live / fragmentation / pending / served
+///   metrics            the obs registry in text exposition, then "done"
+///   quit | EOF         drain, shut down, exit 0
+///
+/// Responses are flushed per command, so the daemon can sit behind a pipe.
+int run_serve(kairos::platform::Platform& platform,
+              kairos::core::KairosConfig config, int threads, int batch,
+              const std::vector<std::string>& preload) {
+  using namespace kairos;
+  core::ResourceManager manager(platform, std::move(config));
+  service::ServiceConfig service_config;
+  service_config.threads = threads;
+  service_config.max_batch = batch;
+  service::AdmissionService service(manager, service_config);
+
+  std::printf("serving (threads=%d batch=%d); commands: admit <file>..., "
+              "gen <n> [seed], remove <handle>, stats, metrics, quit\n",
+              threads, batch);
+  std::fflush(stdout);
+
+  // Submit a batch and report each verdict in submission order.
+  const auto submit_all = [&](std::vector<graph::Application> apps) {
+    std::vector<std::pair<std::string, std::future<core::AdmissionReport>>>
+        futures;
+    futures.reserve(apps.size());
+    for (graph::Application& app : apps) {
+      std::string name = app.name();
+      futures.emplace_back(std::move(name), service.submit(std::move(app)));
+    }
+    for (auto& [name, future] : futures) {
+      const core::AdmissionReport report = future.get();
+      if (report.admitted) {
+        std::printf("admitted handle=%lld app=%s ms=%.3f\n",
+                    static_cast<long long>(report.handle), name.c_str(),
+                    report.times.total_ms());
+      } else {
+        std::printf("rejected phase=%s app=%s reason=%s\n",
+                    core::to_string(report.failed_phase).c_str(),
+                    name.c_str(), report.reason.c_str());
+      }
+    }
+  };
+
+  if (!preload.empty()) {
+    std::vector<graph::Application> apps;
+    for (const std::string& path : preload) {
+      std::optional<graph::Application> app;
+      if (load_application(path, app) == 0) apps.push_back(std::move(*app));
+    }
+    submit_all(std::move(apps));
+    std::printf("done\n");
+    std::fflush(stdout);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "admit") {
+      std::vector<graph::Application> apps;
+      std::string path;
+      while (words >> path) {
+        std::optional<graph::Application> app;
+        if (load_application(path, app) == 0) apps.push_back(std::move(*app));
+      }
+      if (apps.empty()) {
+        std::printf("error admit requires at least one readable file\n");
+      } else {
+        submit_all(std::move(apps));
+      }
+      std::printf("done\n");
+    } else if (command == "gen") {
+      long count = 0;
+      long gen_seed = 71;
+      words >> count;
+      words >> gen_seed;
+      if (count <= 0) {
+        std::printf("error gen requires a positive count\n");
+      } else {
+        submit_all(gen::make_dataset(gen::DatasetKind::kCommunicationSmall,
+                                     static_cast<int>(count),
+                                     static_cast<unsigned>(gen_seed)));
+      }
+      std::printf("done\n");
+    } else if (command == "remove") {
+      long long handle = -1;
+      if (!(words >> handle)) {
+        std::printf("error remove requires a handle\n");
+      } else {
+        const auto removed =
+            service.remove(static_cast<core::AppHandle>(handle));
+        if (removed.ok()) {
+          std::printf("removed handle=%lld\n", handle);
+        } else {
+          std::printf("error %s\n", removed.error().c_str());
+        }
+      }
+    } else if (command == "stats") {
+      service.drain();  // settle in-flight work so the numbers are crisp
+      const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+      const auto counter = [&](const char* name) {
+        const auto it = snapshot.counters.find(name);
+        return it == snapshot.counters.end() ? 0 : it->second;
+      };
+      std::printf("stats live=%zu fragmentation=%.1f%% pending=%zu "
+                  "admitted=%lld rejected=%lld conflicts=%lld\n",
+                  manager.live_count(),
+                  100.0 * platform::external_fragmentation(
+                              manager.platform()),
+                  service.pending(),
+                  static_cast<long long>(counter("service.admissions")),
+                  static_cast<long long>(counter("service.rejections")),
+                  static_cast<long long>(counter("service.commit_conflicts")));
+    } else if (command == "metrics") {
+      service.drain();
+      std::fputs(obs::Registry::global().to_text().c_str(), stdout);
+      std::printf("done\n");
+    } else {
+      std::printf("error unknown command '%s'\n", command.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  service.stop();
+  std::printf("served: %zu applications live at shutdown\n",
+              manager.live_count());
+  return 0;
+}
+
 /// Parses a comma-separated list of doubles ("0,0.02,0.05"); false on an
 /// empty list, empty item, or non-numeric item (atof would silently turn a
 /// typo into 0.0 — which means "process disabled" on the sweep axes).
@@ -222,6 +373,9 @@ int main(int argc, char** argv) {
   bool mo_columns = false;
   bool percentile_columns = false;
   std::string trace_json_path;
+  bool serve = false;
+  double serve_threads = 4.0;
+  double serve_batch = 4.0;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -247,8 +401,12 @@ int main(int argc, char** argv) {
     auto next_value = [&](double& out) {
       std::string text;
       if (!next_string(text)) return false;
-      out = std::atof(text.c_str());
-      return true;
+      // Strict parse (whole token must be numeric): atof would silently turn
+      // a typo like "--rate fast" into 0.0, and 0.0 is a *valid-looking*
+      // configuration for most of these knobs (process disabled / idle run).
+      char* end = nullptr;
+      out = std::strtod(text.c_str(), &end);
+      return end != text.c_str() && *end == '\0';
     };
     if (arg == "--wc") {
       if (!next_value(config.weights.communication)) {
@@ -300,6 +458,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--sweep") {
       sweep = true;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--threads") {
+      if (!next_value(serve_threads)) {
+        std::fprintf(stderr, "--threads requires a count\n");
+        return 64;
+      }
+    } else if (arg == "--batch") {
+      if (!next_value(serve_batch)) {
+        std::fprintf(stderr, "--batch requires a count\n");
+        return 64;
+      }
     } else if (arg == "--rate") {
       if (!next_value(arrival_rate)) {
         std::fprintf(stderr, "--rate requires a value\n");
@@ -407,11 +577,61 @@ int main(int argc, char** argv) {
                   "[--fault-rates r,r,...] [--defrag-periods t,t,...] "
                   "[--fault-model spec] [--repair t] [--seed n] [--mo] "
                   "[--p95]\n"
+                  "       kairos_cli --serve [--threads n] [--batch n] "
+                  "[--mapper name] [--platform file] [<app-file>...]\n"
                   "       common: [--version] [--trace-json file]\n",
                   mapper_list().c_str());
       return 0;
     } else {
       app_paths.push_back(arg);
+    }
+  }
+
+  // Range-check every numeric knob before it reaches a distribution or an
+  // event schedule. A negative rate handed to std::exponential_distribution
+  // is undefined behaviour, a non-positive period is an event storm — and
+  // all of them would otherwise produce a plausible-looking (wrong) run.
+  // The `!(x > 0)` spelling is negated so NaN fails the check too.
+  {
+    struct Knob {
+      const char* flag;
+      double value;
+      bool strictly_positive;  ///< false: zero is valid (process disabled)
+    };
+    const Knob knobs[] = {
+        {"--rate", arrival_rate, true},
+        {"--lifetime", mean_lifetime, true},
+        {"--horizon", horizon, true},
+        {"--fault-rate", fault_rate, false},
+        {"--repair", mean_repair, false},
+        {"--defrag", defrag_period, false},
+        {"--threads", serve_threads, true},
+        {"--batch", serve_batch, true},
+    };
+    for (const Knob& knob : knobs) {
+      const bool ok = knob.strictly_positive ? knob.value > 0.0
+                                             : knob.value >= 0.0;
+      if (!ok) {
+        std::fprintf(stderr, "%s must be %s, got %g\n", knob.flag,
+                     knob.strictly_positive ? "> 0" : ">= 0", knob.value);
+        return 64;
+      }
+    }
+    for (const double rate : fault_rates) {
+      if (!(rate >= 0.0)) {
+        std::fprintf(stderr,
+                     "--fault-rates entries must be >= 0, got %g\n", rate);
+        return 64;
+      }
+    }
+    for (const double period : defrag_periods) {
+      if (!(period > 0.0)) {
+        std::fprintf(stderr,
+                     "--defrag-periods entries must be > 0 (omit the flag "
+                     "for a no-defrag run), got %g\n",
+                     period);
+        return 64;
+      }
     }
   }
 
@@ -459,6 +679,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--fault-rates/--defrag-periods are sweep axes; use them "
                  "with --sweep (or --fault-rate/--defrag for one run)\n");
+    return 64;
+  }
+  if (serve && (sweep || !workload_name.empty() || !trace_path.empty())) {
+    std::fprintf(stderr,
+                 "--serve is its own mode; it cannot be combined with "
+                 "--sweep/--workload/--trace\n");
     return 64;
   }
   if (sweep && !record_trace_path.empty()) {
@@ -598,6 +824,12 @@ int main(int argc, char** argv) {
   std::printf("platform '%s': %zu elements, %zu links\n",
               platform.name().c_str(), platform.element_count(),
               platform.link_count());
+
+  if (serve) {
+    return run_serve(platform, std::move(config),
+                     static_cast<int>(serve_threads),
+                     static_cast<int>(serve_batch), app_paths);
+  }
 
   if (!workload_name.empty() || !trace_path.empty()) {
     // Scenario-engine mode: the application files (or a generated pool)

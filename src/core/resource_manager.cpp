@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "mappers/incremental_mapper.hpp"
 #include "obs/metrics.hpp"
@@ -57,6 +58,7 @@ ResourceManager::ResourceManager(platform::Platform& platform,
 
 void ResourceManager::set_mapper(std::shared_ptr<mappers::Mapper> mapper) {
   assert(mapper != nullptr);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   config_.mapper = std::move(mapper);
 }
 
@@ -79,7 +81,23 @@ std::string to_string(Phase phase) {
 }
 
 AdmissionReport ResourceManager::admit(const graph::Application& app) {
-  AdmissionReport report;
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  return admit_locked(app);
+}
+
+AdmissionReport ResourceManager::admit_locked(const graph::Application& app) {
+  // Phasing directly against the live platform (under the write lock) keeps
+  // the exact mutation sequence the single-threaded regression pins expect.
+  StagedAdmission staged = stage(app, *platform_);
+  if (!staged.report.admitted) return staged.report;
+  return register_live_locked(std::move(staged));
+}
+
+StagedAdmission ResourceManager::stage(const graph::Application& app,
+                                       platform::Platform& target) const {
+  StagedAdmission staged;
+  staged.app = app;
+  AdmissionReport& report = staged.report;
 
   const AdmissionMetrics& metrics = AdmissionMetrics::get();
   metrics.attempts.add(1);
@@ -92,7 +110,6 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
     obs::Span& span;
     ~Outcome() {
       if (report.admitted) {
-        metrics.admitted.add(1);
         span.arg("outcome", "admitted");
       } else {
         count_rejection(report.failed_phase);
@@ -107,24 +124,24 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   if (!well_formed.ok()) {
     report.failed_phase = Phase::kSpecification;
     report.reason = well_formed.error();
-    return report;
+    return staged;
   }
-  const auto pins = resolve_pins(app, *platform_);
+  const auto pins = resolve_pins(app, target);
   if (!pins.ok()) {
     report.failed_phase = Phase::kSpecification;
     report.reason = pins.error();
-    return report;
+    return staged;
   }
 
-  // The whole admission is atomic: on any phase failure the platform is
-  // rolled back to this snapshot.
-  platform::Transaction txn(*platform_);
+  // The whole admission is atomic: on any phase failure the target platform
+  // is rolled back to this snapshot.
+  platform::Transaction txn(target);
 
   // --- binding -------------------------------------------------------------
   BindingResult bound;
   {
     obs::Span phase("phase.binding");
-    const BindingPhase binding(*platform_);
+    const BindingPhase binding(target);
     bound = binding.bind(app, pins.value());
     report.times.binding_ms = phase.elapsed_ms();
   }
@@ -132,7 +149,7 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   if (!bound.ok) {
     report.failed_phase = Phase::kBinding;
     report.reason = bound.reason;
-    return report;
+    return staged;
   }
   report.binding_cost = bound.total_cost;
 
@@ -140,7 +157,7 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   MappingResult mapped;
   {
     obs::Span phase("phase.mapping");
-    mapped = config_.mapper->map(app, bound.impl_of, pins.value(), *platform_);
+    mapped = config_.mapper->map(app, bound.impl_of, pins.value(), target);
     report.times.mapping_ms = phase.elapsed_ms();
   }
   metrics.mapping_ms.record(report.times.mapping_ms);
@@ -148,7 +165,7 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   if (!mapped.ok) {
     report.failed_phase = Phase::kMapping;
     report.reason = mapped.reason;
-    return report;
+    return staged;
   }
   report.mapping_cost = mapped.total_cost;
 
@@ -157,14 +174,14 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
   {
     obs::Span phase("phase.routing");
     const RoutingPhase routing(config_.routing);
-    routed = routing.route(app, mapped.element_of, *platform_);
+    routed = routing.route(app, mapped.element_of, target);
     report.times.routing_ms = phase.elapsed_ms();
   }
   metrics.routing_ms.record(report.times.routing_ms);
   if (!routed.ok) {
     report.failed_phase = Phase::kRouting;
     report.reason = routed.reason;
-    return report;
+    return staged;
   }
   report.average_hops = routed.average_hops;
 
@@ -183,19 +200,17 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
     if (!validated.ok && config_.validation_rejects) {
       report.failed_phase = Phase::kValidation;
       report.reason = validated.reason;
-      return report;
+      return staged;
     }
   }
 
-  // --- bootstrap bookkeeping -------------------------------------------------
-  LiveApp live;
-  live.app = app;
+  // --- stage bookkeeping -----------------------------------------------------
   report.layout = ExecutionLayout(app.task_count(), app.channel_count());
   for (const auto& task : app.tasks()) {
     const auto idx = static_cast<std::size_t>(task.id().value);
     const platform::ElementId e = mapped.element_of[idx];
     report.layout.place(task.id(), e, bound.impl_of[idx]);
-    live.task_allocations.emplace_back(
+    staged.task_allocations.emplace_back(
         e, task.implementations()
                .at(static_cast<std::size_t>(bound.impl_of[idx]))
                .requirement);
@@ -204,18 +219,78 @@ AdmissionReport ResourceManager::admit(const graph::Application& app) {
     const auto idx = static_cast<std::size_t>(channel.id.value);
     report.layout.set_route(channel.id, routed.routes[idx].route,
                             routed.routes[idx].bandwidth);
-    live.routes.emplace_back(routed.routes[idx].route,
-                             routed.routes[idx].bandwidth);
+    staged.routes.emplace_back(routed.routes[idx].route,
+                               routed.routes[idx].bandwidth);
   }
 
   txn.commit();
   report.admitted = true;
+  return staged;
+}
+
+AdmissionReport ResourceManager::register_live_locked(
+    StagedAdmission&& staged) {
+  AdmissionReport report = std::move(staged.report);
+  LiveApp live;
+  live.app = std::move(staged.app);
+  live.task_allocations = std::move(staged.task_allocations);
+  live.routes = std::move(staged.routes);
   report.handle = next_handle_++;
   live_[report.handle] = std::move(live);
+  AdmissionMetrics::get().admitted.add(1);
   return report;
 }
 
+platform::Platform ResourceManager::snapshot_platform() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return *platform_;
+}
+
+util::Result<AdmissionReport> ResourceManager::commit_staged(
+    StagedAdmission staged) {
+  if (!staged.report.admitted) {
+    return util::Error("cannot commit a staging that was not admitted (" +
+                       staged.report.reason + ")");
+  }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Re-validate against the live platform: between the snapshot and now,
+  // other commits may have taken the capacity or a fault may have landed.
+  // The transaction rolls partial applications back on any conflict.
+  platform::Transaction txn(*platform_);
+  for (const auto& [element, demand] : staged.task_allocations) {
+    if (platform_->element(element).is_failed()) {
+      return util::Error("commit conflict: element " +
+                         platform_->element(element).name() +
+                         " failed since staging");
+    }
+    if (!platform_->allocate(element, demand)) {
+      return util::Error("commit conflict: capacity on " +
+                         platform_->element(element).name() +
+                         " taken since staging");
+    }
+    platform_->add_task(element);
+  }
+  for (const auto& [route, bandwidth] : staged.routes) {
+    for (const platform::LinkId l : route.links) {
+      if (!platform_->link_usable(l) ||
+          !platform_->allocate_channel(l, bandwidth)) {
+        return util::Error("commit conflict: link " +
+                           std::to_string(l.value) +
+                           " cannot carry the staged route");
+      }
+    }
+  }
+  txn.commit();
+  assert(platform_->invariants_hold());
+  return register_live_locked(std::move(staged));
+}
+
 util::VoidResult ResourceManager::remove(AppHandle handle) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  return remove_locked(handle);
+}
+
+util::VoidResult ResourceManager::remove_locked(AppHandle handle) {
   const auto it = live_.find(handle);
   if (it == live_.end()) {
     return util::Error("unknown application handle " +
@@ -235,6 +310,12 @@ util::VoidResult ResourceManager::remove(AppHandle handle) {
 
 std::vector<AppHandle> ResourceManager::apps_using(
     platform::ElementId e) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return apps_using_locked(e);
+}
+
+std::vector<AppHandle> ResourceManager::apps_using_locked(
+    platform::ElementId e) const {
   std::vector<AppHandle> out;
   for (const auto& [handle, live] : live_) {
     for (const auto& [element, demand] : live.task_allocations) {
@@ -248,6 +329,12 @@ std::vector<AppHandle> ResourceManager::apps_using(
 }
 
 std::vector<AppHandle> ResourceManager::apps_using_link(
+    platform::LinkId l) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return apps_using_link_locked(l);
+}
+
+std::vector<AppHandle> ResourceManager::apps_using_link_locked(
     platform::LinkId l) const {
   std::vector<AppHandle> out;
   for (const auto& [handle, live] : live_) {
@@ -265,6 +352,7 @@ std::vector<AppHandle> ResourceManager::apps_using_link(
 
 std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
 ResourceManager::allocations_of(AppHandle handle) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = live_.find(handle);
   if (it == live_.end()) return {};
   return it->second.task_allocations;
@@ -283,14 +371,14 @@ void ResourceManager::evict_and_readmit(
   report.victims = static_cast<int>(evicted.size());
   for (const auto& [handle, app] : evicted) {
     (void)app;
-    const auto removed = remove(handle);
+    const auto removed = remove_locked(handle);
     assert(removed.ok());
     (void)removed;
   }
   mark_failed();
 
   for (const auto& [old_handle, app] : evicted) {
-    const AdmissionReport admitted = admit(app);
+    const AdmissionReport admitted = admit_locked(app);
     if (!admitted.admitted) {
       ++report.lost;
       report.lost_handles.push_back(old_handle);
@@ -308,15 +396,17 @@ void ResourceManager::evict_and_readmit(
 
 ResourceManager::FaultReport ResourceManager::circumvent_fault(
     platform::ElementId e) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   FaultReport report;
   report.element = e;
-  evict_and_readmit(apps_using(e),
+  evict_and_readmit(apps_using_locked(e),
                     [&] { platform_->set_element_failed(e, true); }, report);
   return report;
 }
 
 ResourceManager::FaultReport ResourceManager::circumvent_fault_set(
     const std::vector<platform::ElementId>& set) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   FaultReport report;
   if (set.size() == 1) report.element = set.front();
   // Victims in handle order (matching apps_using), each exactly once even
@@ -344,22 +434,26 @@ ResourceManager::FaultReport ResourceManager::circumvent_fault_set(
 
 ResourceManager::FaultReport ResourceManager::circumvent_link_fault(
     platform::LinkId l) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   FaultReport report;
   report.link = l;
-  evict_and_readmit(apps_using_link(l),
+  evict_and_readmit(apps_using_link_locked(l),
                     [&] { platform_->set_link_failed(l, true); }, report);
   return report;
 }
 
 void ResourceManager::repair_element(platform::ElementId e) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   platform_->set_element_failed(e, false);
 }
 
 void ResourceManager::repair_link(platform::LinkId l) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   platform_->set_link_failed(l, false);
 }
 
 ResourceManager::DefragReport ResourceManager::defragment() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   obs::Span span("defrag");
   static const obs::Counter defrag_runs =
       obs::Registry::global().counter("defrag.runs");
@@ -397,7 +491,7 @@ ResourceManager::DefragReport ResourceManager::defragment() {
   }
   for (const auto& [handle, app] : pending) {
     (void)app;
-    const auto removed = remove(handle);
+    const auto removed = remove_locked(handle);
     assert(removed.ok());
     (void)removed;
   }
@@ -407,7 +501,7 @@ ResourceManager::DefragReport ResourceManager::defragment() {
                    });
 
   for (const auto& [old_handle, app] : pending) {
-    const AdmissionReport admitted = admit(app);
+    const AdmissionReport admitted = admit_locked(app);
     if (!admitted.admitted) {
       // Roll everything back; the caller keeps the old layout.
       platform_->restore(snap);
@@ -429,6 +523,7 @@ ResourceManager::DefragReport ResourceManager::defragment() {
 }
 
 std::vector<AppHandle> ResourceManager::live_handles() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<AppHandle> out;
   out.reserve(live_.size());
   for (const auto& [handle, _] : live_) out.push_back(handle);

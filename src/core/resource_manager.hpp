@@ -12,12 +12,29 @@
 // ARM926; this reproduction runs as a host-native library and reports the
 // same per-phase wall-clock times (Fig. 7, §IV-A) measured with
 // std::chrono.
+//
+// Concurrency: every public method is safe to call from multiple threads.
+// A reader-writer lock separates the platform's mutable allocation state
+// (written by admit/remove/fault/defrag flows) from the read-only surfaces
+// (apps_using, allocations_of, live_handles, ...), so concurrent readers
+// never contend with each other. The expensive half of an admission — the
+// four phases, dominated by the mapping search — can be taken *outside* the
+// lock through the stage/commit split: stage() runs the phases against a
+// private snapshot of the platform (snapshot_platform()), and
+// commit_staged() re-validates the staged reservations against the live
+// platform under the write lock, applying them only if they still fit
+// (optimistic concurrency; a conflict is reported for the caller to
+// re-stage). service::AdmissionService drives this pipeline with a worker
+// pool; single-threaded callers keep using admit(), whose behaviour —
+// including the exact sequence of platform mutations the regression pins
+// depend on — is unchanged.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -86,6 +103,22 @@ struct AdmissionReport {
   MappingStats mapping_stats;
 };
 
+/// A fully-phased admission candidate produced by ResourceManager::stage()
+/// against a platform snapshot: the would-be report plus the exact element
+/// reservations and routes the phases chose. Not yet visible in the live
+/// platform — commit_staged() applies it (or reports a conflict).
+struct StagedAdmission {
+  /// report.admitted says whether the phases succeeded on the snapshot;
+  /// report.handle stays -1 until commit.
+  AdmissionReport report;
+  /// The specification, retained so the committed application can later be
+  /// re-admitted after faults or during defragmentation.
+  graph::Application app;
+  std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
+      task_allocations;
+  std::vector<std::pair<noc::Route, std::int64_t>> routes;
+};
+
 struct KairosConfig {
   CostWeights weights{};
   FragmentationBonuses bonuses{};
@@ -114,12 +147,48 @@ class ResourceManager {
                            KairosConfig config = {});
 
   /// One resource-allocation attempt for `app` (Fig. 1 run-time half).
+  /// Holds the write lock for the whole attempt — the strictly serialized
+  /// path every single-threaded caller (and the regression pins) uses.
   AdmissionReport admit(const graph::Application& app);
 
   /// Releases every resource held by an admitted application.
   util::VoidResult remove(AppHandle handle);
 
-  std::size_t live_count() const { return live_.size(); }
+  // --- optimistic admission (the concurrent service path) -----------------
+  //
+  // stage() runs the four phases against a *private* platform copy with no
+  // lock held, so many candidates can be phased concurrently;
+  // commit_staged() then re-validates the staged reservations against the
+  // live platform under the write lock and applies them atomically. A
+  // commit can fail ("conflict") when the platform moved underneath the
+  // snapshot — another commit took the capacity, or a fault landed — in
+  // which case nothing is applied and the caller re-stages against a fresh
+  // snapshot (or falls back to admit()).
+
+  /// A private copy of the platform (topology + current allocation state)
+  /// taken under the read lock — the snapshot stage() phases against.
+  platform::Platform snapshot_platform() const;
+
+  /// Runs specification checks and the four phases against `scratch`
+  /// (mutating it; on failure it is restored). `scratch` must be private to
+  /// the caller — typically a snapshot_platform() copy. Thread-safe as long
+  /// as the configured mapper is (all built-in strategies are: map() is
+  /// const and keeps no state across calls). Attempt metrics and phase
+  /// spans are recorded exactly as admit() records them.
+  StagedAdmission stage(const graph::Application& app,
+                        platform::Platform& scratch) const;
+
+  /// Applies a successfully staged admission to the live platform if every
+  /// staged reservation still fits (capacity re-checked, fault state
+  /// re-checked); books the application and returns the report with its
+  /// handle assigned. Returns an error — with the platform untouched — on a
+  /// conflict, or when `staged` was not admitted.
+  util::Result<AdmissionReport> commit_staged(StagedAdmission staged);
+
+  std::size_t live_count() const {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    return live_.size();
+  }
   std::vector<AppHandle> live_handles() const;
 
   /// Handles of the admitted applications with at least one task placed on
@@ -199,6 +268,10 @@ class ResourceManager {
   /// restored exactly. Handles remain valid across the pass.
   DefragReport defragment();
 
+  /// Direct reference to the live platform. Under concurrent admission
+  /// traffic a writer may be mutating it — use snapshot_platform() for a
+  /// consistent view; this accessor is for single-threaded callers and
+  /// quiesced inspection.
   const platform::Platform& platform() const { return *platform_; }
   const KairosConfig& config() const { return config_; }
 
@@ -217,13 +290,31 @@ class ResourceManager {
     std::vector<std::pair<noc::Route, std::int64_t>> routes;
   };
 
+  // Unlocked implementations, called with the write lock already held
+  // (shared_mutex is not recursive, so locked public methods must not call
+  // each other).
+  AdmissionReport admit_locked(const graph::Application& app);
+  util::VoidResult remove_locked(AppHandle handle);
+  std::vector<AppHandle> apps_using_locked(platform::ElementId e) const;
+  std::vector<AppHandle> apps_using_link_locked(platform::LinkId l) const;
+  /// Books a staged admission as live: assigns the handle, stores the
+  /// LiveApp, counts the admission. The staged reservations must already be
+  /// present in the live platform.
+  AdmissionReport register_live_locked(StagedAdmission&& staged);
+
   /// Shared tail of the fault-circumvention flows: evicts `victims` (which
   /// must all be live), lets `mark_failed` flip the platform's fault state,
   /// then re-admits each victim preserving its handle, filling `report`.
+  /// Called with the write lock held.
   void evict_and_readmit(
       const std::vector<AppHandle>& victims,
       const std::function<void()>& mark_failed, FaultReport& report);
 
+  /// Reader-writer lock over the platform's mutable allocation state and
+  /// the live-application bookkeeping. The immutable topology (elements,
+  /// links, hop distances) needs no lock; stage() reads it through a
+  /// private snapshot anyway.
+  mutable std::shared_mutex mutex_;
   platform::Platform* platform_;
   KairosConfig config_;
   std::map<AppHandle, LiveApp> live_;

@@ -144,6 +144,14 @@ class Registry {
 
   /// Zeroes every counter/gauge and clears every histogram *in place* —
   /// handles stay valid. Bench/test isolation between measured sections.
+  ///
+  /// Safe against concurrent recording (service worker threads may be
+  /// mid-admit): counters and gauges are atomics, histograms reset under
+  /// their per-cell mutex, so no write is torn and no race occurs. The
+  /// boundary is per-metric, not global — a recording that races the reset
+  /// lands entirely before or entirely after the zeroing of *that* metric,
+  /// and concurrent writers may land between two cells' resets. Callers
+  /// needing an exact cut (benches) quiesce their workers first.
   void reset();
 
   MetricsSnapshot snapshot() const;

@@ -30,17 +30,23 @@ Tracer& Tracer::global() {
 void Tracer::start() {
   const std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_release);
   active_.store(true, std::memory_order_release);
 }
 
 void Tracer::stop() { active_.store(false, std::memory_order_release); }
 
 double Tracer::now_us() const {
-  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0.0;
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+  const std::int64_t epoch_ns = epoch_ns_.load(std::memory_order_acquire);
+  if (epoch_ns == 0) return 0.0;
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now_ns - epoch_ns) / 1000.0;
 }
 
 void Tracer::record(TraceEvent event) {

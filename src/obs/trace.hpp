@@ -18,6 +18,17 @@
 // Tracing is off by default: an un-started Tracer makes Span construction
 // two relaxed atomic loads plus the clock read; nothing is allocated or
 // stored. Tracer::start() arms collection process-wide.
+//
+// Thread-safety contract (exercised by the admission-service worker pool):
+// start()/stop() may race freely with spans opening, closing and recording
+// on other threads — the armed flag and the epoch are atomics, the event
+// buffer is mutex-guarded. A span that armed itself before stop() (or
+// before a concurrent start() cleared the buffer) still appends its event
+// on destruction; collection boundaries are therefore *fuzzy* under
+// concurrency — spans already open when start() is called may contribute a
+// stale-timestamped event — but never a data race or a torn event. Callers
+// that need crisp boundaries quiesce their workers (e.g.
+// AdmissionService::drain()) around start()/stop().
 #pragma once
 
 #include <cstdint>
@@ -79,7 +90,10 @@ class Tracer {
 
  private:
   std::atomic<bool> active_{false};
-  std::chrono::steady_clock::time_point epoch_{};
+  /// start()'s steady_clock reading in nanoseconds-since-clock-epoch (0 =
+  /// never started). Atomic because now_us() runs on every span-opening
+  /// thread while start() may be rewriting it.
+  std::atomic<std::int64_t> epoch_ns_{0};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };

@@ -1,0 +1,197 @@
+#include "service/admission_service.hpp"
+
+#include <algorithm>
+
+namespace kairos::service {
+
+namespace {
+
+core::AdmissionReport stopped_report() {
+  core::AdmissionReport report;
+  report.admitted = false;
+  report.failed_phase = core::Phase::kNone;
+  report.reason = "service stopped";
+  return report;
+}
+
+}  // namespace
+
+AdmissionService::AdmissionService(core::ResourceManager& manager,
+                                   ServiceConfig config)
+    : manager_(manager), config_(config) {
+  config_.threads = std::max(1, config_.threads);
+  config_.max_batch = std::max(1, config_.max_batch);
+  config_.max_retries = std::max(0, config_.max_retries);
+
+  obs::Registry& registry = obs::Registry::global();
+  admissions_ = registry.counter("service.admissions");
+  rejections_ = registry.counter("service.rejections");
+  conflicts_ = registry.counter("service.commit_conflicts");
+  fallbacks_ = registry.counter("service.fallbacks");
+  batches_ = registry.counter("service.batches");
+  queue_depth_ = registry.gauge("service.queue_depth");
+  latency_ms_ = registry.histogram("service.latency_ms");
+
+  workers_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AdmissionService::~AdmissionService() { stop(); }
+
+std::future<core::AdmissionReport> AdmissionService::submit(
+    graph::Application app) {
+  Request request;
+  request.app = std::move(app);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<core::AdmissionReport> future = request.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      request.promise.set_value(stopped_report());
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    ++unsettled_;
+    queue_depth_.set(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+util::VoidResult AdmissionService::remove(core::AppHandle handle) {
+  return manager_.remove(handle);
+}
+
+void AdmissionService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return unsettled_ == 0; });
+}
+
+void AdmissionService::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::vector<CommitRecord> AdmissionService::commit_log() const {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  return commit_log_;
+}
+
+std::size_t AdmissionService::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return unsettled_;
+}
+
+void AdmissionService::settle(Request&& request,
+                              core::AdmissionReport report) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - request.enqueued)
+          .count();
+  latency_ms_.record(latency_ms);
+  if (report.admitted) {
+    admissions_.add(1);
+  } else {
+    rejections_.add(1);
+  }
+  request.promise.set_value(std::move(report));
+  bool idle = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --unsettled_;
+    idle = unsettled_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+void AdmissionService::requeue(Request&& request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(request));
+    queue_depth_.set(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_one();
+}
+
+void AdmissionService::log_commit(CommitRecord record) {
+  const std::lock_guard<std::mutex> lock(log_mutex_);
+  commit_log_.push_back(std::move(record));
+}
+
+void AdmissionService::worker_loop() {
+  for (;;) {
+    // --- pop a batch ------------------------------------------------------
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and nothing left to settle
+      const auto want = static_cast<std::size_t>(config_.max_batch);
+      while (!queue_.empty() && batch.size() < want) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+    batches_.add(1);
+
+    // --- stage + commit against one shared scratch ------------------------
+    // Every request of the batch phases against the same snapshot, so later
+    // requests co-place around earlier ones and the copy is amortised. The
+    // scratch keeps earlier stagings even when their commit conflicts —
+    // harmless: commit_staged() is what decides against the live platform.
+    platform::Platform scratch = manager_.snapshot_platform();
+    for (Request& request : batch) {
+      core::StagedAdmission staged = manager_.stage(request.app, scratch);
+      if (!staged.report.admitted) {
+        settle(std::move(request), std::move(staged.report));
+        continue;
+      }
+
+      CommitRecord record;
+      record.task_allocations = staged.task_allocations;
+      record.routes = staged.routes;
+      auto committed = manager_.commit_staged(std::move(staged));
+      if (committed.ok()) {
+        record.handle = committed.value().handle;
+        log_commit(std::move(record));
+        settle(std::move(request), std::move(committed).value());
+        continue;
+      }
+
+      // Conflict: the live platform moved underneath the snapshot.
+      conflicts_.add(1);
+      if (request.attempt < config_.max_retries) {
+        ++request.attempt;
+        requeue(std::move(request));
+        continue;
+      }
+      // Retries exhausted — the exclusive path phases under the write lock
+      // and therefore cannot conflict; its verdict is final.
+      fallbacks_.add(1);
+      core::AdmissionReport report = manager_.admit(request.app);
+      if (report.admitted) {
+        CommitRecord fallback;
+        fallback.handle = report.handle;
+        fallback.task_allocations = manager_.allocations_of(report.handle);
+        for (const core::ChannelRoute& channel : report.layout.routes()) {
+          fallback.routes.emplace_back(channel.route, channel.bandwidth);
+        }
+        log_commit(std::move(fallback));
+      }
+      settle(std::move(request), std::move(report));
+    }
+  }
+}
+
+}  // namespace kairos::service

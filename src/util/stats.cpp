@@ -73,8 +73,16 @@ double WeightedStats::variance() const {
 double WeightedStats::stddev() const { return std::sqrt(variance()); }
 
 double WeightedStats::percentile(double p) const {
+  // Empty (equivalently: zero total weight — add() rejects non-positive
+  // weights, so n_ == 0 iff weight_ == 0): defined as 0.0.
   if (n_ == 0) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // Clamp out-of-range requests instead of asserting: a release build fed
+  // p > 100 would otherwise walk past the sketch's total weight and silently
+  // report the max, and p < 0 the min — make both explicit. The comparisons
+  // are negated so NaN (for which every comparison is false) lands in the
+  // p = 0 branch rather than poisoning the cumulative-weight walk.
+  if (!(p > 0.0)) p = 0.0;
+  if (!(p < 100.0)) p = 100.0;
   std::vector<std::pair<double, double>> sorted = sketch_;
   std::sort(sorted.begin(), sorted.end());
   const double target = p / 100.0 * weight_;
@@ -124,7 +132,9 @@ void WeightedStats::merge(const WeightedStats& other) {
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // Same clamping contract as WeightedStats::percentile (NaN -> p = 0).
+  if (!(p > 0.0)) p = 0.0;
+  if (!(p < 100.0)) p = 100.0;
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);

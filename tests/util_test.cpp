@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "util/csv.hpp"
@@ -230,6 +231,46 @@ TEST(WeightedStatsTest, PercentileIsTheWeightedCumulativeLevel) {
   EXPECT_DOUBLE_EQ(s.percentile(95), 7.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(WeightedStatsTest, PercentileClampsOutOfRangeRequests) {
+  WeightedStats s;
+  s.add(10.0, 1.0);
+  s.add(20.0, 1.0);
+  s.add(30.0, 1.0);
+  // Hand-computed anchors first.
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 30.0);
+  // Out-of-range p clamps to the nearest anchor instead of reading past the
+  // sketch: below 0 -> the minimum, above 100 -> the maximum.
+  EXPECT_DOUBLE_EQ(s.percentile(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-0.0001), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(150.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0001), 30.0);
+  // NaN routes to the p = 0 branch (the negated-comparison clamp), never to
+  // an out-of-bounds rank.
+  EXPECT_DOUBLE_EQ(s.percentile(std::numeric_limits<double>::quiet_NaN()),
+                   10.0);
+  // The free-function overload follows the same contract.
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 400), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, std::numeric_limits<double>::quiet_NaN()),
+                   1.0);
+}
+
+TEST(WeightedStatsTest, ZeroTotalWeightPercentileIsDefinedAsZero) {
+  // add() ignores non-positive weights, so "all weights zero" and "never
+  // added" are the same state: zero total weight, percentile defined as 0.
+  WeightedStats s;
+  s.add(42.0, 0.0);
+  s.add(7.0, -1.0);
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(101.0), 0.0);
 }
 
 TEST(WeightedStatsTest, PercentileSketchCompactionStaysClose) {
