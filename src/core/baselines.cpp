@@ -31,12 +31,12 @@ MappingResult simple_map(const graph::Application& app,
         static_cast<std::size_t>(impl_of[idx]));
 
     std::vector<ElementId> candidates;
-    for (const auto& e : platform.elements()) {
+    for (const ElementId id : platform.elements_of_type(impl.target)) {
+      const auto& e = platform.element(id);
       if (e.is_failed()) continue;
-      if (pins[idx].has_value() && *pins[idx] != e.id()) continue;
-      if (e.type() != impl.target) continue;
+      if (pins[idx].has_value() && *pins[idx] != id) continue;
       if (!impl.requirement.fits_within(e.free())) continue;
-      candidates.push_back(e.id());
+      candidates.push_back(id);
     }
     if (candidates.empty()) {
       result.reason = "no available element for task '" + task.name() + "'";
@@ -84,12 +84,9 @@ double layout_cost(const graph::Application& app, const Platform& platform,
                    const std::vector<ElementId>& element_of,
                    const CostWeights& weights,
                    const FragmentationBonuses& bonuses) {
-  // Exact all-pairs distances from the elements actually used.
-  std::vector<std::vector<int>> dist_from(platform.element_count());
+  // Exact distances from the elements actually used, via the shared cache.
   auto distance = [&](ElementId a, ElementId b) {
-    auto& row = dist_from[static_cast<std::size_t>(a.value)];
-    if (row.empty()) row = platform.hop_distances_from(a);
-    const int d = row[static_cast<std::size_t>(b.value)];
+    const int d = platform.hop_row(a)[static_cast<std::size_t>(b.value)];
     return d < 0 ? 2 * (platform.diameter() + 1) : d;
   };
 
@@ -144,11 +141,8 @@ LayoutCostTerms layout_cost_terms(
     const std::vector<ElementId>& element_of) {
   LayoutCostTerms terms;
 
-  std::vector<std::vector<int>> dist_from(platform.element_count());
   auto distance = [&](ElementId a, ElementId b) {
-    auto& row = dist_from[static_cast<std::size_t>(a.value)];
-    if (row.empty()) row = platform.hop_distances_from(a);
-    const int d = row[static_cast<std::size_t>(b.value)];
+    const int d = platform.hop_row(a)[static_cast<std::size_t>(b.value)];
     return d < 0 ? 2 * (platform.diameter() + 1) : d;
   };
 
@@ -216,8 +210,6 @@ class OptimalSearch {
     for (const auto& e : platform.elements()) {
       free_[static_cast<std::size_t>(e.id().value)] = e.free();
     }
-    // Exact distances are needed over and over; precompute lazily.
-    dist_from_.resize(platform.element_count());
   }
 
   /// Runs the search; returns true if any complete assignment was found.
@@ -232,9 +224,7 @@ class OptimalSearch {
 
  private:
   int distance(ElementId a, ElementId b) {
-    auto& row = dist_from_[static_cast<std::size_t>(a.value)];
-    if (row.empty()) row = platform_->hop_distances_from(a);
-    const int d = row[static_cast<std::size_t>(b.value)];
+    const int d = platform_->hop_row(a)[static_cast<std::size_t>(b.value)];
     return d < 0 ? 2 * (platform_->diameter() + 1) : d;
   }
 
@@ -278,18 +268,20 @@ class OptimalSearch {
       return;
     }
     const auto& impl_req = requirements_[t];
-    for (const auto& e : platform_->elements()) {
-      if (e.is_failed()) continue;
-      if (e.type() != targets_[t]) continue;
+    // Type members in id order == the old full scan filtered by type; the
+    // node-budget counter must keep its position (after type/pin checks,
+    // before the fits check) so budget_exhausted() is unchanged.
+    for (const ElementId id : platform_->elements_of_type(targets_[t])) {
+      if (platform_->element(id).is_failed()) continue;
       const auto& pin = (*pins_)[t];
-      if (pin.has_value() && *pin != e.id()) continue;
+      if (pin.has_value() && *pin != id) continue;
       ++nodes_;
-      auto& slot = free_[static_cast<std::size_t>(e.id().value)];
+      auto& slot = free_[static_cast<std::size_t>(id.value)];
       if (!impl_req.fits_within(slot)) continue;
-      const double comm = comm_so_far + partial_comm(t, e.id());
+      const double comm = comm_so_far + partial_comm(t, id);
       if (found_ && comm >= best_cost_) continue;  // admissible bound
       slot -= impl_req;
-      assignment_[t] = e.id();
+      assignment_[t] = id;
       explore(t + 1, comm);
       assignment_[t] = ElementId{};
       slot += impl_req;
@@ -304,7 +296,6 @@ class OptimalSearch {
   std::vector<ResourceVector> free_;
   std::vector<ResourceVector> requirements_;
   std::vector<platform::ElementType> targets_;
-  std::vector<std::vector<int>> dist_from_;
   std::vector<ElementId> best_;
   double best_cost_ = 0.0;
   bool found_ = false;

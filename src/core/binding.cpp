@@ -5,6 +5,8 @@
 #include <cassert>
 #include <limits>
 
+#include "platform/availability.hpp"
+
 namespace kairos::core {
 
 using graph::TaskId;
@@ -48,53 +50,43 @@ util::Result<PinTable> resolve_pins(const graph::Application& app,
 
 namespace {
 
-/// A scratch copy of every element's free capacity. Binding claims each
+/// A scratch view of every element's free capacity. Binding claims each
 /// selected implementation from some concrete element (first fit), which
 /// keeps the phase's "available somewhere in the platform" test honest at
 /// element granularity: an application whose tasks individually fit but
 /// jointly oversubscribe every element is rejected here rather than deep in
 /// the mapping phase. The scratch is only a feasibility oracle — the actual
 /// placement decision is the mapping phase's.
+///
+/// Backed by a pooled AvailabilityIndex: the regret loop performs
+/// O(tasks² · implementations) covers() probes per admission, so the old
+/// linear scan made binding the dominant cost on large platforms. The index
+/// answers each probe in O(log V) and claims the same element a linear
+/// first-fit would (lowest id), keeping decisions bit-identical.
 struct Pool {
-  std::vector<ResourceVector> free;
+  platform::ScratchAvailability avail;
 
-  explicit Pool(const platform::Platform& platform) {
-    free.reserve(platform.element_count());
-    for (const auto& e : platform.elements()) free.push_back(e.free());
-  }
+  explicit Pool(const platform::Platform& platform) : avail(platform) {}
 
-  bool covers(const platform::Platform& platform, ElementType type,
-              const ResourceVector& req) const {
-    for (const auto& e : platform.elements()) {
-      if (e.type() == type && !e.is_failed() &&
-          req.fits_within(free[static_cast<std::size_t>(e.id().value)])) {
-        return true;
-      }
-    }
-    return false;
+  bool covers(ElementType type, const ResourceVector& req) const {
+    return avail->covers(type, req);
   }
 
   bool covers_pinned(const platform::Platform& platform, ElementId pin,
                      const ResourceVector& req) const {
     return !platform.element(pin).is_failed() &&
-           req.fits_within(free[static_cast<std::size_t>(pin.value)]);
+           req.fits_within(avail->free(pin));
   }
 
-  void claim(const platform::Platform& platform, ElementType type,
-             const ResourceVector& req) {
-    for (const auto& e : platform.elements()) {
-      auto& slot = free[static_cast<std::size_t>(e.id().value)];
-      if (e.type() == type && !e.is_failed() && req.fits_within(slot)) {
-        slot -= req;
-        return;
-      }
-    }
-    assert(false && "claim() must follow a successful covers()");
+  void claim(ElementType type, const ResourceVector& req) {
+    const ElementId e = avail->first_available(type, req);
+    assert(e.valid() && "claim() must follow a successful covers()");
+    avail->on_allocate(e, req);
   }
 
   void claim_pinned(ElementId pin, const ResourceVector& req) {
-    free[static_cast<std::size_t>(pin.value)] -= req;
-    assert(!free[static_cast<std::size_t>(pin.value)].any_negative());
+    avail->on_allocate(pin, req);
+    assert(!avail->free(pin).any_negative());
   }
 };
 
@@ -118,7 +110,7 @@ BindingResult BindingPhase::bind(const graph::Application& app,
       return element.type() == impl.target &&
              pool.covers_pinned(*platform_, *pins[idx], impl.requirement);
     }
-    return pool.covers(*platform_, impl.target, impl.requirement);
+    return pool.covers(impl.target, impl.requirement);
   };
 
   while (remaining > 0) {
@@ -176,7 +168,7 @@ BindingResult BindingPhase::bind(const graph::Application& app,
     if (pins[pick_idx].has_value()) {
       pool.claim_pinned(*pins[pick_idx], impl.requirement);
     } else {
-      pool.claim(*platform_, impl.target, impl.requirement);
+      pool.claim(impl.target, impl.requirement);
     }
     bound[pick_idx] = true;
     --remaining;

@@ -84,6 +84,40 @@ double MappingCostModel::wear_cost(platform::ElementId e) const {
   return static_cast<double>(platform_->element(e).wear());
 }
 
+double MappingCostModel::anchor_cost(graph::TaskId t, platform::ElementId e,
+                                     const PartialMapping& mapping) const {
+#ifndef NDEBUG
+  for (const graph::TaskId peer : app_->neighbors(t)) {
+    assert(!mapping.is_mapped(peer) &&
+           "anchor_cost requires a task with no mapped peers");
+  }
+#endif
+  (void)t;
+  double cost = 0.0;
+  if (weights_.fragmentation != 0.0) {
+    // fragmentation_cost with the hosts_peer branch proven false: a mapped
+    // peer on a neighbor would have made t reachable, not an anchor.
+    double fragmentation = 0.0;
+    for (const platform::ElementId n : platform_->neighbors(e)) {
+      double bonus = 0.0;
+      if (mapping.app_tasks_on(n) > 0) {
+        bonus = bonuses_.same_app;
+      } else if (platform_->element(n).is_used()) {
+        bonus = bonuses_.other_app;
+      }
+      fragmentation += 1.0 - bonus;
+    }
+    cost += weights_.fragmentation * fragmentation;
+  }
+  if (weights_.load_balance != 0.0) {
+    cost += weights_.load_balance * load_balance_cost(e);
+  }
+  if (weights_.wear != 0.0) {
+    cost += weights_.wear * wear_cost(e);
+  }
+  return cost;
+}
+
 double MappingCostModel::task_cost(graph::TaskId t, platform::ElementId e,
                                    const PartialMapping& mapping,
                                    const DistanceOracle& distances) const {

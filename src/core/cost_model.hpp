@@ -117,6 +117,15 @@ class MappingCostModel {
                    const PartialMapping& mapping,
                    const DistanceOracle& distances) const;
 
+  /// task_cost for a task with no mapped communication peer — the anchor of
+  /// a still-unreached component. The communication term is exactly zero and
+  /// no neighbor can host a peer, so both the channel loops and the
+  /// peers-of-t scan vanish; the arithmetic that remains is bit-identical to
+  /// task_cost's. The anchor candidate scan covers every available element,
+  /// which makes this the hottest cost-model path on large platforms.
+  double anchor_cost(graph::TaskId t, platform::ElementId e,
+                     const PartialMapping& mapping) const;
+
   /// The communication component alone (weight not applied).
   double communication_cost(graph::TaskId t, platform::ElementId e,
                             const PartialMapping& mapping,

@@ -125,7 +125,15 @@ MappingResult IncrementalMapper::map(const graph::Application& app,
   assert(impl_of.size() == app.task_count());
   assert(pins.size() == app.task_count());
 
-  platform::Transaction txn(platform);
+  // Build (or reuse) the platform's incremental availability index before
+  // opening the transaction: every allocate below maintains it, and the
+  // candidate scans (M0, anchors) answer from it in O(log V + matches)
+  // instead of scanning all elements per task.
+  platform.ensure_availability();
+
+  // The mapper mutates only element state (allocate/add_task); links are the
+  // routing phase's business, so the rollback snapshot can skip them.
+  platform::Transaction txn(platform, platform::SnapshotScope::kElementsOnly);
 
   PartialMapping mapping(app.task_count(), platform.element_count());
   DistanceOracle oracle;
@@ -156,11 +164,18 @@ MappingResult IncrementalMapper::map(const graph::Application& app,
            requirement(t).fits_within(element.free());
   };
 
-  auto available_elements = [&](TaskId t) {
+  // Candidates for a task in element-id order (identical to a full scan
+  // through available()), answered from the availability index. `limit`
+  // bounds the enumeration: M0 only needs to distinguish 0 / 1 / many.
+  auto available_elements = [&](TaskId t, std::size_t limit) {
     std::vector<ElementId> out;
-    for (const auto& e : platform.elements()) {
-      if (available(e.id(), t)) out.push_back(e.id());
+    const auto& pin = pins[static_cast<std::size_t>(t.value)];
+    if (pin.has_value()) {
+      if (available(*pin, t)) out.push_back(*pin);
+      return out;
     }
+    platform.availability().collect_available(impl(t).target, requirement(t),
+                                              ElementId{}, limit, out);
     return out;
   };
 
@@ -182,7 +197,7 @@ MappingResult IncrementalMapper::map(const graph::Application& app,
 
   // ---- M0: tasks with a single available element (Fig. 5, line 2) --------
   for (const auto& task : app.tasks()) {
-    const auto avs = available_elements(task.id());
+    const auto avs = available_elements(task.id(), 2);
     if (avs.empty()) {
       return fail("no available element for task '" + task.name() + "'");
     }
@@ -225,7 +240,8 @@ MappingResult IncrementalMapper::map(const graph::Application& app,
         }
       }
       assert(anchor.valid());
-      const auto avs = available_elements(anchor);
+      const auto avs = available_elements(
+          anchor, std::numeric_limits<std::size_t>::max());
       if (avs.empty()) {
         return fail("no available element for anchor task '" +
                     app.task(anchor).name() + "'");
@@ -233,7 +249,10 @@ MappingResult IncrementalMapper::map(const graph::Application& app,
       ElementId best;
       double best_cost = std::numeric_limits<double>::infinity();
       for (const ElementId e : avs) {
-        const double c = cost_model.task_cost(anchor, e, mapping, oracle);
+        // anchor_cost == task_cost here (no mapped peers by construction);
+        // it skips the channel and peer scans that dominate a full scan of
+        // the platform's available elements.
+        const double c = cost_model.anchor_cost(anchor, e, mapping);
         if (c < best_cost) {
           best_cost = c;
           best = e;

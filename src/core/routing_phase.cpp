@@ -14,8 +14,6 @@ RoutingResult RoutingPhase::route(
   result.routes.resize(app.channel_count());
   assert(element_of.size() == app.task_count());
 
-  platform::Transaction txn(platform);
-
   // Most demanding channels first.
   std::vector<std::size_t> order(app.channel_count());
   std::iota(order.begin(), order.end(), 0);
@@ -23,6 +21,12 @@ RoutingResult RoutingPhase::route(
                                                    std::size_t b) {
     return app.channels()[a].bandwidth > app.channels()[b].bandwidth;
   });
+
+  // Rollback is an undo list, not a platform transaction: routing touches
+  // only link state, release_route is allocate_route's exact inverse, and a
+  // transaction snapshot is O(V + E) per admission attempt.
+  std::vector<std::size_t> routed;
+  routed.reserve(order.size());
 
   int total_hops = 0;
   for (const std::size_t idx : order) {
@@ -35,15 +39,20 @@ RoutingResult RoutingPhase::route(
 
     auto route = router_.allocate_route(platform, src, dst, channel.bandwidth);
     if (!route.has_value()) {
+      for (std::size_t k = routed.size(); k-- > 0;) {
+        const ChannelRoute& done = result.routes[routed[k]];
+        noc::Router::release_route(platform, done.route, done.bandwidth);
+      }
       result.failed_channel = channel.id;
       result.reason = "no route with free capacity from '" +
                       platform.element(src).name() + "' to '" +
                       platform.element(dst).name() + "' for channel " +
                       std::to_string(channel.id.value);
-      return result;  // txn rolls back
+      return result;
     }
     total_hops += route->hops();
     result.routes[idx] = ChannelRoute{std::move(*route), channel.bandwidth};
+    routed.push_back(idx);
   }
 
   result.ok = true;
@@ -52,7 +61,6 @@ RoutingResult RoutingPhase::route(
           ? 0.0
           : static_cast<double>(total_hops) /
                 static_cast<double>(app.channel_count());
-  txn.commit();
   return result;
 }
 

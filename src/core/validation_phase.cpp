@@ -3,8 +3,61 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
 
 namespace kairos::core {
+
+namespace {
+
+/// Everything the verdict depends on, as one flat byte string: the analysis
+/// configuration, the observed actor, the constraint, and the SDF model
+/// itself (actor execution times and channel structure; names are ignored by
+/// the analysis). Two admissions with equal signatures get — by construction
+/// — the identical ValidationResult, which is what lets model_memo below
+/// short-circuit re-analysis.
+std::string model_signature(const ValidationConfig& config,
+                            const sdf::SdfGraph& g, sdf::ActorId observed,
+                            double constraint) {
+  std::vector<std::int64_t> words;
+  words.reserve(8 + g.actor_count() + 5 * g.channel_count());
+  words.push_back(static_cast<std::int64_t>(g.actor_count()));
+  words.push_back(static_cast<std::int64_t>(g.channel_count()));
+  words.push_back(observed.value);
+  std::int64_t constraint_bits = 0;
+  static_assert(sizeof(constraint_bits) == sizeof(constraint));
+  std::memcpy(&constraint_bits, &constraint, sizeof(constraint));
+  words.push_back(constraint_bits);
+  words.push_back(config.use_mcr ? 1 : 0);
+  words.push_back(config.throughput.max_states);
+  for (const auto& actor : g.actors()) words.push_back(actor.exec_time);
+  for (const auto& channel : g.channels()) {
+    words.push_back(channel.src.value);
+    words.push_back(channel.dst.value);
+    words.push_back(channel.production);
+    words.push_back(channel.consumption);
+    words.push_back(channel.initial_tokens);
+  }
+  return std::string(reinterpret_cast<const char*>(words.data()),
+                     words.size() * sizeof(std::int64_t));
+}
+
+/// Memoised verdicts keyed by model_signature. Thread-local (lock-free under
+/// the concurrent admission service), bounded by wholesale reset. The hit
+/// rate is structural: a recurring application admitted with the same
+/// binding and the same per-channel hop counts builds the identical SDF
+/// model no matter *where* on the platform it landed, and the analysis —
+/// easily the most expensive platform-size-independent part of admission —
+/// need not be repeated for it.
+std::unordered_map<std::string, ValidationResult>& model_memo() {
+  thread_local std::unordered_map<std::string, ValidationResult> memo;
+  constexpr std::size_t kMaxEntries = 512;
+  if (memo.size() >= kMaxEntries) memo.clear();
+  return memo;
+}
+
+}  // namespace
 
 sdf::SdfGraph ValidationPhase::build_sdf(
     const graph::Application& app, const std::vector<int>& impl_of,
@@ -85,48 +138,60 @@ ValidationResult ValidationPhase::validate(
     }
   }
 
-  if (config_.use_mcr) {
-    const sdf::McrResult mcr = sdf::max_cycle_ratio(g);
-    if (mcr.applicable) {
-      result.states_explored = 0;
-      if (mcr.deadlock) {
-        result.status = sdf::ThroughputStatus::kDeadlock;
-        result.reason = "SDF model deadlocks (token-free cycle)";
-        result.ok = app.throughput_constraint() <= 0.0;
+  std::string signature =
+      model_signature(config_, g, observed, app.throughput_constraint());
+  auto& memo = model_memo();
+  if (const auto it = memo.find(signature); it != memo.end()) {
+    return it->second;
+  }
+
+  const ValidationResult computed = [&] {
+    if (config_.use_mcr) {
+      const sdf::McrResult mcr = sdf::max_cycle_ratio(g);
+      if (mcr.applicable) {
+        result.states_explored = 0;
+        if (mcr.deadlock) {
+          result.status = sdf::ThroughputStatus::kDeadlock;
+          result.reason = "SDF model deadlocks (token-free cycle)";
+          result.ok = app.throughput_constraint() <= 0.0;
+          return result;
+        }
+        result.status = sdf::ThroughputStatus::kPeriodic;
+        result.throughput = mcr.throughput;
+        result.ok = app.throughput_constraint() <= 0.0 ||
+                    mcr.throughput >= app.throughput_constraint();
+        if (!result.ok) {
+          result.reason = "throughput " + std::to_string(mcr.throughput) +
+                          " below required " +
+                          std::to_string(app.throughput_constraint());
+        }
         return result;
       }
-      result.status = sdf::ThroughputStatus::kPeriodic;
-      result.throughput = mcr.throughput;
-      result.ok = app.throughput_constraint() <= 0.0 ||
-                  mcr.throughput >= app.throughput_constraint();
-      if (!result.ok) {
-        result.reason = "throughput " + std::to_string(mcr.throughput) +
-                        " below required " +
-                        std::to_string(app.throughput_constraint());
-      }
+      // Not applicable: fall through to the state-space analyzer.
+    }
+
+    const sdf::ThroughputAnalyzer analyzer(config_.throughput);
+    const sdf::ThroughputResult analysis = analyzer.analyze(g, observed);
+    result.throughput = analysis.throughput;
+    result.states_explored = analysis.states_explored;
+    result.status = analysis.status;
+
+    if (analysis.status == sdf::ThroughputStatus::kDeadlock) {
+      result.reason = "SDF model deadlocks";
+      result.ok = app.throughput_constraint() <= 0.0;
       return result;
     }
-    // Not applicable: fall through to the state-space analyzer.
-  }
-
-  const sdf::ThroughputAnalyzer analyzer(config_.throughput);
-  const sdf::ThroughputResult analysis = analyzer.analyze(g, observed);
-  result.throughput = analysis.throughput;
-  result.states_explored = analysis.states_explored;
-  result.status = analysis.status;
-
-  if (analysis.status == sdf::ThroughputStatus::kDeadlock) {
-    result.reason = "SDF model deadlocks";
-    result.ok = app.throughput_constraint() <= 0.0;
+    result.ok =
+        sdf::satisfies_throughput(analysis, app.throughput_constraint());
+    if (!result.ok) {
+      result.reason = "throughput " + std::to_string(analysis.throughput) +
+                      " below required " +
+                      std::to_string(app.throughput_constraint());
+    }
     return result;
-  }
-  result.ok = sdf::satisfies_throughput(analysis, app.throughput_constraint());
-  if (!result.ok) {
-    result.reason = "throughput " + std::to_string(analysis.throughput) +
-                    " below required " +
-                    std::to_string(app.throughput_constraint());
-  }
-  return result;
+  }();
+  memo.emplace(std::move(signature), computed);
+  return computed;
 }
 
 }  // namespace kairos::core

@@ -18,7 +18,6 @@ DeltaCostEvaluator::DeltaCostEvaluator(
       distances_(&distances),
       element_count_(platform.element_count()),
       peers_(app.task_count()),
-      adjacency_(element_count_ * element_count_, 0),
       used_by_others_(element_count_, 0),
       element_of_(app.task_count()),
       app_tasks_on_(element_count_, 0),
@@ -32,11 +31,7 @@ DeltaCostEvaluator::DeltaCostEvaluator(
     }
   }
   for (const auto& element : platform.elements()) {
-    const std::size_t e = eidx(element.id());
-    used_by_others_[e] = element.is_used() ? 1 : 0;
-    for (const ElementId n : platform.neighbors(element.id())) {
-      adjacency_[e * element_count_ + eidx(n)] = 1;
-    }
+    used_by_others_[eidx(element.id())] = element.is_used() ? 1 : 0;
   }
   for (std::size_t t = 0; t < initial.size(); ++t) {
     if (initial[t].valid()) attach(t, initial[t]);

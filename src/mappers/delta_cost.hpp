@@ -88,8 +88,17 @@ class DeltaCostEvaluator {
     return static_cast<std::size_t>(e.value);
   }
 
+  /// O(degree) membership probe against the platform's neighbor lists —
+  /// NoC degrees are small constants, and this replaces a flattened E×E
+  /// adjacency matrix whose O(V²) zero-fill dominated evaluator
+  /// construction on large platforms.
   bool adjacent(std::size_t a, std::size_t b) const {
-    return adjacency_[a * element_count_ + b] != 0;
+    const platform::ElementId bid{static_cast<std::int32_t>(b)};
+    for (const platform::ElementId n :
+         platform_->neighbors(platform::ElementId{static_cast<std::int32_t>(a)})) {
+      if (n == bid) return true;
+    }
+    return false;
   }
 
   Category category(std::size_t task, std::size_t element) const {
@@ -120,8 +129,6 @@ class DeltaCostEvaluator {
   std::size_t element_count_ = 0;
   /// Distinct communication peers per task (precomputed adjacency lists).
   std::vector<std::vector<std::int32_t>> peers_;
-  /// Symmetric element adjacency, flattened E×E.
-  std::vector<std::uint8_t> adjacency_;
   /// Elements hosting tasks of other applications (snapshot; the platform is
   /// not mutated while the owning strategy plans).
   std::vector<std::uint8_t> used_by_others_;

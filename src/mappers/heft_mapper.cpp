@@ -78,8 +78,11 @@ core::MappingResult HeftMapper::map(const graph::Application& app,
 
     ElementId best;
     double best_cost = std::numeric_limits<double>::infinity();
-    for (const auto& element : platform.elements()) {
-      const ElementId e = element.id();
+    // Only elements of the implementation's type can host it, and the
+    // per-type member list preserves ascending-id order, so the min-cost
+    // selection (strict `<`, first winner kept) is unchanged.
+    for (const ElementId e : platform.elements_of_type(targets[idx])) {
+      const auto& element = platform.element(e);
       const auto eidx = static_cast<std::size_t>(e.value);
       if (!can_host(platform, e, targets[idx], requirements[idx], free[eidx],
                     pins[idx])) {

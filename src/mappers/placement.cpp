@@ -1,6 +1,7 @@
 #include "mappers/placement.hpp"
 
 #include <cassert>
+#include <limits>
 
 #include "core/baselines.hpp"
 
@@ -49,13 +50,12 @@ bool can_host(const Platform& platform, ElementId e,
 
 DistanceCache::DistanceCache(const Platform& platform)
     : platform_(&platform),
-      rows_(platform.element_count()),
+      cache_(platform.hop_cache()),
       penalty_(2 * (platform.diameter() + 1)) {}
 
 int DistanceCache::hops(ElementId from, ElementId to) {
-  auto& row = rows_[static_cast<std::size_t>(from.value)];
-  if (row.empty()) row = platform_->hop_distances_from(from);
-  const int d = row[static_cast<std::size_t>(to.value)];
+  const int d =
+      cache_->row(*platform_, from)[static_cast<std::size_t>(to.value)];
   return d < 0 ? penalty_ : d;
 }
 
@@ -124,6 +124,52 @@ std::vector<ElementId> feasible_destinations(
     }
   }
   return out;
+}
+
+void feasible_destinations_into(const Platform& platform, ElementId from,
+                                platform::ElementType target,
+                                const ResourceVector& requirement,
+                                const platform::AvailabilityIndex& avail,
+                                const std::optional<ElementId>& pin,
+                                std::vector<ElementId>& out) {
+  out.clear();
+  if (pin.has_value()) {
+    if (*pin != from &&
+        can_host(platform, *pin, target, requirement, avail.free(*pin), pin)) {
+      out.push_back(*pin);
+    }
+    return;
+  }
+  avail.collect_available(target, requirement, from,
+                          std::numeric_limits<std::size_t>::max(), out);
+}
+
+util::VoidResult first_fit_assignment(
+    const graph::Application& app, const Platform& platform,
+    const std::vector<platform::ElementType>& targets,
+    const std::vector<ResourceVector>& requirements, const core::PinTable& pins,
+    platform::AvailabilityIndex& avail, std::vector<ElementId>& element_of) {
+  element_of.assign(app.task_count(), ElementId{});
+  for (const auto& task : app.tasks()) {
+    const auto idx = static_cast<std::size_t>(task.id().value);
+    ElementId chosen;
+    if (pins[idx].has_value()) {
+      const ElementId pin = *pins[idx];
+      if (can_host(platform, pin, targets[idx], requirements[idx],
+                   avail.free(pin), pins[idx])) {
+        chosen = pin;
+      }
+    } else {
+      chosen = avail.first_available(targets[idx], requirements[idx]);
+    }
+    if (!chosen.valid()) {
+      return util::Error("no available element for task '" + task.name() +
+                         "'");
+    }
+    avail.on_allocate(chosen, requirements[idx]);
+    element_of[idx] = chosen;
+  }
+  return util::VoidResult::success();
 }
 
 util::VoidResult first_fit_assignment(

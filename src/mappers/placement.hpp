@@ -34,9 +34,11 @@ bool can_host(const platform::Platform& platform, platform::ElementId e,
               const platform::ResourceVector& free,
               const std::optional<platform::ElementId>& pin);
 
-/// Lazily-filled exact hop-distance rows over the platform. Unreachable
-/// pairs report a penalty distance worse than any real route (matching
-/// core::layout_cost).
+/// Exact hop distances over the platform, answered from the platform's
+/// shared HopCache (one distance table per topology, filled lazily and
+/// reused across admissions — constructing a DistanceCache no longer
+/// recomputes anything). Unreachable pairs report a penalty distance worse
+/// than any real route (matching core::layout_cost).
 class DistanceCache {
  public:
   explicit DistanceCache(const platform::Platform& platform);
@@ -45,7 +47,7 @@ class DistanceCache {
 
  private:
   const platform::Platform* platform_;
-  std::vector<std::vector<int>> rows_;
+  std::shared_ptr<const platform::HopCache> cache_;
   int penalty_;
 };
 
@@ -78,6 +80,17 @@ std::vector<platform::ElementId> feasible_destinations(
     const std::vector<platform::ResourceVector>& free,
     const std::optional<platform::ElementId>& pin);
 
+/// Index-backed form: same candidate list (bit-identical, id order) answered
+/// from an availability index instead of an O(V) scan. Appends to `out`
+/// (cleared first) so callers in move loops can reuse one buffer.
+void feasible_destinations_into(
+    const platform::Platform& platform, platform::ElementId from,
+    platform::ElementType target,
+    const platform::ResourceVector& requirement,
+    const platform::AvailabilityIndex& avail,
+    const std::optional<platform::ElementId>& pin,
+    std::vector<platform::ElementId>& out);
+
 /// Greedy first-fit seed assignment on a private free-capacity copy — the
 /// common starting point of the iterative strategies (sa, tabu). On success
 /// fills `element_of` and debits `free`; on failure returns the offending
@@ -87,6 +100,15 @@ util::VoidResult first_fit_assignment(
     const std::vector<platform::ElementType>& targets,
     const std::vector<platform::ResourceVector>& requirements,
     const core::PinTable& pins, std::vector<platform::ResourceVector>& free,
+    std::vector<platform::ElementId>& element_of);
+
+/// Index-backed form: identical choices (first fitting element in id order),
+/// O(tasks · log V). Debits `avail` for each placement.
+util::VoidResult first_fit_assignment(
+    const graph::Application& app, const platform::Platform& platform,
+    const std::vector<platform::ElementType>& targets,
+    const std::vector<platform::ResourceVector>& requirements,
+    const core::PinTable& pins, platform::AvailabilityIndex& avail,
     std::vector<platform::ElementId>& element_of);
 
 /// Atomically allocates a complete assignment on the platform and wraps it

@@ -31,15 +31,16 @@ core::MappingResult SaMapper::map(const graph::Application& app,
   util::Xoshiro256 rng(options_.seed);
   DistanceCache distances(platform);
 
-  // Private planning state: free capacities and the current assignment.
-  std::vector<ResourceVector> free(platform.element_count());
-  for (const auto& e : platform.elements()) {
-    free[static_cast<std::size_t>(e.id().value)] = e.free();
-  }
+  // Private planning state: a pooled availability index over the platform's
+  // free capacities, plus the current assignment. The index answers the
+  // per-move candidate scans in O(log V + candidates) with lists that are
+  // bit-identical to the old linear scans (same id order), so the RNG draw
+  // sequence — and every decision — is unchanged.
+  platform::ScratchAvailability avail(platform);
 
   std::vector<ElementId> current;
   const auto seeded = first_fit_assignment(app, platform, targets,
-                                           requirements, pins, free, current);
+                                           requirements, pins, *avail, current);
   if (!seeded.ok()) {
     result.reason = seeded.error();
     return result;
@@ -74,6 +75,7 @@ core::MappingResult SaMapper::map(const graph::Application& app,
   const double initial_cost = std::max(current_cost, 1.0);
 
   if (!movable.empty()) {
+    std::vector<ElementId> candidates;  // reused across moves
     // Geometric cooling from T=1 down over the configured move budget.
     const int per_temperature = std::max(1, options_.sa_moves_per_temperature);
     const int steps =
@@ -86,7 +88,6 @@ core::MappingResult SaMapper::map(const graph::Application& app,
         const std::size_t t = movable[static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<std::int64_t>(movable.size()) - 1))];
         const ElementId from = current[t];
-        const auto fidx = static_cast<std::size_t>(from.value);
         const TaskId tid{static_cast<std::int32_t>(t)};
 
         // Half the moves relocate t; the other half exchange t with a
@@ -95,8 +96,9 @@ core::MappingResult SaMapper::map(const graph::Application& app,
 
         if (!try_swap) {
           // Candidate elements that could host t once it leaves `from`.
-          const std::vector<ElementId> candidates = feasible_destinations(
-              platform, from, targets[t], requirements[t], free, pins[t]);
+          feasible_destinations_into(platform, from, targets[t],
+                                     requirements[t], *avail, pins[t],
+                                     candidates);
           if (candidates.empty()) continue;
           const ElementId to = candidates[static_cast<std::size_t>(
               rng.uniform_int(0,
@@ -114,8 +116,8 @@ core::MappingResult SaMapper::map(const graph::Application& app,
           if (delta < 0.0 ||
               rng.uniform01() <
                   std::exp(-2.0 * delta / (temperature * initial_cost))) {
-            free[fidx] += requirements[t];
-            free[static_cast<std::size_t>(to.value)] -= requirements[t];
+            avail->on_release(from, requirements[t]);
+            avail->on_allocate(to, requirements[t]);
             current[t] = to;
             current_cost = trial_cost;
           } else if (use_delta) {
@@ -129,15 +131,12 @@ core::MappingResult SaMapper::map(const graph::Application& app,
             continue;
           }
           const ElementId other = current[u];
-          const auto oidx = static_cast<std::size_t>(other.value);
           // Feasibility after the exchange: each destination must fit the
           // incoming requirement once the outgoing one is released.
-          const ResourceVector from_free =
-              free[fidx] + requirements[t] - requirements[u];
-          const ResourceVector other_free =
-              free[oidx] + requirements[u] - requirements[t];
-          if (!requirements[u].fits_within(free[fidx] + requirements[t]) ||
-              !requirements[t].fits_within(free[oidx] + requirements[u])) {
+          if (!requirements[u].fits_within(avail->free(from) +
+                                           requirements[t]) ||
+              !requirements[t].fits_within(avail->free(other) +
+                                           requirements[u])) {
             continue;
           }
           const TaskId uid{static_cast<std::int32_t>(u)};
@@ -154,8 +153,12 @@ core::MappingResult SaMapper::map(const graph::Application& app,
           if (delta < 0.0 ||
               rng.uniform01() <
                   std::exp(-2.0 * delta / (temperature * initial_cost))) {
-            free[fidx] = from_free;
-            free[oidx] = other_free;
+            // Release-then-allocate per element keeps intermediate frees
+            // non-negative; the net effect is the exchanged requirements.
+            avail->on_release(from, requirements[t]);
+            avail->on_allocate(from, requirements[u]);
+            avail->on_release(other, requirements[u]);
+            avail->on_allocate(other, requirements[t]);
             current[t] = other;
             current[u] = from;
             current_cost = trial_cost;

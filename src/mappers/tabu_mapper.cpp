@@ -30,14 +30,13 @@ core::MappingResult TabuMapper::map(const graph::Application& app,
   util::Xoshiro256 rng(options_.seed);
   DistanceCache distances(platform);
 
-  std::vector<ResourceVector> free(platform.element_count());
-  for (const auto& e : platform.elements()) {
-    free[static_cast<std::size_t>(e.id().value)] = e.free();
-  }
+  // Pooled availability index over the platform's free capacities — the
+  // planner's private free-state, maintained as moves are accepted.
+  platform::ScratchAvailability avail(platform);
 
   std::vector<ElementId> current;
   const auto seeded = first_fit_assignment(app, platform, targets,
-                                           requirements, pins, free, current);
+                                           requirements, pins, *avail, current);
   if (!seeded.ok()) {
     result.reason = seeded.error();
     return result;
@@ -60,11 +59,47 @@ core::MappingResult TabuMapper::map(const graph::Application& app,
     const int samples = std::max(1, options_.tabu_samples);
     // tabu_until[t]: first round in which task t may move again.
     std::vector<int> tabu_until(app.task_count(), 0);
-    // Free capacities only change between rounds (in-round evaluations are
-    // apply+undo), so a task's feasible-destination scan is computed at most
-    // once per round, however often the sampler re-draws the task.
-    std::vector<int> candidates_round(app.task_count(), -1);
+    // Candidate lists are reused *across* rounds, not just within one: an
+    // accepted move changes the free capacity of exactly two elements (the
+    // vacated and the occupied one), so instead of rescanning, each task's
+    // list is lazily repaired against a log of changed elements. The lists
+    // are id-sorted (feasible_destinations order), membership is recomputed
+    // from the current free-state for logged elements only, and the moved
+    // task's own exclusion anchor is covered because both its old and new
+    // elements are in the log — so every repaired list is bit-identical to
+    // a fresh scan and the RNG draw sequence is unchanged.
+    constexpr std::size_t kNeverSynced = std::numeric_limits<std::size_t>::max();
     std::vector<std::vector<ElementId>> candidates_of(app.task_count());
+    std::vector<std::size_t> synced_to(app.task_count(), kNeverSynced);
+    std::vector<ElementId> changed_log;
+
+    auto sync_candidates = [&](std::size_t t) -> const std::vector<ElementId>& {
+      std::vector<ElementId>& list = candidates_of[t];
+      const std::size_t log_end = changed_log.size();
+      if (synced_to[t] == kNeverSynced ||
+          log_end - synced_to[t] > 32) {  // stale beyond cheap repair
+        feasible_destinations_into(platform, current[t], targets[t],
+                                   requirements[t], *avail, pins[t], list);
+        synced_to[t] = log_end;
+        return list;
+      }
+      for (std::size_t i = synced_to[t]; i < log_end; ++i) {
+        const ElementId e = changed_log[i];
+        const bool should_contain =
+            e != current[t] && can_host(platform, e, targets[t],
+                                        requirements[t], avail->free(e),
+                                        pins[t]);
+        const auto pos = std::lower_bound(list.begin(), list.end(), e);
+        const bool contains = pos != list.end() && *pos == e;
+        if (should_contain && !contains) {
+          list.insert(pos, e);
+        } else if (!should_contain && contains) {
+          list.erase(pos);
+        }
+      }
+      synced_to[t] = log_end;
+      return list;
+    };
 
     for (int round = 0; round < rounds && !stop.stop_requested(); ++round) {
       // Best admissible candidate of this round's sample.
@@ -75,14 +110,8 @@ core::MappingResult TabuMapper::map(const graph::Application& app,
       for (int s = 0; s < samples; ++s) {
         const std::size_t t = movable[static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<std::int64_t>(movable.size()) - 1))];
-        const ElementId from = current[t];
 
-        if (candidates_round[t] != round) {
-          candidates_round[t] = static_cast<int>(round);
-          candidates_of[t] = feasible_destinations(
-              platform, from, targets[t], requirements[t], free, pins[t]);
-        }
-        const auto& candidates = candidates_of[t];
+        const auto& candidates = sync_candidates(t);
         if (candidates.empty()) continue;
         const ElementId to = candidates[static_cast<std::size_t>(
             rng.uniform_int(0,
@@ -109,9 +138,10 @@ core::MappingResult TabuMapper::map(const graph::Application& app,
       const ElementId from = current[chosen_task];
       evaluator.apply_move(TaskId{static_cast<std::int32_t>(chosen_task)},
                            chosen_to);
-      free[static_cast<std::size_t>(from.value)] += requirements[chosen_task];
-      free[static_cast<std::size_t>(chosen_to.value)] -=
-          requirements[chosen_task];
+      avail->on_release(from, requirements[chosen_task]);
+      avail->on_allocate(chosen_to, requirements[chosen_task]);
+      changed_log.push_back(from);
+      changed_log.push_back(chosen_to);
       current[chosen_task] = chosen_to;
       current_cost = chosen_cost;
       tabu_until[chosen_task] = round + 1 + tenure;

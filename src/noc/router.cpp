@@ -2,15 +2,58 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <cstdint>
 #include <limits>
-#include <queue>
+#include <utility>
+#include <vector>
 
 namespace kairos::noc {
 
 using platform::ElementId;
 using platform::LinkId;
 using platform::Platform;
+
+namespace {
+
+/// Thread-local, epoch-stamped search scratch. An admission routes one
+/// channel at a time — O(channels) searches — and each search used to
+/// allocate and zero-fill O(V) visited/via/dist arrays. The stamps make
+/// "clear" O(1): an entry is valid for this search iff its stamp equals the
+/// current epoch, so only the elements a search actually touches cost
+/// anything. Thread-local: concurrent admission threads each get their own.
+struct RouterScratch {
+  std::vector<std::uint32_t> stamp;       // via/dist validity
+  std::vector<std::uint32_t> done_stamp;  // Dijkstra's settled set
+  std::vector<LinkId> via;
+  std::vector<double> dist;
+  std::vector<ElementId> queue;  // BFS FIFO, walked by index
+  std::vector<std::pair<double, std::int32_t>> heap;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (stamp.size() != n) {
+      stamp.assign(n, 0);
+      done_stamp.assign(n, 0);
+      via.assign(n, LinkId{});
+      dist.assign(n, 0.0);
+      epoch = 0;
+    }
+    if (++epoch == 0) {  // epoch wrapped: hard reset once every 2^32 searches
+      std::fill(stamp.begin(), stamp.end(), 0);
+      std::fill(done_stamp.begin(), done_stamp.end(), 0);
+      epoch = 1;
+    }
+    queue.clear();
+    heap.clear();
+  }
+
+  bool seen(std::size_t idx) const { return stamp[idx] == epoch; }
+  void mark(std::size_t idx) { stamp[idx] = epoch; }
+};
+
+thread_local RouterScratch router_scratch;
+
+}  // namespace
 
 std::string to_string(RoutingStrategy strategy) {
   switch (strategy) {
@@ -39,34 +82,32 @@ std::optional<Route> Router::bfs(const Platform& platform, ElementId src,
                                  ElementId dst,
                                  std::int64_t bandwidth) const {
   const std::size_t n = platform.element_count();
-  std::vector<LinkId> via(n, LinkId{});
-  std::vector<bool> visited(n, false);
-  std::deque<ElementId> queue;
-  visited[static_cast<std::size_t>(src.value)] = true;
-  queue.push_back(src);
+  RouterScratch& s = router_scratch;
+  s.begin(n);
+  s.mark(static_cast<std::size_t>(src.value));
+  s.queue.push_back(src);
 
-  while (!queue.empty()) {
-    const ElementId e = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < s.queue.size(); ++head) {
+    const ElementId e = s.queue[head];
     for (const LinkId l : platform.out_links(e)) {
       const auto& link = platform.link(l);
       if (!link.can_carry(bandwidth) || !platform.link_usable(l)) continue;
       const ElementId next = link.dst();
       const auto idx = static_cast<std::size_t>(next.value);
-      if (visited[idx]) continue;
-      visited[idx] = true;
-      via[idx] = l;
+      if (s.seen(idx)) continue;
+      s.mark(idx);
+      s.via[idx] = l;
       if (next == dst) {
         Route route;
         for (ElementId cur = dst; cur != src;) {
-          const LinkId step = via[static_cast<std::size_t>(cur.value)];
+          const LinkId step = s.via[static_cast<std::size_t>(cur.value)];
           route.links.push_back(step);
           cur = platform.link(step).src();
         }
         std::reverse(route.links.begin(), route.links.end());
         return route;
       }
-      queue.push_back(next);
+      s.queue.push_back(next);
     }
   }
   return std::nullopt;
@@ -77,21 +118,22 @@ std::optional<Route> Router::dijkstra(const Platform& platform, ElementId src,
                                       std::int64_t bandwidth) const {
   const std::size_t n = platform.element_count();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(n, kInf);
-  std::vector<LinkId> via(n, LinkId{});
-  std::vector<bool> done(n, false);
+  RouterScratch& s = router_scratch;
+  s.begin(n);
 
   using Entry = std::pair<double, std::int32_t>;  // (distance, element)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  dist[static_cast<std::size_t>(src.value)] = 0.0;
-  heap.emplace(0.0, src.value);
+  const auto heap_cmp = std::greater<Entry>{};
+  s.dist[static_cast<std::size_t>(src.value)] = 0.0;
+  s.mark(static_cast<std::size_t>(src.value));
+  s.heap.emplace_back(0.0, src.value);
 
-  while (!heap.empty()) {
-    const auto [d, ev] = heap.top();
-    heap.pop();
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), heap_cmp);
+    const auto [d, ev] = s.heap.back();
+    s.heap.pop_back();
     const auto idx = static_cast<std::size_t>(ev);
-    if (done[idx]) continue;
-    done[idx] = true;
+    if (s.done_stamp[idx] == s.epoch) continue;
+    s.done_stamp[idx] = s.epoch;
     if (ElementId{ev} == dst) break;
     for (const LinkId l : platform.out_links(ElementId{ev})) {
       const auto& link = platform.link(l);
@@ -100,18 +142,22 @@ std::optional<Route> Router::dijkstra(const Platform& platform, ElementId src,
       // are avoided when an equally short alternative exists.
       const double weight = 1.0 + link.load();
       const auto nidx = static_cast<std::size_t>(link.dst().value);
-      if (d + weight < dist[nidx]) {
-        dist[nidx] = d + weight;
-        via[nidx] = l;
-        heap.emplace(dist[nidx], link.dst().value);
+      const double dn = s.seen(nidx) ? s.dist[nidx] : kInf;
+      if (d + weight < dn) {
+        s.dist[nidx] = d + weight;
+        s.mark(nidx);
+        s.via[nidx] = l;
+        s.heap.emplace_back(s.dist[nidx], link.dst().value);
+        std::push_heap(s.heap.begin(), s.heap.end(), heap_cmp);
       }
     }
   }
 
-  if (dist[static_cast<std::size_t>(dst.value)] == kInf) return std::nullopt;
+  const auto dst_idx = static_cast<std::size_t>(dst.value);
+  if (!s.seen(dst_idx) || s.done_stamp[dst_idx] != s.epoch) return std::nullopt;
   Route route;
   for (ElementId cur = dst; cur != src;) {
-    const LinkId step = via[static_cast<std::size_t>(cur.value)];
+    const LinkId step = s.via[static_cast<std::size_t>(cur.value)];
     route.links.push_back(step);
     cur = platform.link(step).src();
   }

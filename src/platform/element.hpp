@@ -21,6 +21,9 @@ enum class ElementType : std::uint8_t {
   kGeneric,
 };
 
+/// Number of ElementType values — sizes the per-type availability indexes.
+inline constexpr std::size_t kElementTypeCount = 6;
+
 std::string to_string(ElementType type);
 
 /// Strongly-typed element index into Platform::elements().

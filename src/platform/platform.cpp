@@ -13,7 +13,9 @@ ElementId Platform::add_element(ElementType type, std::string name,
   out_links_.emplace_back();
   in_links_.emplace_back();
   neighbors_.emplace_back();
-  diameter_cache_ = -1;
+  hop_cache_.store(nullptr);
+  type_members_.store(nullptr);
+  availability_.invalidate();
   return id;
 }
 
@@ -30,7 +32,7 @@ LinkId Platform::add_link(ElementId a, ElementId b, int vc_capacity,
   if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
   auto& nb = neighbors_[index(b)];
   if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
-  diameter_cache_ = -1;
+  hop_cache_.store(nullptr);
   return id;
 }
 
@@ -65,21 +67,45 @@ std::vector<int> Platform::hop_distances_from(ElementId from) const {
   return dist;
 }
 
+std::shared_ptr<const HopCache> Platform::hop_cache() const {
+  return hop_cache_.ensure(
+      [&] { return std::make_shared<HopCache>(elements_.size()); });
+}
+
+const std::vector<int>& Platform::hop_row(ElementId from) const {
+  // The pointee outlives the returned reference: only topology edits drop
+  // the platform's pointer, and they never run concurrently with queries.
+  return hop_cache()->row(*this, from);
+}
+
 int Platform::diameter() const {
-  if (diameter_cache_ >= 0) return diameter_cache_;
-  int diameter = 0;
-  for (const auto& e : elements_) {
-    const auto dist = hop_distances_from(e.id());
-    for (const int d : dist) diameter = std::max(diameter, d);
-  }
-  diameter_cache_ = diameter;
-  return diameter;
+  if (elements_.empty()) return 0;
+  return hop_cache()->diameter(*this);
+}
+
+std::shared_ptr<const TypeMembers> Platform::type_members() const {
+  return type_members_.ensure([&] {
+    auto members = std::make_shared<TypeMembers>();
+    for (const auto& e : elements_) {
+      members->of[static_cast<std::size_t>(e.type())].push_back(e.id());
+    }
+    return members;
+  });
+}
+
+const std::vector<ElementId>& Platform::elements_of_type(
+    ElementType type) const {
+  return type_members()->of[static_cast<std::size_t>(type)];
 }
 
 bool Platform::allocate(ElementId e, const ResourceVector& demand) {
   Element& el = elements_.at(index(e));
   if (!demand.fits_within(el.free())) return false;
   el.used_ += demand;
+  if (availability_.built()) {
+    availability_.on_allocate(e, demand);
+    audit_availability();
+  }
   return true;
 }
 
@@ -87,6 +113,10 @@ void Platform::release(ElementId e, const ResourceVector& demand) {
   Element& el = elements_.at(index(e));
   el.used_ -= demand;
   assert(!el.used_.any_negative() && "released more than was allocated");
+  if (availability_.built()) {
+    availability_.on_release(e, demand);
+    audit_availability();
+  }
 }
 
 void Platform::add_task(ElementId e) {
@@ -102,6 +132,7 @@ void Platform::remove_task(ElementId e) {
 }
 
 ResourceVector Platform::total_free(ElementType type) const {
+  if (availability_.built()) return availability_.total_free(type);
   ResourceVector total;
   for (const auto& e : elements_) {
     if (e.type() == type && !e.is_failed()) total += e.free();
@@ -111,6 +142,7 @@ ResourceVector Platform::total_free(ElementType type) const {
 
 int Platform::count_available(ElementType type,
                               const ResourceVector& demand) const {
+  if (availability_.built()) return availability_.count_available(type, demand);
   int count = 0;
   for (const auto& e : elements_) {
     if (e.type() == type && !e.is_failed() && demand.fits_within(e.free())) {
@@ -120,8 +152,29 @@ int Platform::count_available(ElementType type,
   return count;
 }
 
+void Platform::ensure_availability() {
+  if (!availability_.built()) availability_.rebuild(*this);
+}
+
+bool Platform::availability_consistent() const {
+  return !availability_.built() || availability_.consistent_with(*this);
+}
+
+void Platform::audit_availability() {
+#ifndef NDEBUG
+  if ((++availability_audit_ & 63u) == 0) {
+    assert(availability_.consistent_with(*this) &&
+           "incremental availability index diverged from linear recount");
+  }
+#endif
+}
+
 void Platform::set_element_failed(ElementId e, bool failed) {
   elements_.at(index(e)).failed_ = failed;
+  if (availability_.built()) {
+    availability_.on_failed(e, failed);
+    audit_availability();
+  }
 }
 
 void Platform::set_link_failed(LinkId l, bool failed) {
@@ -160,29 +213,40 @@ void Platform::release_channel(LinkId l, std::int64_t bandwidth) {
 
 Snapshot Platform::snapshot() const {
   Snapshot snap;
-  snap.elements.reserve(elements_.size());
-  for (const auto& e : elements_) {
-    snap.elements.push_back({e.used_, e.task_count_, e.wear_});
-  }
-  snap.links.reserve(links_.size());
-  for (const auto& l : links_) {
-    snap.links.push_back({l.vc_used_, l.bw_used_});
-  }
+  snapshot_into(snap);
   return snap;
 }
 
-void Platform::restore(const Snapshot& snap) {
+void Platform::snapshot_into(Snapshot& snap, SnapshotScope scope) const {
+  snap.elements.resize(elements_.size());
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const Element& e = elements_[i];
+    snap.elements[i] = {e.used_, e.task_count_, e.wear_};
+  }
+  if (scope == SnapshotScope::kElementsOnly) return;
+  snap.links.resize(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Link& l = links_[i];
+    snap.links[i] = {l.vc_used_, l.bw_used_};
+  }
+}
+
+void Platform::restore(const Snapshot& snap, SnapshotScope scope) {
   assert(snap.elements.size() == elements_.size());
-  assert(snap.links.size() == links_.size());
   for (std::size_t i = 0; i < elements_.size(); ++i) {
     elements_[i].used_ = snap.elements[i].used;
     elements_[i].task_count_ = snap.elements[i].task_count;
     elements_[i].wear_ = snap.elements[i].wear;
   }
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    links_[i].vc_used_ = snap.links[i].vc_used;
-    links_[i].bw_used_ = snap.links[i].bw_used;
+  if (scope == SnapshotScope::kAll) {
+    assert(snap.links.size() == links_.size());
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      links_[i].vc_used_ = snap.links[i].vc_used;
+      links_[i].bw_used_ = snap.links[i].bw_used;
+    }
   }
+  // Bulk overwrite — cheaper to rebuild lazily than to diff.
+  availability_.invalidate();
 }
 
 void Platform::clear_allocations() {
@@ -193,6 +257,46 @@ void Platform::clear_allocations() {
   for (auto& l : links_) {
     l.vc_used_ = 0;
     l.bw_used_ = 0;
+  }
+  availability_.invalidate();
+}
+
+namespace {
+// Thread-local snapshot-buffer pool backing Transaction. Admissions open
+// two nested transactions (stage + incremental mapper); at 10k elements
+// each snapshot is several hundred KiB, so reusing warm buffers removes
+// two large allocations per admission. Thread-local: never shared, safe
+// under the concurrent admission service.
+thread_local std::vector<std::unique_ptr<Snapshot>> snapshot_pool;
+
+std::unique_ptr<Snapshot> acquire_snapshot() {
+  if (!snapshot_pool.empty()) {
+    auto snap = std::move(snapshot_pool.back());
+    snapshot_pool.pop_back();
+    return snap;
+  }
+  return std::make_unique<Snapshot>();
+}
+
+void recycle_snapshot(std::unique_ptr<Snapshot> snap) {
+  if (snapshot_pool.size() < 4) snapshot_pool.push_back(std::move(snap));
+}
+}  // namespace
+
+Transaction::Transaction(Platform& platform, SnapshotScope scope)
+    : platform_(&platform), snapshot_(acquire_snapshot()), scope_(scope) {
+  platform.snapshot_into(*snapshot_, scope_);
+}
+
+Transaction::~Transaction() {
+  if (!committed_) platform_->restore(*snapshot_, scope_);
+  recycle_snapshot(std::move(snapshot_));
+}
+
+void Transaction::rollback() {
+  if (!committed_) {
+    platform_->restore(*snapshot_, scope_);
+    committed_ = true;
   }
 }
 

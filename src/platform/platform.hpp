@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "platform/availability.hpp"
 #include "platform/element.hpp"
+#include "platform/hop_cache.hpp"
 #include "platform/resource_vector.hpp"
 
 namespace kairos::platform {
@@ -98,6 +101,12 @@ struct Snapshot {
   std::vector<LinkState> links;
 };
 
+/// What a snapshot/restore pair covers. A phase that provably mutates only
+/// element state (the mapper: allocate/add_task) can skip copying the link
+/// arrays, which dominate a full snapshot on mesh platforms (~4 links per
+/// element).
+enum class SnapshotScope { kAll, kElementsOnly };
+
 class Platform {
  public:
   Platform() = default;
@@ -153,12 +162,26 @@ class Platform {
   std::optional<LinkId> find_link(ElementId a, ElementId b) const;
 
   /// Undirected hop distances from `from` to every element (-1 where
-  /// unreachable). O(E + L).
+  /// unreachable). O(E + L). Always recomputes; prefer hop_row().
   std::vector<int> hop_distances_from(ElementId from) const;
+
+  /// Cached undirected hop distances from `from` (-1 where unreachable) —
+  /// computed on first request and shared across platform copies; see
+  /// hop_cache.hpp for the invalidation contract.
+  const std::vector<int>& hop_row(ElementId from) const;
+
+  /// The shared hop-distance cache itself, for consumers (DistanceCache,
+  /// cost models) that outlive individual calls.
+  std::shared_ptr<const HopCache> hop_cache() const;
 
   /// The largest finite undirected hop distance in the platform. Used to
   /// scale the missing-distance penalty of the mapping cost function.
+  /// Cached (iFUB, exact); invalidated only by topology edits.
   int diameter() const;
+
+  /// Ids of all elements of `type`, ascending — shared static member lists.
+  const std::vector<ElementId>& elements_of_type(ElementType type) const;
+  std::shared_ptr<const TypeMembers> type_members() const;
 
   // --- element allocation state --------------------------------------------
 
@@ -182,6 +205,25 @@ class Platform {
 
   /// Number of elements of a type whose free capacity covers `demand`.
   int count_available(ElementType type, const ResourceVector& demand) const;
+
+  // --- availability index ----------------------------------------------------
+
+  /// Builds the incremental availability index if absent (O(V)); afterwards
+  /// allocate/release/set_element_failed maintain it in O(log V) and
+  /// total_free/count_available answer from it. Non-const by design: const
+  /// queries under a shared lock must never build shared state, they fall
+  /// back to the linear scan instead. Call from exclusive contexts (the
+  /// admission path) before heavy candidate enumeration.
+  void ensure_availability();
+
+  bool availability_ready() const { return availability_.built(); }
+
+  /// The platform-owned index; only valid when availability_ready().
+  const AvailabilityIndex& availability() const { return availability_; }
+
+  /// True iff the incremental index (when built) matches a linear recount.
+  /// Trivially true when the index is not built. For tests and audits.
+  bool availability_consistent() const;
 
   // --- link allocation state ------------------------------------------------
 
@@ -214,7 +256,16 @@ class Platform {
   // --- atomicity -------------------------------------------------------------
 
   Snapshot snapshot() const;
-  void restore(const Snapshot& snap);
+
+  /// snapshot() into a caller-owned buffer, reusing its capacity — the
+  /// allocation-free form the pooled Transaction uses. An elements-only
+  /// scope leaves snap.links untouched.
+  void snapshot_into(Snapshot& snap,
+                     SnapshotScope scope = SnapshotScope::kAll) const;
+
+  /// Restores the state captured by snapshot_into with the same scope.
+  void restore(const Snapshot& snap,
+               SnapshotScope scope = SnapshotScope::kAll);
 
   /// Removes every allocation (elements and links). Used between benchmark
   /// sequences ("between sequences the platform is emptied", §IV).
@@ -225,6 +276,10 @@ class Platform {
   bool invariants_hold() const;
 
  private:
+  /// Debug-build cross-check: every few index mutations, assert the
+  /// incremental state equals a linear recount.
+  void audit_availability();
+
   std::size_t index(ElementId id) const {
     return static_cast<std::size_t>(id.value);
   }
@@ -238,38 +293,42 @@ class Platform {
   std::vector<std::vector<LinkId>> out_links_;
   std::vector<std::vector<LinkId>> in_links_;
   std::vector<std::vector<ElementId>> neighbors_;
-  mutable int diameter_cache_ = -1;
+  // Shared lazily-built topology caches (see hop_cache.hpp); copies of the
+  // platform share the pointees, topology edits drop the pointers.
+  mutable detail::AtomicSharedPtr<HopCache> hop_cache_;
+  mutable detail::AtomicSharedPtr<const TypeMembers> type_members_;
+  // Incremental availability index — per-copy (it tracks allocation state).
+  AvailabilityIndex availability_;
+#ifndef NDEBUG
+  unsigned availability_audit_ = 0;
+#endif
 };
 
 /// RAII transaction: captures a snapshot on construction and restores it on
 /// destruction unless commit() was called. Gives every allocation phase
-/// all-or-nothing behaviour.
+/// all-or-nothing behaviour. The snapshot buffer is leased from a
+/// thread-local pool, so the nested transactions every admission opens
+/// (stage + incremental-mapper) reuse warm O(V)-sized buffers instead of
+/// allocating them each time.
 class Transaction {
  public:
-  explicit Transaction(Platform& platform)
-      : platform_(&platform), snapshot_(platform.snapshot()) {}
+  explicit Transaction(Platform& platform,
+                       SnapshotScope scope = SnapshotScope::kAll);
+  ~Transaction();
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
-
-  ~Transaction() {
-    if (!committed_) platform_->restore(snapshot_);
-  }
 
   /// Keeps all changes made since construction.
   void commit() { committed_ = true; }
 
   /// Rolls back immediately (the destructor then becomes a no-op).
-  void rollback() {
-    if (!committed_) {
-      platform_->restore(snapshot_);
-      committed_ = true;
-    }
-  }
+  void rollback();
 
  private:
   Platform* platform_;
-  Snapshot snapshot_;
+  std::unique_ptr<Snapshot> snapshot_;
+  SnapshotScope scope_;
   bool committed_ = false;
 };
 

@@ -1,24 +1,79 @@
 #include "sdf/throughput.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace kairos::sdf {
 
 namespace {
 
-/// Hash of a state vector (FNV-1a over the raw words). Collisions are
-/// resolved by storing the full key.
-struct VectorHash {
-  std::size_t operator()(const std::vector<std::int64_t>& v) const {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (const std::int64_t x : v) {
-      h ^= static_cast<std::uint64_t>(x);
-      h *= 1099511628211ULL;
-    }
-    return static_cast<std::size_t>(h);
+/// FNV-1a over the raw state words. Collisions are resolved by comparing
+/// the full state in the arena.
+std::uint64_t state_hash(const std::int64_t* words, std::size_t count) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= static_cast<std::uint64_t>(words[i]);
+    h *= 1099511628211ULL;
   }
+  return h;
+}
+
+/// Visited-state set: states live contiguously in one arena (state i is the
+/// `stride` words at i*stride) and an open-addressed, linear-probe table
+/// maps hashes to state indices. The analyzer records one state per
+/// scheduling point until the first repeat, so a node-per-state hash map
+/// pays a heap allocation per simulation step; the arena replaces that with
+/// one amortised append, and lookups touch cache-resident flat arrays.
+/// Detection semantics are exactly the map's: full-width equality, first
+/// repeat wins.
+class StateSet {
+ public:
+  StateSet(std::size_t stride)
+      : stride_(stride), table_(kInitialBuckets, 0) {}
+
+  /// Appends the state in `words` if unseen and returns npos; otherwise
+  /// returns the index of the earlier identical state.
+  std::size_t insert(const std::int64_t* words) {
+    const std::uint64_t h = state_hash(words, stride_);
+    std::size_t bucket = h & (table_.size() - 1);
+    while (table_[bucket] != 0) {
+      const std::size_t candidate = table_[bucket] - 1;
+      if (hashes_[candidate] == h &&
+          std::equal(words, words + stride_,
+                     arena_.data() + candidate * stride_)) {
+        return candidate;
+      }
+      bucket = (bucket + 1) & (table_.size() - 1);
+    }
+    const std::size_t index = hashes_.size();
+    arena_.insert(arena_.end(), words, words + stride_);
+    hashes_.push_back(h);
+    table_[bucket] = index + 1;
+    if ((hashes_.size() + 1) * 10 > table_.size() * 7) grow();
+    return npos;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  void grow() {
+    std::vector<std::size_t> next(table_.size() * 2, 0);
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+      std::size_t bucket = hashes_[i] & (next.size() - 1);
+      while (next[bucket] != 0) bucket = (bucket + 1) & (next.size() - 1);
+      next[bucket] = i + 1;
+    }
+    table_ = std::move(next);
+  }
+
+  static constexpr std::size_t kInitialBuckets = 1024;  // power of two
+
+  std::size_t stride_;
+  std::vector<std::int64_t> arena_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<std::size_t> table_;  // state index + 1; 0 = empty
 };
 
 }  // namespace
@@ -45,10 +100,12 @@ ThroughputResult ThroughputAnalyzer::analyze(const SdfGraph& graph,
   std::int64_t now = 0;
   std::int64_t observed_firings = 0;
 
-  // state -> (time, observed_firings) at the first visit.
-  std::unordered_map<std::vector<std::int64_t>,
-                     std::pair<std::int64_t, std::int64_t>, VectorHash>
-      seen;
+  // Visited states plus (time, observed_firings) at each state's first
+  // visit, indexed in visit order. `key` is the reused staging buffer for
+  // the current state.
+  StateSet seen(num_channels + num_actors);
+  std::vector<std::pair<std::int64_t, std::int64_t>> visit_meta;
+  std::vector<std::int64_t> key(num_channels + num_actors);
 
   ThroughputResult result;
 
@@ -90,16 +147,14 @@ ThroughputResult ThroughputAnalyzer::analyze(const SdfGraph& graph,
     }
 
     // Snapshot the state at this stable scheduling point.
-    std::vector<std::int64_t> key;
-    key.reserve(num_channels + num_actors);
-    key.insert(key.end(), tokens.begin(), tokens.end());
-    key.insert(key.end(), remaining.begin(), remaining.end());
+    std::copy(tokens.begin(), tokens.end(), key.begin());
+    std::copy(remaining.begin(), remaining.end(),
+              key.begin() + static_cast<std::ptrdiff_t>(num_channels));
 
-    const auto [it, inserted] =
-        seen.emplace(std::move(key), std::make_pair(now, observed_firings));
+    const std::size_t earlier = seen.insert(key.data());
     ++result.states_explored;
-    if (!inserted) {
-      const auto [first_time, first_firings] = it->second;
+    if (earlier != StateSet::npos) {
+      const auto [first_time, first_firings] = visit_meta[earlier];
       result.period = now - first_time;
       result.firings_in_period = observed_firings - first_firings;
       if (result.period <= 0) {
@@ -114,6 +169,7 @@ ThroughputResult ThroughputAnalyzer::analyze(const SdfGraph& graph,
                           static_cast<double>(result.period);
       return result;
     }
+    visit_meta.emplace_back(now, observed_firings);
     if (result.states_explored >= config_.max_states) {
       result.status = ThroughputStatus::kBudgetExceeded;
       result.throughput =

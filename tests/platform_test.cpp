@@ -383,5 +383,90 @@ TEST(FragmentationTest, IsolationRiskRanksSurroundedElements) {
   EXPECT_GT(isolation_risk(q, ElementId{0}), isolation_risk(q, ElementId{1}));
 }
 
+// --- hop cache & diameter ----------------------------------------------------
+
+/// Ground truth: one BFS per element, max finite distance.
+int brute_force_diameter(const Platform& p) {
+  int diameter = 0;
+  for (const auto& e : p.elements()) {
+    const auto dist = p.hop_distances_from(e.id());
+    for (const int d : dist) diameter = std::max(diameter, d);
+  }
+  return diameter;
+}
+
+TEST(HopCacheTest, RowsMatchDirectBfsAndAreStable) {
+  Platform p = make_mesh(4, 3);
+  const auto cache = p.hop_cache();
+  for (const auto& e : p.elements()) {
+    EXPECT_EQ(cache->row(p, e.id()), p.hop_distances_from(e.id()));
+  }
+  // Rows are built once; repeated access returns the same storage.
+  const auto* row0 = cache->row(p, ElementId{0}).data();
+  EXPECT_EQ(cache->row(p, ElementId{0}).data(), row0);
+}
+
+TEST(HopCacheTest, AllocationStateDoesNotInvalidate) {
+  Platform p = make_mesh(3, 3);
+  const auto before = p.hop_cache();
+  ASSERT_TRUE(p.allocate(ElementId{4}, ResourceVector(100, 0, 0, 0)));
+  p.add_task(ElementId{4});
+  EXPECT_EQ(p.hop_cache().get(), before.get());  // hops are pure topology
+}
+
+TEST(HopCacheTest, TopologyEditInvalidates) {
+  Platform p = make_chain(3);
+  const int before = p.diameter();
+  EXPECT_EQ(before, 2);
+  const ElementId extra =
+      p.add_element(ElementType::kGeneric, "tail", ResourceVector(10, 0, 0, 0));
+  p.add_link(ElementId{2}, extra, 4, 100);
+  p.add_link(extra, ElementId{2}, 4, 100);
+  EXPECT_EQ(p.diameter(), 3);
+}
+
+// The diameter feeds the cost model's missing-distance penalty, so the iFUB
+// implementation must be *exact* — not an estimate — on every topology
+// shape, including the regular ones where a poorly rooted search degrades.
+TEST(HopCacheTest, DiameterIsExactAcrossTopologies) {
+  const Platform shapes[] = {
+      make_mesh(7, 7),   make_mesh(12, 3), make_torus(6, 6),
+      make_torus(5, 4),  make_ring(17),    make_star(9),
+      make_chain(11),    make_irregular(40, 25, 0xD1A),
+      make_irregular(60, 10, 0xBEEF),
+  };
+  for (const Platform& p : shapes) {
+    EXPECT_EQ(p.diameter(), brute_force_diameter(p)) << p.name();
+  }
+}
+
+TEST(HopCacheTest, DiameterOfDisconnectedPlatformSpansComponents) {
+  // Two disjoint chains of different lengths: the diameter is the larger
+  // component's, and unreachable pairs (-1 in the rows) are ignored.
+  Platform p("split");
+  for (int i = 0; i < 9; ++i) {
+    p.add_element(ElementType::kGeneric, "e" + std::to_string(i),
+                  ResourceVector(10, 0, 0, 0));
+  }
+  auto link = [&](int a, int b) {
+    p.add_link(ElementId{a}, ElementId{b}, 4, 100);
+    p.add_link(ElementId{b}, ElementId{a}, 4, 100);
+  };
+  link(0, 1);
+  link(1, 2);           // chain of 3: diameter 2
+  for (int i = 3; i < 8; ++i) link(i, i + 1);  // chain of 6: diameter 5
+  EXPECT_EQ(p.diameter(), 5);
+  EXPECT_EQ(p.diameter(), brute_force_diameter(p));
+  EXPECT_EQ(p.hop_cache()->row(p, ElementId{0})[8], -1);
+}
+
+TEST(HopCacheTest, SingleElementAndEmpty) {
+  Platform empty("empty");
+  EXPECT_EQ(empty.diameter(), 0);
+  Platform one("one");
+  one.add_element(ElementType::kGeneric, "only", ResourceVector(1, 0, 0, 0));
+  EXPECT_EQ(one.diameter(), 0);
+}
+
 }  // namespace
 }  // namespace kairos::platform
