@@ -189,9 +189,10 @@ int run_serve(kairos::platform::Platform& platform,
   service_config.max_batch = batch;
   service::AdmissionService service(manager, service_config);
 
-  std::printf("serving (threads=%d batch=%d); commands: admit <file>..., "
-              "gen <n> [seed], remove <handle>, stats, metrics, quit\n",
-              threads, batch);
+  std::printf("serving (threads=%d batch=%d shards=%d); commands: "
+              "admit <file>..., gen <n> [seed], remove <handle>, stats, "
+              "metrics, quit\n",
+              threads, batch, manager.shard_count());
   std::fflush(stdout);
 
   // Submit a batch and report each verdict in submission order.
@@ -282,14 +283,18 @@ int run_serve(kairos::platform::Platform& platform,
         return it == snapshot.counters.end() ? 0 : it->second;
       };
       std::printf("stats live=%zu fragmentation=%.1f%% pending=%zu "
-                  "admitted=%lld rejected=%lld conflicts=%lld\n",
+                  "admitted=%lld rejected=%lld conflicts=%lld "
+                  "shard_commits=%lld cross_shard_commits=%lld\n",
                   manager.live_count(),
                   100.0 * platform::external_fragmentation(
                               manager.platform()),
                   service.pending(),
                   static_cast<long long>(counter("service.admissions")),
                   static_cast<long long>(counter("service.rejections")),
-                  static_cast<long long>(counter("service.commit_conflicts")));
+                  static_cast<long long>(counter("service.commit_conflicts")),
+                  static_cast<long long>(counter("service.shard_commits")),
+                  static_cast<long long>(
+                      counter("service.cross_shard_commits")));
     } else if (command == "metrics") {
       service.drain();
       std::fputs(obs::Registry::global().to_text().c_str(), stdout);
@@ -376,6 +381,8 @@ int main(int argc, char** argv) {
   bool serve = false;
   double serve_threads = 4.0;
   double serve_batch = 4.0;
+  double serve_shards = 0.0;  // 0 = auto (one shard per package group)
+  bool shards_given = false;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -470,6 +477,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--batch requires a count\n");
         return 64;
       }
+    } else if (arg == "--shards") {
+      if (!next_value(serve_shards)) {
+        std::fprintf(stderr, "--shards requires a count\n");
+        return 64;
+      }
+      if (!(serve_shards >= 1.0)) {
+        std::fprintf(stderr, "--shards must be >= 1, got %g\n", serve_shards);
+        return 64;
+      }
+      shards_given = true;
     } else if (arg == "--rate") {
       if (!next_value(arrival_rate)) {
         std::fprintf(stderr, "--rate requires a value\n");
@@ -578,6 +595,7 @@ int main(int argc, char** argv) {
                   "[--fault-model spec] [--repair t] [--seed n] [--mo] "
                   "[--p95]\n"
                   "       kairos_cli --serve [--threads n] [--batch n] "
+                  "[--shards n] "
                   "[--mapper name] [--platform file] [<app-file>...]\n"
                   "       common: [--version] [--trace-json file]\n",
                   mapper_list().c_str());
@@ -826,6 +844,20 @@ int main(int argc, char** argv) {
               platform.link_count());
 
   if (serve) {
+    if (shards_given) {
+      config.shards = static_cast<int>(serve_shards);
+      const int groups = platform::ShardMap::package_group_count(platform);
+      if (config.shards > groups) {
+        // More locks than natural regions just splits packages mid-group:
+        // legal (commits stay correct), but the extra shards mostly add
+        // cross-shard footprints, not concurrency.
+        std::fprintf(stderr,
+                     "warning: --shards %d exceeds the platform's %d package "
+                     "group(s); extra shards split packages and raise the "
+                     "cross-shard commit ratio\n",
+                     config.shards, groups);
+      }
+    }
     return run_serve(platform, std::move(config),
                      static_cast<int>(serve_threads),
                      static_cast<int>(serve_batch), app_paths);

@@ -54,11 +54,20 @@ ResourceManager::ResourceManager(platform::Platform& platform,
         MapperConfig{config_.weights, config_.bonuses, config_.extra_rings,
                      config_.exact_knapsack});
   }
+  shard_map_ = config_.shards >= 1
+                   ? platform::ShardMap::uniform(platform.element_count(),
+                                                 config_.shards)
+                   : platform::ShardMap::by_package(platform);
+  // Install the partition on the platform so its availability index (and
+  // every snapshot's) classifies by the same map as the commit locks.
+  platform_->set_shard_map(shard_map_);
+  shard_mutexes_ = std::make_unique<std::mutex[]>(
+      static_cast<std::size_t>(shard_map_->shard_count()));
 }
 
 void ResourceManager::set_mapper(std::shared_ptr<mappers::Mapper> mapper) {
   assert(mapper != nullptr);
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   config_.mapper = std::move(mapper);
 }
 
@@ -81,7 +90,7 @@ std::string to_string(Phase phase) {
 }
 
 AdmissionReport ResourceManager::admit(const graph::Application& app) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   return admit_locked(app);
 }
 
@@ -134,8 +143,12 @@ StagedAdmission ResourceManager::stage(const graph::Application& app,
   }
 
   // The whole admission is atomic: on any phase failure the target platform
-  // is rolled back to this snapshot.
-  platform::Transaction txn(target);
+  // is rolled back to this snapshot. Elements-only scope: link state is not
+  // copied because the only phase that touches it (routing) maintains its
+  // own exact undo list, and the one failure that can land after routing
+  // succeeded (validation) releases the established routes explicitly
+  // below. At 10k elements this halves the snapshot bill of the hot path.
+  platform::Transaction txn(target, platform::SnapshotScope::kElementsOnly);
 
   // --- binding -------------------------------------------------------------
   BindingResult bound;
@@ -200,6 +213,11 @@ StagedAdmission ResourceManager::stage(const graph::Application& app,
     if (!validated.ok && config_.validation_rejects) {
       report.failed_phase = Phase::kValidation;
       report.reason = validated.reason;
+      // The txn only restores element state; undo the routing phase's link
+      // reservations by hand (release_route is allocate_route's inverse).
+      for (const auto& channel : routed.routes) {
+        noc::Router::release_route(target, channel.route, channel.bandwidth);
+      }
       return staged;
     }
   }
@@ -235,15 +253,57 @@ AdmissionReport ResourceManager::register_live_locked(
   live.app = std::move(staged.app);
   live.task_allocations = std::move(staged.task_allocations);
   live.routes = std::move(staged.routes);
-  report.handle = next_handle_++;
-  live_[report.handle] = std::move(live);
+  {
+    // Innermost lock; uncontended under state(X), real exclusion under the
+    // sharded state(S) commit path.
+    const std::unique_lock<std::shared_mutex> lock(live_mutex_);
+    report.handle = next_handle_++;
+    live_[report.handle] = std::move(live);
+  }
   AdmissionMetrics::get().admitted.add(1);
   return report;
 }
 
 platform::Platform ResourceManager::snapshot_platform() const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  // All shard locks (ascending): the copy observes no commit half-applied,
+  // while commits on different shards still run concurrently with each
+  // other. State is held shared, so snapshots don't serialize admissions
+  // the way the old single write lock did.
+  const int shards = shard_map_->shard_count();
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    locks.emplace_back(shard_mutexes_[static_cast<std::size_t>(s)]);
+  }
   return *platform_;
+}
+
+std::vector<int> ResourceManager::footprint_of(
+    const std::vector<std::pair<platform::ElementId,
+                                platform::ResourceVector>>& allocations,
+    const std::vector<std::pair<noc::Route, std::int64_t>>& routes) const {
+  std::vector<int> shards;
+  for (const auto& [element, demand] : allocations) {
+    (void)demand;
+    shards.push_back(shard_map_->shard_of(element));
+  }
+  for (const auto& [route, bandwidth] : routes) {
+    (void)bandwidth;
+    for (const platform::LinkId l : route.links) {
+      const platform::Link& link = platform_->link(l);
+      shards.push_back(shard_map_->shard_of(link.src()));
+      shards.push_back(shard_map_->shard_of(link.dst()));
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+std::vector<int> ResourceManager::shard_footprint(
+    const StagedAdmission& staged) const {
+  return footprint_of(staged.task_allocations, staged.routes);
 }
 
 util::Result<AdmissionReport> ResourceManager::commit_staged(
@@ -252,42 +312,151 @@ util::Result<AdmissionReport> ResourceManager::commit_staged(
     return util::Error("cannot commit a staging that was not admitted (" +
                        staged.report.reason + ")");
   }
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
-  // Re-validate against the live platform: between the snapshot and now,
-  // other commits may have taken the capacity or a fault may have landed.
-  // The transaction rolls partial applications back on any conflict.
-  platform::Transaction txn(*platform_);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  // Lock exactly the staged footprint, ascending. Any other commit or
+  // sharded remove touching one of these resources shares a shard with it
+  // (links pull in both endpoints), so within the footprint we have
+  // exclusive ownership; everything outside it stays concurrent.
+  const std::vector<int> footprint = shard_footprint(staged);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(footprint.size());
+  for (const int s : footprint) {
+    locks.emplace_back(shard_mutexes_[static_cast<std::size_t>(s)]);
+  }
+
+  // Phase 1 — validate, no mutation. Between the snapshot and now other
+  // commits may have taken the capacity or a fault may have landed.
+  // Demands are accumulated per resource so an admission placing several
+  // tasks on one element (or routing several channels over one link) is
+  // checked against its *total* footprint, not per reservation.
+  std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
+      element_demand;
   for (const auto& [element, demand] : staged.task_allocations) {
     if (platform_->element(element).is_failed()) {
       return util::Error("commit conflict: element " +
                          platform_->element(element).name() +
                          " failed since staging");
     }
-    if (!platform_->allocate(element, demand)) {
+    auto it = std::find_if(element_demand.begin(), element_demand.end(),
+                           [&](const auto& entry) {
+                             return entry.first == element;
+                           });
+    if (it == element_demand.end()) {
+      it = element_demand.emplace(element_demand.end(), element,
+                                  platform::ResourceVector{});
+    }
+    it->second += demand;
+    if (!it->second.fits_within(platform_->element(element).free())) {
       return util::Error("commit conflict: capacity on " +
                          platform_->element(element).name() +
                          " taken since staging");
     }
-    platform_->add_task(element);
   }
+  std::vector<std::pair<platform::LinkId, std::pair<int, std::int64_t>>>
+      link_demand;  // link -> (virtual channels, bandwidth)
   for (const auto& [route, bandwidth] : staged.routes) {
     for (const platform::LinkId l : route.links) {
-      if (!platform_->link_usable(l) ||
-          !platform_->allocate_channel(l, bandwidth)) {
-        return util::Error("commit conflict: link " +
-                           std::to_string(l.value) +
+      if (!platform_->link_usable(l)) {
+        return util::Error("commit conflict: link " + std::to_string(l.value) +
+                           " cannot carry the staged route");
+      }
+      auto it = std::find_if(link_demand.begin(), link_demand.end(),
+                             [&](const auto& entry) {
+                               return entry.first == l;
+                             });
+      if (it == link_demand.end()) {
+        it = link_demand.emplace(link_demand.end(), l,
+                                 std::pair<int, std::int64_t>{0, 0});
+      }
+      it->second.first += 1;
+      it->second.second += bandwidth;
+      const platform::Link& link = platform_->link(l);
+      if (it->second.first > link.vc_free() ||
+          it->second.second > link.bw_free()) {
+        return util::Error("commit conflict: link " + std::to_string(l.value) +
                            " cannot carry the staged route");
       }
     }
   }
-  txn.commit();
-  assert(platform_->invariants_hold());
+
+  // Phase 2 — apply. Validation was exhaustive, so these cannot fail; the
+  // undo list is the all-or-nothing backstop should that invariant ever
+  // break (a failed apply must not leave the other shards half-committed).
+  std::vector<std::pair<platform::ElementId, platform::ResourceVector>> undo;
+  undo.reserve(staged.task_allocations.size());
+  bool applied = true;
+  for (const auto& [element, demand] : staged.task_allocations) {
+    if (!platform_->allocate(element, demand)) {
+      applied = false;
+      break;
+    }
+    platform_->add_task(element);
+    undo.emplace_back(element, demand);
+  }
+  std::vector<std::pair<platform::LinkId, std::int64_t>> link_undo;
+  if (applied) {
+    for (const auto& [route, bandwidth] : staged.routes) {
+      for (const platform::LinkId l : route.links) {
+        if (!platform_->allocate_channel(l, bandwidth)) {
+          applied = false;
+          break;
+        }
+        link_undo.emplace_back(l, bandwidth);
+      }
+      if (!applied) break;
+    }
+  }
+  if (!applied) {
+    assert(false && "sharded commit: validation admitted an unappliable set");
+    for (std::size_t i = link_undo.size(); i-- > 0;) {
+      platform_->release_channel(link_undo[i].first, link_undo[i].second);
+    }
+    for (std::size_t i = undo.size(); i-- > 0;) {
+      platform_->release(undo[i].first, undo[i].second);
+      platform_->remove_task(undo[i].first);
+    }
+    return util::Error("commit conflict: staged reservations failed to apply");
+  }
   return register_live_locked(std::move(staged));
 }
 
 util::VoidResult ResourceManager::remove(AppHandle handle) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
-  return remove_locked(handle);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  // Extract the victim under the live lock, then RELEASE it before taking
+  // shard locks (live_mutex_ is innermost — holding it across a shard
+  // acquisition would invert the order against committers). Once extracted
+  // the app is invisible to every other path, so its reservations are ours
+  // alone to release.
+  LiveApp victim;
+  {
+    const std::unique_lock<std::shared_mutex> live(live_mutex_);
+    const auto it = live_.find(handle);
+    if (it == live_.end()) {
+      return util::Error("unknown application handle " +
+                         std::to_string(handle));
+    }
+    victim = std::move(it->second);
+    live_.erase(it);
+  }
+  const std::vector<int> footprint =
+      footprint_of(victim.task_allocations, victim.routes);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(footprint.size());
+  for (const int s : footprint) {
+    locks.emplace_back(shard_mutexes_[static_cast<std::size_t>(s)]);
+  }
+  release_resources(victim);
+  return util::VoidResult::success();
+}
+
+void ResourceManager::release_resources(const LiveApp& app) {
+  for (const auto& [element, demand] : app.task_allocations) {
+    platform_->release(element, demand);
+    platform_->remove_task(element);
+  }
+  for (const auto& [route, bandwidth] : app.routes) {
+    noc::Router::release_route(*platform_, route, bandwidth);
+  }
 }
 
 util::VoidResult ResourceManager::remove_locked(AppHandle handle) {
@@ -296,13 +465,7 @@ util::VoidResult ResourceManager::remove_locked(AppHandle handle) {
     return util::Error("unknown application handle " +
                        std::to_string(handle));
   }
-  for (const auto& [element, demand] : it->second.task_allocations) {
-    platform_->release(element, demand);
-    platform_->remove_task(element);
-  }
-  for (const auto& [route, bandwidth] : it->second.routes) {
-    noc::Router::release_route(*platform_, route, bandwidth);
-  }
+  release_resources(it->second);
   live_.erase(it);
   assert(platform_->invariants_hold());
   return util::VoidResult::success();
@@ -310,7 +473,8 @@ util::VoidResult ResourceManager::remove_locked(AppHandle handle) {
 
 std::vector<AppHandle> ResourceManager::apps_using(
     platform::ElementId e) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  const std::shared_lock<std::shared_mutex> live(live_mutex_);
   return apps_using_locked(e);
 }
 
@@ -330,7 +494,8 @@ std::vector<AppHandle> ResourceManager::apps_using_locked(
 
 std::vector<AppHandle> ResourceManager::apps_using_link(
     platform::LinkId l) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  const std::shared_lock<std::shared_mutex> live(live_mutex_);
   return apps_using_link_locked(l);
 }
 
@@ -352,7 +517,8 @@ std::vector<AppHandle> ResourceManager::apps_using_link_locked(
 
 std::vector<std::pair<platform::ElementId, platform::ResourceVector>>
 ResourceManager::allocations_of(AppHandle handle) const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  const std::shared_lock<std::shared_mutex> live(live_mutex_);
   const auto it = live_.find(handle);
   if (it == live_.end()) return {};
   return it->second.task_allocations;
@@ -396,7 +562,7 @@ void ResourceManager::evict_and_readmit(
 
 ResourceManager::FaultReport ResourceManager::circumvent_fault(
     platform::ElementId e) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   FaultReport report;
   report.element = e;
   evict_and_readmit(apps_using_locked(e),
@@ -406,7 +572,7 @@ ResourceManager::FaultReport ResourceManager::circumvent_fault(
 
 ResourceManager::FaultReport ResourceManager::circumvent_fault_set(
     const std::vector<platform::ElementId>& set) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   FaultReport report;
   if (set.size() == 1) report.element = set.front();
   // Victims in handle order (matching apps_using), each exactly once even
@@ -434,7 +600,7 @@ ResourceManager::FaultReport ResourceManager::circumvent_fault_set(
 
 ResourceManager::FaultReport ResourceManager::circumvent_link_fault(
     platform::LinkId l) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   FaultReport report;
   report.link = l;
   evict_and_readmit(apps_using_link_locked(l),
@@ -443,17 +609,17 @@ ResourceManager::FaultReport ResourceManager::circumvent_link_fault(
 }
 
 void ResourceManager::repair_element(platform::ElementId e) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   platform_->set_element_failed(e, false);
 }
 
 void ResourceManager::repair_link(platform::LinkId l) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   platform_->set_link_failed(l, false);
 }
 
 ResourceManager::DefragReport ResourceManager::defragment() {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
   obs::Span span("defrag");
   static const obs::Counter defrag_runs =
       obs::Registry::global().counter("defrag.runs");
@@ -523,7 +689,8 @@ ResourceManager::DefragReport ResourceManager::defragment() {
 }
 
 std::vector<AppHandle> ResourceManager::live_handles() const {
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> state(state_mutex_);
+  const std::shared_lock<std::shared_mutex> live(live_mutex_);
   std::vector<AppHandle> out;
   out.reserve(live_.size());
   for (const auto& [handle, _] : live_) out.push_back(handle);

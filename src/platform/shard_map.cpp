@@ -1,0 +1,66 @@
+#include "platform/shard_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "platform/platform.hpp"
+
+namespace kairos::platform {
+
+ShardMap::ShardMap(std::vector<std::int32_t> starts)
+    : starts_(std::move(starts)) {
+  assert(starts_.size() >= 2 && starts_.front() == 0);
+  assert(std::is_sorted(starts_.begin(), starts_.end()));
+  shard_of_.resize(static_cast<std::size_t>(starts_.back()));
+  for (std::size_t s = 0; s + 1 < starts_.size(); ++s) {
+    for (std::int32_t e = starts_[s]; e < starts_[s + 1]; ++e) {
+      shard_of_[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(s);
+    }
+  }
+}
+
+std::shared_ptr<const ShardMap> ShardMap::single(std::size_t element_count) {
+  std::vector<std::int32_t> starts{0, static_cast<std::int32_t>(element_count)};
+  return std::shared_ptr<const ShardMap>(new ShardMap(std::move(starts)));
+}
+
+std::shared_ptr<const ShardMap> ShardMap::by_package(
+    const Platform& platform) {
+  const std::vector<Element>& elements = platform.elements();
+  if (elements.empty()) return single(0);
+  std::vector<std::int32_t> starts{0};
+  for (std::size_t i = 1; i < elements.size(); ++i) {
+    if (elements[i].package() != elements[i - 1].package()) {
+      starts.push_back(static_cast<std::int32_t>(i));
+    }
+  }
+  starts.push_back(static_cast<std::int32_t>(elements.size()));
+  return std::shared_ptr<const ShardMap>(new ShardMap(std::move(starts)));
+}
+
+std::shared_ptr<const ShardMap> ShardMap::uniform(std::size_t element_count,
+                                                  int shards) {
+  const auto n = static_cast<std::int32_t>(element_count);
+  const int k = std::clamp(shards, 1, std::max(1, n));
+  std::vector<std::int32_t> starts;
+  starts.reserve(static_cast<std::size_t>(k) + 1);
+  // Region s covers [floor(s*n/k), floor((s+1)*n/k)) — near-equal sizes,
+  // every region non-empty when k <= n.
+  for (int s = 0; s <= k; ++s) {
+    starts.push_back(static_cast<std::int32_t>(
+        static_cast<std::int64_t>(s) * n / k));
+  }
+  return std::shared_ptr<const ShardMap>(new ShardMap(std::move(starts)));
+}
+
+int ShardMap::package_group_count(const Platform& platform) {
+  const std::vector<Element>& elements = platform.elements();
+  if (elements.empty()) return 1;
+  int groups = 1;
+  for (std::size_t i = 1; i < elements.size(); ++i) {
+    if (elements[i].package() != elements[i - 1].package()) ++groups;
+  }
+  return groups;
+}
+
+}  // namespace kairos::platform

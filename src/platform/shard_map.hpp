@@ -1,0 +1,86 @@
+// ShardMap — the static partition of the element-id space that the sharded
+// allocation path is built on.
+//
+// A shard is a *contiguous* range of element ids. Contiguity is load-bearing
+// twice over:
+//
+//   * the shard-aware AvailabilityIndex keeps one segment tree per
+//     (shard, type); because every shard covers an ascending id range and
+//     shards are numbered in id order, concatenating the per-shard trees in
+//     shard order reproduces the exact global id order — so merged queries
+//     (first_available in particular) stay bit-identical to the pre-shard
+//     single-tree index and to the original linear scans;
+//   * classifying a staged admission's footprint (which commit locks to
+//     take) is a flat O(1) lookup per touched element.
+//
+// Three constructions cover the practical cases:
+//
+//   single(n)        one shard over everything — the pre-shard behaviour.
+//   by_package(p)    one shard per *package group*: a maximal run of
+//                    consecutive elements sharing a package() value. The
+//                    builders emit elements package-by-package (CRISP: the
+//                    two master chips, then each DSP package with its
+//                    memories and test unit), so runs == packages plus one
+//                    group for the package-less masters. A platform with no
+//                    package structure collapses to one shard.
+//   uniform(n, k)    k near-equal contiguous ranges — the `--shards N`
+//                    override for package-less platforms (meshes).
+//
+// A ShardMap is immutable after construction and shared via shared_ptr:
+// Platform copies (service snapshots) and the ResourceManager's lock array
+// all reference the same instance, so footprint classification agrees
+// everywhere by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "platform/element.hpp"
+
+namespace kairos::platform {
+
+class Platform;
+
+class ShardMap {
+ public:
+  /// One shard covering all `element_count` elements.
+  static std::shared_ptr<const ShardMap> single(std::size_t element_count);
+
+  /// One shard per package group (see file comment); a single shard when the
+  /// platform has no package structure (every package() < 0).
+  static std::shared_ptr<const ShardMap> by_package(const Platform& platform);
+
+  /// `shards` near-equal contiguous ranges, clamped to
+  /// [1, max(1, element_count)] so every shard is non-empty.
+  static std::shared_ptr<const ShardMap> uniform(std::size_t element_count,
+                                                 int shards);
+
+  int shard_count() const { return static_cast<int>(starts_.size()) - 1; }
+  std::size_t element_count() const { return shard_of_.size(); }
+
+  /// The shard owning element `e`. O(1).
+  int shard_of(ElementId e) const {
+    return shard_of_[static_cast<std::size_t>(e.value)];
+  }
+
+  /// Element-id range [first, last) of shard `s`. Ranges are ascending in
+  /// `s` and tile [0, element_count) exactly.
+  std::pair<std::int32_t, std::int32_t> region(int s) const {
+    return {starts_[static_cast<std::size_t>(s)],
+            starts_[static_cast<std::size_t>(s) + 1]};
+  }
+
+  /// Number of package groups by_package() would produce — the natural
+  /// shard count of the platform (the CLI warns when --shards exceeds it).
+  static int package_group_count(const Platform& platform);
+
+ private:
+  explicit ShardMap(std::vector<std::int32_t> starts);
+
+  std::vector<std::int32_t> starts_;    ///< starts_[s]..starts_[s+1]: shard s
+  std::vector<std::int32_t> shard_of_;  ///< flat element id -> shard id
+};
+
+}  // namespace kairos::platform

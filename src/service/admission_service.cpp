@@ -29,8 +29,18 @@ AdmissionService::AdmissionService(core::ResourceManager& manager,
   conflicts_ = registry.counter("service.commit_conflicts");
   fallbacks_ = registry.counter("service.fallbacks");
   batches_ = registry.counter("service.batches");
+  shard_commits_ = registry.counter("service.shard_commits");
+  cross_shard_commits_ = registry.counter("service.cross_shard_commits");
   queue_depth_ = registry.gauge("service.queue_depth");
   latency_ms_ = registry.histogram("service.latency_ms");
+
+  const auto shards = static_cast<std::size_t>(manager_.shard_count());
+  shard_queues_.resize(shards);
+  shard_conflicts_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_conflicts_.push_back(registry.counter(
+        "service.commit_conflicts.shard." + std::to_string(s)));
+  }
 
   workers_.reserve(static_cast<std::size_t>(config_.threads));
   for (int i = 0; i < config_.threads; ++i) {
@@ -54,7 +64,7 @@ std::future<core::AdmissionReport> AdmissionService::submit(
     }
     queue_.push_back(std::move(request));
     ++unsettled_;
-    queue_depth_.set(static_cast<double>(queue_.size()));
+    queue_depth_.set(static_cast<double>(queue_.size() + shard_queued_));
   }
   work_cv_.notify_one();
   return future;
@@ -117,8 +127,18 @@ void AdmissionService::settle(Request&& request,
 void AdmissionService::requeue(Request&& request) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(request));
-    queue_depth_.set(static_cast<double>(queue_.size()));
+    // Conflicted requests carry their primary shard: park them on that
+    // shard's queue so the next worker batches all retries for the
+    // contended region together. Anything untagged rejoins fresh traffic.
+    if (request.shard >= 0 &&
+        static_cast<std::size_t>(request.shard) < shard_queues_.size()) {
+      shard_queues_[static_cast<std::size_t>(request.shard)].push_back(
+          std::move(request));
+      ++shard_queued_;
+    } else {
+      queue_.push_back(std::move(request));
+    }
+    queue_depth_.set(static_cast<double>(queue_.size() + shard_queued_));
   }
   work_cv_.notify_one();
 }
@@ -134,14 +154,37 @@ void AdmissionService::worker_loop() {
     std::vector<Request> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, and nothing left to settle
-      const auto want = static_cast<std::size_t>(config_.max_batch);
-      while (!queue_.empty() && batch.size() < want) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      work_cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || shard_queued_ > 0;
+      });
+      if (queue_.empty() && shard_queued_ == 0) {
+        return;  // stopping, and nothing left to settle
       }
-      queue_depth_.set(static_cast<double>(queue_.size()));
+      const auto want = static_cast<std::size_t>(config_.max_batch);
+      if (shard_queued_ > 0) {
+        // Shard requeues first: a batch of retries for ONE shard re-stages
+        // against a single fresh snapshot and commits behind that shard's
+        // lock in one pass. Round-robin the starting shard so a hot shard
+        // cannot starve the others.
+        const std::size_t n = shard_queues_.size();
+        for (std::size_t probe = 0; probe < n; ++probe) {
+          std::deque<Request>& q = shard_queues_[(next_shard_ + probe) % n];
+          if (q.empty()) continue;
+          next_shard_ = (next_shard_ + probe + 1) % n;
+          while (!q.empty() && batch.size() < want) {
+            batch.push_back(std::move(q.front()));
+            q.pop_front();
+            --shard_queued_;
+          }
+          break;
+        }
+      } else {
+        while (!queue_.empty() && batch.size() < want) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      queue_depth_.set(static_cast<double>(queue_.size() + shard_queued_));
     }
     batches_.add(1);
 
@@ -161,8 +204,14 @@ void AdmissionService::worker_loop() {
       CommitRecord record;
       record.task_allocations = staged.task_allocations;
       record.routes = staged.routes;
+      const std::vector<int> footprint = manager_.shard_footprint(staged);
       auto committed = manager_.commit_staged(std::move(staged));
       if (committed.ok()) {
+        if (footprint.size() <= 1) {
+          shard_commits_.add(1);
+        } else {
+          cross_shard_commits_.add(1);
+        }
         record.handle = committed.value().handle;
         log_commit(std::move(record));
         settle(std::move(request), std::move(committed).value());
@@ -171,8 +220,13 @@ void AdmissionService::worker_loop() {
 
       // Conflict: the live platform moved underneath the snapshot.
       conflicts_.add(1);
+      const int primary = footprint.empty() ? 0 : footprint.front();
+      if (static_cast<std::size_t>(primary) < shard_conflicts_.size()) {
+        shard_conflicts_[static_cast<std::size_t>(primary)].add(1);
+      }
       if (request.attempt < config_.max_retries) {
         ++request.attempt;
+        request.shard = primary;
         requeue(std::move(request));
         continue;
       }

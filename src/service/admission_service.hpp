@@ -32,10 +32,23 @@
 // write lock. Throughput therefore scales with cores until commits saturate
 // (bench_service measures exactly this).
 //
+// Sharded commits (PR 9): the manager classifies every staged admission by
+// the shards its reservations touch, and commit_staged() takes only those
+// shard locks — so commits with disjoint footprints no longer serialize.
+// The service rides that: a conflicted request is requeued onto the queue
+// of its *primary* shard (the lowest in its footprint) instead of the main
+// queue, so retries against the same contended region batch together,
+// re-stage against one fresh snapshot, and settle behind that shard's lock
+// in one pass. Workers drain shard requeues before fresh submissions
+// (round-robin across shards so none starves).
+//
 // Observability (obs::Registry::global()):
 //   counter  service.admissions        applications admitted through the service
 //   counter  service.rejections        applications rejected (any phase)
 //   counter  service.commit_conflicts  optimistic commits that lost the race
+//   counter  service.commit_conflicts.shard.<k>  same, by primary shard
+//   counter  service.shard_commits       commits whose footprint was one shard
+//   counter  service.cross_shard_commits commits spanning several shards
 //   counter  service.fallbacks         requests settled by the exclusive path
 //   counter  service.batches           batches popped by workers
 //   gauge    service.queue_depth       requests waiting (not yet in a batch)
@@ -125,6 +138,9 @@ class AdmissionService {
     graph::Application app;
     std::promise<core::AdmissionReport> promise;
     int attempt = 0;
+    /// Primary shard of the last conflicted staging (-1 until a conflict):
+    /// which shard requeue the request lands on.
+    int shard = -1;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -139,10 +155,16 @@ class AdmissionService {
   ServiceConfig config_;
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< workers: queue non-empty or stopping
+  std::condition_variable work_cv_;  ///< workers: work available or stopping
   std::condition_variable idle_cv_;  ///< drain(): pending count hit zero
-  std::deque<Request> queue_;
-  std::size_t unsettled_ = 0;  ///< queued + inside a worker
+  std::deque<Request> queue_;  ///< fresh submissions
+  /// Conflicted requests, per primary shard: retries against the same
+  /// contended region batch together instead of interleaving with fresh
+  /// traffic. Drained before queue_, round-robin from next_shard_.
+  std::vector<std::deque<Request>> shard_queues_;
+  std::size_t shard_queued_ = 0;  ///< total across shard_queues_
+  std::size_t next_shard_ = 0;    ///< round-robin scan start
+  std::size_t unsettled_ = 0;     ///< queued + inside a worker
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
@@ -154,6 +176,9 @@ class AdmissionService {
   obs::Counter conflicts_;
   obs::Counter fallbacks_;
   obs::Counter batches_;
+  obs::Counter shard_commits_;
+  obs::Counter cross_shard_commits_;
+  std::vector<obs::Counter> shard_conflicts_;  ///< by primary shard
   obs::Gauge queue_depth_;
   obs::Histogram latency_ms_;
 };
