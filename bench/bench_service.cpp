@@ -20,6 +20,14 @@
 //                                          so the artifact shows how much
 //                                          commit serialisation sharding
 //                                          actually removed.
+//   telemetry sharded + the live plane  — tracer armed, a 50 ms
+//                                          TimeSeriesSampler, the telemetry
+//                                          socket server listening, and a
+//                                          scraper thread hammering
+//                                          /metrics + /healthz throughout.
+//                                          The v3 axis: obs_overhead_pct =
+//                                          throughput lost vs the bare
+//                                          sharded run — the budget is 5%.
 //
 // The speedup is a *capacity* number: staging (the mapping search) runs
 // outside every lock, so it scales with cores until commits saturate. On a
@@ -33,6 +41,7 @@
 //                        [--out <file>]
 //          (default BENCH_service.json; --threads replaces the 8-thread
 //           configuration, --shards the sharded scenario's 4-shard split)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,11 +53,18 @@
 
 #include "core/resource_manager.hpp"
 #include "gen/datasets.hpp"
+#include "net/net.hpp"
+#include "net/server.hpp"
 #include "obs/build_info.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry_server.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "platform/crisp.hpp"
 #include "service/admission_service.hpp"
+#include "service/command_session.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -72,6 +88,7 @@ struct ServiceRun {
   std::int64_t cross_shard_commits = 0;
   double cross_shard_ratio = 0.0;  ///< of successful optimistic commits
   double conflict_rate = 0.0;      ///< conflicts per submission
+  long scrapes = 0;  ///< telemetry scenario: /metrics + /healthz hits
 };
 
 /// The churn workload: `submissions` admissions drawn round-robin from a
@@ -79,7 +96,7 @@ struct ServiceRun {
 /// future settles (so the platform never saturates and the number measures
 /// admission throughput, not capacity).
 bool run_configuration(int threads, int shards, long submissions,
-                       ServiceRun& out) {
+                       ServiceRun& out, bool with_telemetry = false) {
   out.threads = threads;
   out.submissions = submissions;
 
@@ -100,6 +117,46 @@ bool run_configuration(int threads, int shards, long submissions,
   // Per-run counter/histogram isolation; the service is idle here, so the
   // reset boundary is crisp (see Registry::reset()'s contract).
   obs::Registry::global().reset();
+  obs::EventLog::global().reset();
+
+  // The telemetry scenario measures the full plane under fire: spans
+  // recorded, a fast sampler differencing the registry, the socket server
+  // up, and a scraper pulling /metrics + /healthz for the whole run — the
+  // worst realistic monitoring load, priced against the bare sharded run.
+  obs::TimeSeriesSampler sampler(obs::Registry::global(), {50, 600});
+  obs::TelemetryServer telemetry(obs::Registry::global(),
+                                 obs::Tracer::global(),
+                                 obs::EventLog::global(), sampler);
+  telemetry.set_stats_source(
+      [&] { return service::service_stats_json(manager, service); });
+  net::Server server(telemetry);
+  std::thread scraper;
+  std::atomic<bool> scraping{false};
+  long scrapes = 0;
+  if (with_telemetry) {
+    obs::Tracer::global().start();
+    net::Address address;  // 127.0.0.1, ephemeral port
+    address.port = 0;
+    if (!server.listen(address).ok()) {
+      std::fprintf(stderr, "bench_service: telemetry listen failed\n");
+      return false;
+    }
+    server.start();
+    sampler.start();
+    scraping.store(true);
+    scraper = std::thread([&server, &scraping, &scrapes] {
+      net::Address target;
+      target.port = server.bound_port();
+      while (scraping.load(std::memory_order_relaxed)) {
+        if (net::http_get(target, "/metrics").ok()) ++scrapes;
+        if (net::http_get(target, "/healthz").ok()) ++scrapes;
+        // ~100 scrape rounds/s — orders of magnitude past any real
+        // monitoring cadence, but paced: an unthrottled loop would measure
+        // "one core stolen by the scraper", not the plane's overhead.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
 
   util::Stopwatch wall;
   std::vector<std::future<core::AdmissionReport>> futures;
@@ -124,6 +181,15 @@ bool run_configuration(int threads, int shards, long submissions,
   }
   service.drain();
   out.wall_ms = wall.elapsed_ms();
+  if (with_telemetry) {
+    scraping.store(false);
+    if (scraper.joinable()) scraper.join();
+    sampler.stop();
+    server.stop();
+    obs::Tracer::global().stop();
+    obs::Tracer::global().drain();  // leave the ring empty for later runs
+    out.scrapes = scrapes;
+  }
   if (out.admitted == 0) {
     std::fprintf(stderr, "bench_service: nothing admitted at %d threads\n",
                  threads);
@@ -183,12 +249,13 @@ void write_run_json(obs::JsonWriter& json, const ServiceRun& run) {
   json.kv("cross_shard_commits", run.cross_shard_commits);
   json.kv("cross_shard_ratio", run.cross_shard_ratio);
   json.kv("conflict_rate", run.conflict_rate);
+  json.kv("telemetry_scrapes", static_cast<std::int64_t>(run.scrapes));
   json.end_object();
 }
 
 bool write_report(const std::string& path, const ServiceRun& serial,
                   const ServiceRun& parallel, const ServiceRun& sharded,
-                  bool smoke) {
+                  const ServiceRun& telemetry, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_service: cannot write '%s'\n", path.c_str());
@@ -196,7 +263,7 @@ bool write_report(const std::string& path, const ServiceRun& serial,
   }
   obs::JsonWriter json(out);
   json.begin_object();
-  json.kv("schema", "kairos-bench-service-v2");
+  json.kv("schema", "kairos-bench-service-v3");
   json.key("build");
   {
     const obs::BuildInfo& build = obs::build_info();
@@ -218,10 +285,17 @@ bool write_report(const std::string& path, const ServiceRun& serial,
   write_run_json(json, parallel);
   json.key("sharded");
   write_run_json(json, sharded);
+  json.key("telemetry");
+  write_run_json(json, telemetry);
   json.end_object();
   json.kv("speedup", parallel.admissions_per_sec / serial.admissions_per_sec);
   json.kv("sharded_speedup",
           sharded.admissions_per_sec / serial.admissions_per_sec);
+  // Throughput the live telemetry plane costs, against the identical bare
+  // configuration. Negative values are run-to-run noise.
+  json.kv("obs_overhead_pct",
+          100.0 * (sharded.admissions_per_sec - telemetry.admissions_per_sec) /
+              sharded.admissions_per_sec);
   json.end_object();
   out << "\n";
   return static_cast<bool>(out);
@@ -296,6 +370,19 @@ int main(int argc, char** argv) {
               static_cast<long long>(sharded.fallbacks),
               100.0 * sharded.cross_shard_ratio);
 
+  ServiceRun telemetry;
+  if (!run_configuration(parallel_threads, sharded_shards, submissions,
+                         telemetry, /*with_telemetry=*/true)) {
+    return 1;
+  }
+  const double obs_overhead_pct =
+      100.0 * (sharded.admissions_per_sec - telemetry.admissions_per_sec) /
+      sharded.admissions_per_sec;
+  std::printf("  + telemetry plane     : %7.0f admissions/s under %ld "
+              "scrapes (overhead %.1f%%, budget 5%%)\n",
+              telemetry.admissions_per_sec, telemetry.scrapes,
+              obs_overhead_pct);
+
   const double speedup =
       parallel.admissions_per_sec / serial.admissions_per_sec;
   const double sharded_speedup =
@@ -305,7 +392,9 @@ int main(int argc, char** argv) {
               speedup, sharded_speedup, parallel.threads,
               std::thread::hardware_concurrency());
 
-  if (!write_report(out_path, serial, parallel, sharded, smoke)) return 1;
+  if (!write_report(out_path, serial, parallel, sharded, telemetry, smoke)) {
+    return 1;
+  }
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -18,9 +18,12 @@
 //          kairos_cli --sweep [--fault-rate <r>] [--fault-rates <r,r,...>]
 //                     [--defrag-periods <t,t,...>] [--fault-model <spec>]
 //                     [--repair <t>] [--seed <n>] [--mo] [--p95]
-//          kairos_cli --serve [--threads <n>] [--batch <n>]
+//          kairos_cli --serve [--threads <n>] [--batch <n>] [--shards <n>]
+//                     [--listen <addr>] [--slo p99=<ms>,conflicts=<r>,queue=<d>]
 //                     [--mapper <name>] [--platform <file>] [<app-file>...]
-//          kairos_cli --version            (any mode: --trace-json <file>)
+//          kairos_cli --watch <addr> [--watch-iterations <n>]
+//          kairos_cli --health <addr>
+//          kairos_cli --version   (any mode: --trace-json <f>, --log-file <f>)
 //
 // Without --platform, the built-in CRISP model is used; without --mapper,
 // the paper's incremental mapper. --sa-full switches SA trial moves back to
@@ -47,7 +50,12 @@
 // hypervolume columns, --p95 per-cell time-weighted 95th-percentile
 // live/fragmentation/utilisation columns. The fourth form is the admission
 // daemon: a service::AdmissionService worker pool serving a newline-
-// delimited command protocol over stdin/stdout (see run_serve below).
+// delimited command protocol (service::CommandSession) over stdin/stdout
+// and — with --listen <port|host:port|unix:path> — over a socket that also
+// answers the telemetry endpoints (/metrics, /healthz, /stats.json, /trace,
+// /logs, /series, /summary; obs::TelemetryServer). --slo sets the /healthz
+// thresholds. --watch polls a daemon's /summary as a terminal dashboard;
+// --health probes /healthz once and exits 0/1/2 for ok/degraded/failing.
 //
 // Observability: --version prints the embedded build stamp (git SHA,
 // compiler, build type) and exits; --trace-json <file> records every
@@ -55,6 +63,7 @@
 // cells — and writes Chrome trace-event JSON loadable in Perfetto or
 // chrome://tracing. Both work with every mode.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +73,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -72,10 +82,16 @@
 #include "graph/app_io.hpp"
 #include "mappers/registry.hpp"
 #include "mo/objective.hpp"
+#include "net/net.hpp"
+#include "net/server.hpp"
 #include "obs/build_info.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry_server.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "service/admission_service.hpp"
+#include "service/command_session.hpp"
 #include "platform/crisp.hpp"
 #include "platform/fragmentation.hpp"
 #include "platform/platform_io.hpp"
@@ -164,150 +180,196 @@ int report_scenario(const kairos::sim::ScenarioStats& stats,
   return 0;
 }
 
-/// --serve: a long-running admission daemon over stdin/stdout, backed by the
-/// concurrent service::AdmissionService. The protocol is newline-delimited
-/// text — one command per line, one or more response lines, commands with a
-/// variable number of responses terminated by "done":
-///
-///   admit <file>...    load + submit each file; per app one line,
-///                      "admitted handle=<h> app=<name> ms=<t>" or
-///                      "rejected phase=<p> app=<name> reason=<r>"
-///   gen <n> [seed]     submit <n> generated applications (default seed 71)
-///   remove <handle>    "removed handle=<h>" or "error <reason>"
-///   stats              one line: live / fragmentation / pending / served
-///   metrics            the obs registry in text exposition, then "done"
-///   quit | EOF         drain, shut down, exit 0
-///
-/// Responses are flushed per command, so the daemon can sit behind a pipe.
+/// Parses "--slo p99=<ms>,conflicts=<per_sec>,queue=<depth>" (any subset;
+/// omitted checks stay disabled). False on an unknown key or non-numeric
+/// value.
+bool parse_slo(const std::string& text, kairos::obs::SloConfig& out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* end = nullptr;
+    const double number = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0') return false;
+    if (key == "p99") {
+      out.max_p99_latency_ms = number;
+    } else if (key == "conflicts") {
+      out.max_conflict_rate = number;
+    } else if (key == "queue") {
+      out.max_queue_depth = number;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// --serve: a long-running admission daemon, backed by the concurrent
+/// service::AdmissionService. The newline-delimited command protocol
+/// (service::CommandSession — admit/gen/remove/stats/metrics/quit, replies
+/// echo the minted request id) is served over stdin/stdout and, with
+/// --listen, over the same socket that answers the telemetry endpoints
+/// (/metrics, /healthz, /stats.json, /trace, /logs, /series, /summary).
 int run_serve(kairos::platform::Platform& platform,
               kairos::core::KairosConfig config, int threads, int batch,
-              const std::vector<std::string>& preload) {
+              const std::vector<std::string>& preload,
+              const std::string& listen_spec,
+              const kairos::obs::SloConfig& slo) {
   using namespace kairos;
   core::ResourceManager manager(platform, std::move(config));
   service::ServiceConfig service_config;
   service_config.threads = threads;
   service_config.max_batch = batch;
   service::AdmissionService service(manager, service_config);
+  service::CommandSession stdin_session(manager, service);
 
-  std::printf("serving (threads=%d batch=%d shards=%d); commands: "
-              "admit <file>..., gen <n> [seed], remove <handle>, stats, "
-              "metrics, quit\n",
-              threads, batch, manager.shard_count());
+  // The telemetry plane: sampler feeding /healthz + /series, server
+  // handling both framings. Constructed unconditionally (it is inert
+  // without a listener and compiles identically under KAIROS_NO_OBS).
+  obs::TimeSeriesSampler sampler;
+  obs::TelemetryServer::Options telemetry_options;
+  telemetry_options.slo = slo;
+  obs::TelemetryServer telemetry(obs::Registry::global(),
+                                 obs::Tracer::global(),
+                                 obs::EventLog::global(), sampler,
+                                 telemetry_options);
+  telemetry.set_stats_source(
+      [&] { return service::service_stats_json(manager, service); });
+  // Socket line protocol: one CommandSession per connection, parked on
+  // Conn::user. Pending admission batches follow the server's slow-work
+  // contract — mark busy, drain settled replies from the tick.
+  const auto session_of = [&](net::Conn& conn) {
+    if (!conn.user) {
+      conn.user = std::make_shared<service::CommandSession>(manager, service);
+    }
+    return static_cast<service::CommandSession*>(conn.user.get());
+  };
+  telemetry.set_line_handler(
+      [&](net::Conn& conn, const std::string& line) {
+        service::CommandSession* session = session_of(conn);
+        std::vector<std::string> replies;
+        const auto status = session->handle_line(line, replies);
+        for (const std::string& reply : replies) conn.send_line(reply);
+        if (status == service::CommandSession::Status::kPending) {
+          conn.set_busy(true);
+        } else if (status == service::CommandSession::Status::kQuit) {
+          conn.close_after_write();
+        }
+      },
+      [&](net::Conn& conn) {
+        service::CommandSession* session = session_of(conn);
+        std::vector<std::string> replies;
+        const bool done = session->poll(replies);
+        for (const std::string& reply : replies) conn.send_line(reply);
+        if (done) conn.set_busy(false);
+      });
+
+  net::Server server(telemetry);
+  if (!listen_spec.empty()) {
+    auto address = net::parse_address(listen_spec);
+    if (!address.ok()) {
+      std::fprintf(stderr, "--listen: %s\n", address.error().c_str());
+      return 64;
+    }
+    const auto bound = server.listen(address.value());
+    if (!bound.ok()) {
+      std::fprintf(stderr, "--listen: %s\n", bound.error().c_str());
+      return 69;  // EX_UNAVAILABLE: address in use / permission
+    }
+    // Arm span collection: a live daemon's /trace endpoint should have the
+    // admission spans of everything served (the ring bounds memory).
+    obs::Tracer::global().start();
+    server.start();
+    net::Address actual = address.value();
+    if (actual.kind == net::Address::Kind::kTcp) {
+      actual.port = server.bound_port();
+    }
+    std::printf("listening on %s\n", net::to_string(actual).c_str());
+  }
+  sampler.start();
+
+  std::printf("%s\n", stdin_session.greeting().c_str());
   std::fflush(stdout);
 
-  // Submit a batch and report each verdict in submission order.
-  const auto submit_all = [&](std::vector<graph::Application> apps) {
-    std::vector<std::pair<std::string, std::future<core::AdmissionReport>>>
-        futures;
-    futures.reserve(apps.size());
-    for (graph::Application& app : apps) {
-      std::string name = app.name();
-      futures.emplace_back(std::move(name), service.submit(std::move(app)));
+  const auto run_line = [&](const std::string& line) {
+    std::vector<std::string> replies;
+    const auto status = stdin_session.handle_line(line, replies);
+    if (status == service::CommandSession::Status::kPending) {
+      stdin_session.finish(replies);  // stdin is synchronous: block here
     }
-    for (auto& [name, future] : futures) {
-      const core::AdmissionReport report = future.get();
-      if (report.admitted) {
-        std::printf("admitted handle=%lld app=%s ms=%.3f\n",
-                    static_cast<long long>(report.handle), name.c_str(),
-                    report.times.total_ms());
-      } else {
-        std::printf("rejected phase=%s app=%s reason=%s\n",
-                    core::to_string(report.failed_phase).c_str(),
-                    name.c_str(), report.reason.c_str());
-      }
+    for (const std::string& reply : replies) {
+      std::fputs(reply.c_str(), stdout);
+      std::fputc('\n', stdout);
     }
+    std::fflush(stdout);
+    return status != service::CommandSession::Status::kQuit;
   };
 
   if (!preload.empty()) {
-    std::vector<graph::Application> apps;
-    for (const std::string& path : preload) {
-      std::optional<graph::Application> app;
-      if (load_application(path, app) == 0) apps.push_back(std::move(*app));
-    }
-    submit_all(std::move(apps));
-    std::printf("done\n");
-    std::fflush(stdout);
+    std::string admit_line = "admit";
+    for (const std::string& path : preload) admit_line += " " + path;
+    run_line(admit_line);
   }
 
   std::string line;
   while (std::getline(std::cin, line)) {
-    std::istringstream words(line);
-    std::string command;
-    words >> command;
-    if (command.empty()) continue;
-    if (command == "quit" || command == "exit") break;
-    if (command == "admit") {
-      std::vector<graph::Application> apps;
-      std::string path;
-      while (words >> path) {
-        std::optional<graph::Application> app;
-        if (load_application(path, app) == 0) apps.push_back(std::move(*app));
-      }
-      if (apps.empty()) {
-        std::printf("error admit requires at least one readable file\n");
-      } else {
-        submit_all(std::move(apps));
-      }
-      std::printf("done\n");
-    } else if (command == "gen") {
-      long count = 0;
-      long gen_seed = 71;
-      words >> count;
-      words >> gen_seed;
-      if (count <= 0) {
-        std::printf("error gen requires a positive count\n");
-      } else {
-        submit_all(gen::make_dataset(gen::DatasetKind::kCommunicationSmall,
-                                     static_cast<int>(count),
-                                     static_cast<unsigned>(gen_seed)));
-      }
-      std::printf("done\n");
-    } else if (command == "remove") {
-      long long handle = -1;
-      if (!(words >> handle)) {
-        std::printf("error remove requires a handle\n");
-      } else {
-        const auto removed =
-            service.remove(static_cast<core::AppHandle>(handle));
-        if (removed.ok()) {
-          std::printf("removed handle=%lld\n", handle);
-        } else {
-          std::printf("error %s\n", removed.error().c_str());
-        }
-      }
-    } else if (command == "stats") {
-      service.drain();  // settle in-flight work so the numbers are crisp
-      const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
-      const auto counter = [&](const char* name) {
-        const auto it = snapshot.counters.find(name);
-        return it == snapshot.counters.end() ? 0 : it->second;
-      };
-      std::printf("stats live=%zu fragmentation=%.1f%% pending=%zu "
-                  "admitted=%lld rejected=%lld conflicts=%lld "
-                  "shard_commits=%lld cross_shard_commits=%lld\n",
-                  manager.live_count(),
-                  100.0 * platform::external_fragmentation(
-                              manager.platform()),
-                  service.pending(),
-                  static_cast<long long>(counter("service.admissions")),
-                  static_cast<long long>(counter("service.rejections")),
-                  static_cast<long long>(counter("service.commit_conflicts")),
-                  static_cast<long long>(counter("service.shard_commits")),
-                  static_cast<long long>(
-                      counter("service.cross_shard_commits")));
-    } else if (command == "metrics") {
-      service.drain();
-      std::fputs(obs::Registry::global().to_text().c_str(), stdout);
-      std::printf("done\n");
-    } else {
-      std::printf("error unknown command '%s'\n", command.c_str());
-    }
-    std::fflush(stdout);
+    if (!run_line(line)) break;
   }
 
+  server.stop();
+  sampler.stop();
   service.stop();
   std::printf("served: %zu applications live at shutdown\n",
               manager.live_count());
+  return 0;
+}
+
+/// --health <addr>: one /healthz probe. Exit 0 ok, 1 degraded, 2 failing,
+/// 69 unreachable — the scriptable twin of the HTTP status (200/503).
+int run_health(const std::string& address_spec) {
+  using namespace kairos;
+  auto address = net::parse_address(address_spec);
+  if (!address.ok()) {
+    std::fprintf(stderr, "--health: %s\n", address.error().c_str());
+    return 64;
+  }
+  auto result = net::http_get(address.value(), "/healthz");
+  if (!result.ok()) {
+    std::fprintf(stderr, "--health: %s\n", result.error().c_str());
+    return 69;
+  }
+  const std::string& body = result.value().body;
+  std::printf("%s\n", body.c_str());
+  if (body.find("\"status\":\"ok\"") != std::string::npos) return 0;
+  if (body.find("\"status\":\"degraded\"") != std::string::npos) return 1;
+  return 2;
+}
+
+/// --watch <addr>: polls /summary once a second and reprints it — a
+/// minimal terminal dashboard for a live daemon. Exits (code 69) when the
+/// daemon stops answering; --watch-iterations bounds the loop for scripts.
+int run_watch(const std::string& address_spec, long iterations) {
+  using namespace kairos;
+  auto address = net::parse_address(address_spec);
+  if (!address.ok()) {
+    std::fprintf(stderr, "--watch: %s\n", address.error().c_str());
+    return 64;
+  }
+  for (long i = 0; iterations <= 0 || i < iterations; ++i) {
+    auto result = net::http_get(address.value(), "/summary");
+    if (!result.ok()) {
+      std::fprintf(stderr, "--watch: %s\n", result.error().c_str());
+      return 69;
+    }
+    std::printf("--- %s ---\n%s", net::to_string(address.value()).c_str(),
+                result.value().body.c_str());
+    std::fflush(stdout);
+    if (iterations > 0 && i + 1 >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
   return 0;
 }
 
@@ -383,6 +445,12 @@ int main(int argc, char** argv) {
   double serve_batch = 4.0;
   double serve_shards = 0.0;  // 0 = auto (one shard per package group)
   bool shards_given = false;
+  std::string listen_spec;
+  std::string watch_spec;
+  double watch_iterations = 0.0;  // 0 = until the daemon goes away
+  std::string health_spec;
+  std::string slo_spec;
+  std::string log_file_path;
   std::vector<std::string> app_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -467,6 +535,44 @@ int main(int argc, char** argv) {
       sweep = true;
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--listen") {
+      if (!next_string(listen_spec)) {
+        std::fprintf(stderr,
+                     "--listen requires an address (<port>, <host>:<port> "
+                     "or unix:<path>)\n");
+        return 64;
+      }
+    } else if (arg == "--watch") {
+      if (!next_string(watch_spec)) {
+        std::fprintf(stderr,
+                     "--watch requires a daemon address (<host>:<port> or "
+                     "unix:<path>)\n");
+        return 64;
+      }
+    } else if (arg == "--watch-iterations") {
+      if (!next_value(watch_iterations) || watch_iterations < 0.0) {
+        std::fprintf(stderr, "--watch-iterations requires a count >= 0\n");
+        return 64;
+      }
+    } else if (arg == "--health") {
+      if (!next_string(health_spec)) {
+        std::fprintf(stderr,
+                     "--health requires a daemon address (<host>:<port> or "
+                     "unix:<path>)\n");
+        return 64;
+      }
+    } else if (arg == "--slo") {
+      if (!next_string(slo_spec)) {
+        std::fprintf(stderr,
+                     "--slo requires thresholds, e.g. "
+                     "p99=5,conflicts=100,queue=64\n");
+        return 64;
+      }
+    } else if (arg == "--log-file") {
+      if (!next_string(log_file_path)) {
+        std::fprintf(stderr, "--log-file requires a file\n");
+        return 64;
+      }
     } else if (arg == "--threads") {
       if (!next_value(serve_threads)) {
         std::fprintf(stderr, "--threads requires a count\n");
@@ -595,9 +701,13 @@ int main(int argc, char** argv) {
                   "[--fault-model spec] [--repair t] [--seed n] [--mo] "
                   "[--p95]\n"
                   "       kairos_cli --serve [--threads n] [--batch n] "
-                  "[--shards n] "
+                  "[--shards n] [--listen addr] "
+                  "[--slo p99=ms,conflicts=r,queue=d] "
                   "[--mapper name] [--platform file] [<app-file>...]\n"
-                  "       common: [--version] [--trace-json file]\n",
+                  "       kairos_cli --watch addr [--watch-iterations n] | "
+                  "--health addr\n"
+                  "       common: [--version] [--trace-json file] "
+                  "[--log-file file]\n",
                   mapper_list().c_str());
       return 0;
     } else {
@@ -704,6 +814,52 @@ int main(int argc, char** argv) {
                  "--serve is its own mode; it cannot be combined with "
                  "--sweep/--workload/--trace\n");
     return 64;
+  }
+  if (!watch_spec.empty() || !health_spec.empty()) {
+    if (serve || sweep || !workload_name.empty() || !trace_path.empty() ||
+        !app_paths.empty()) {
+      std::fprintf(stderr,
+                   "--watch/--health are client modes: they talk to a "
+                   "running daemon and combine with nothing else\n");
+      return 64;
+    }
+  }
+  if (!listen_spec.empty() && !serve) {
+    std::fprintf(stderr, "--listen opens the daemon's socket; use it with "
+                         "--serve\n");
+    return 64;
+  }
+  if (!slo_spec.empty() && !serve) {
+    std::fprintf(stderr,
+                 "--slo sets the daemon's /healthz thresholds; use it with "
+                 "--serve\n");
+    return 64;
+  }
+  obs::SloConfig slo;
+  if (!slo_spec.empty() && !parse_slo(slo_spec, slo)) {
+    std::fprintf(stderr,
+                 "--slo: cannot parse '%s' (expected "
+                 "p99=<ms>,conflicts=<per_sec>,queue=<depth>, any subset)\n",
+                 slo_spec.c_str());
+    return 64;
+  }
+
+  // Structured JSONL event log to a file (rate-limited per sink; see
+  // obs/event_log.hpp). Useful in any mode, essential for daemons.
+  if (!log_file_path.empty()) {
+    auto sink = std::make_shared<std::ofstream>(log_file_path);
+    if (!*sink) {
+      std::fprintf(stderr, "cannot write log file '%s'\n",
+                   log_file_path.c_str());
+      return 66;
+    }
+    obs::EventLog::global().add_sink(sink);
+  }
+
+  // Client modes: one probe / a polling dashboard against a live daemon.
+  if (!health_spec.empty()) return run_health(health_spec);
+  if (!watch_spec.empty()) {
+    return run_watch(watch_spec, static_cast<long>(watch_iterations));
   }
   if (sweep && !record_trace_path.empty()) {
     std::fprintf(stderr,
@@ -860,7 +1016,8 @@ int main(int argc, char** argv) {
     }
     return run_serve(platform, std::move(config),
                      static_cast<int>(serve_threads),
-                     static_cast<int>(serve_batch), app_paths);
+                     static_cast<int>(serve_batch), app_paths, listen_spec,
+                     slo);
   }
 
   if (!workload_name.empty() || !trace_path.empty()) {

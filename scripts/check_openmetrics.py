@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validates an OpenMetrics text exposition document.
+
+Usage:
+    python3 scripts/check_openmetrics.py [file]        (stdin when no file)
+
+Checks the subset of the OpenMetrics spec the kairos /metrics endpoint
+promises: the "# EOF" terminator, well-formed metric/label syntax, one
+"# TYPE" per family before its samples, counter samples carrying the
+"_total" suffix, summaries exposing quantile/_count/_sum, and every value
+parsing as a float. Exits non-zero with a line-numbered message on the
+first violation. No third-party dependencies.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+LABEL_PAIR = re.compile(r'^(?P<key>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+# Sample-name suffixes each metric type may expose.
+TYPE_SUFFIXES = {
+    "counter": ("_total", "_created"),
+    "gauge": ("",),
+    "summary": ("", "_count", "_sum", "_created"),
+    "histogram": ("_bucket", "_count", "_sum", "_created"),
+    "unknown": ("",),
+}
+
+
+def fail(line_number, line, message):
+    sys.stderr.write(
+        f"check_openmetrics: line {line_number}: {message}\n    {line}\n"
+    )
+    sys.exit(1)
+
+
+def family_of(name, types):
+    """Longest declared family this sample name belongs to, or None."""
+    best = None
+    for family, metric_type in types.items():
+        for suffix in TYPE_SUFFIXES[metric_type]:
+            if name == family + suffix:
+                if best is None or len(family) > len(best):
+                    best = family
+    return best
+
+
+def check(text):
+    if not text.endswith("# EOF\n") and not text.endswith("# EOF"):
+        sys.stderr.write("check_openmetrics: missing '# EOF' terminator\n")
+        sys.exit(1)
+
+    types = {}
+    samples = 0
+    families_sampled = set()
+    saw_eof = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            fail(line_number, line, "content after '# EOF'")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line:
+            fail(line_number, line, "blank line (not allowed by OpenMetrics)")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                fail(line_number, line, "malformed comment line")
+            keyword, family = parts[1], parts[2]
+            if not METRIC_NAME.match(family):
+                fail(line_number, line, f"bad family name '{family}'")
+            if keyword == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPE_SUFFIXES:
+                    fail(line_number, line, "bad TYPE declaration")
+                if family in types:
+                    fail(line_number, line, f"duplicate TYPE for '{family}'")
+                if family in families_sampled:
+                    fail(line_number, line, f"TYPE for '{family}' after samples")
+                types[family] = parts[3]
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            fail(line_number, line, "malformed sample line")
+        name = match.group("name")
+        family = family_of(name, types)
+        if family is None:
+            fail(line_number, line, f"sample '{name}' has no preceding TYPE")
+        families_sampled.add(family)
+
+        labels = match.group("labels")
+        if labels is not None:
+            for pair in filter(None, labels.split(",")):
+                pair_match = LABEL_PAIR.match(pair)
+                if not pair_match:
+                    fail(line_number, line, f"malformed label '{pair}'")
+                if not LABEL_NAME.match(pair_match.group("key")):
+                    fail(line_number, line,
+                         f"bad label name '{pair_match.group('key')}'")
+
+        try:
+            float(match.group("value"))
+        except ValueError:
+            fail(line_number, line, f"bad value '{match.group('value')}'")
+        samples += 1
+
+    # Every declared summary must expose its _count and _sum.
+    for family, metric_type in types.items():
+        if metric_type == "summary" and family in families_sampled:
+            for suffix in ("_count", "_sum"):
+                pattern = re.compile(
+                    r"^" + re.escape(family + suffix) + r"(?:\{|\s)",
+                    re.MULTILINE,
+                )
+                if not pattern.search(text):
+                    sys.stderr.write(
+                        f"check_openmetrics: summary '{family}' lacks "
+                        f"{suffix}\n"
+                    )
+                    sys.exit(1)
+
+    return samples, len(families_sampled)
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.stderr.write(__doc__)
+        sys.exit(2)
+    if len(sys.argv) == 2:
+        with open(sys.argv[1]) as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    samples, families = check(text)
+    print(f"check_openmetrics: ok ({samples} samples, {families} families)")
+
+
+if __name__ == "__main__":
+    main()

@@ -125,6 +125,13 @@ struct AdmissionReport {
   PhaseTimes times;
   AppHandle handle = -1;
 
+  /// Request id minted by the admission service (0 when the report did not
+  /// travel through it, e.g. direct admit() calls). Product data, not
+  /// telemetry: the service's line-protocol reply echoes it, and spans /
+  /// log events tag themselves with it so one request is traceable across
+  /// every observability output.
+  std::uint64_t request_id = 0;
+
   /// Valid iff admitted.
   ExecutionLayout layout;
   double average_hops = 0.0;

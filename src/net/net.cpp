@@ -1,0 +1,240 @@
+#include "net/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace kairos::net {
+
+namespace {
+
+using util::Error;
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Connects a blocking socket to `address` within `timeout_ms` (connect in
+/// non-blocking mode, poll for writability, then restore blocking mode).
+util::Result<int> connect_fd(const Address& address, int timeout_ms) {
+  int fd = -1;
+  if (address.kind == Address::Kind::kUnix) {
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (address.path.size() >= sizeof(sun.sun_path)) {
+      return Error("unix socket path too long: " + address.path);
+    }
+    std::strncpy(sun.sun_path, address.path.c_str(), sizeof(sun.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Error(errno_message("socket"));
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0 &&
+        errno != EINPROGRESS) {
+      const std::string message = errno_message("connect");
+      ::close(fd);
+      return Error(message + " (" + address.path + ")");
+    }
+  } else {
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<std::uint16_t>(address.port));
+    if (::inet_pton(AF_INET, address.host.c_str(), &sin.sin_addr) != 1) {
+      return Error("not a numeric IPv4 address: " + address.host);
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Error(errno_message("socket"));
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0 &&
+        errno != EINPROGRESS) {
+      const std::string message = errno_message("connect");
+      ::close(fd);
+      return Error(message + " (" + to_string(address) + ")");
+    }
+  }
+
+  pollfd pfd{fd, POLLOUT, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) {
+    ::close(fd);
+    return Error("connect timed out (" + to_string(address) + ")");
+  }
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+  if (soerr != 0) {
+    ::close(fd);
+    return Error(std::string("connect: ") + std::strerror(soerr) + " (" +
+                 to_string(address) + ")");
+  }
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+  return fd;
+}
+
+/// Reads more bytes into `buffer` with a deadline; 0 = EOF, <0 = error.
+int read_some(int fd, std::string& buffer, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return -1;
+  char chunk[4096];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n < 0) return -1;
+  if (n == 0) return 0;
+  buffer.append(chunk, static_cast<std::size_t>(n));
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+util::Result<Address> parse_address(const std::string& spec) {
+  if (spec.empty()) return Error("empty listen address");
+  Address address;
+  if (spec.rfind("unix:", 0) == 0) {
+    address.kind = Address::Kind::kUnix;
+    address.path = spec.substr(5);
+    if (address.path.empty()) {
+      return Error("unix: address needs a path, e.g. unix:/tmp/kairos.sock");
+    }
+    return address;
+  }
+  address.kind = Address::Kind::kTcp;
+  std::string port_text = spec;
+  const auto colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) address.host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  if (port_text.empty()) return Error("missing port in '" + spec + "'");
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 0 || port > 65535) {
+    return Error("invalid port '" + port_text + "' in '" + spec + "'");
+  }
+  address.port = static_cast<int>(port);
+  return address;
+}
+
+std::string to_string(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) return "unix:" + address.path;
+  return address.host + ":" + std::to_string(address.port);
+}
+
+util::Result<HttpResult> http_get(const Address& address,
+                                  const std::string& target, int timeout_ms) {
+  auto connected = connect_fd(address, timeout_ms);
+  if (!connected.ok()) return Error(connected.error());
+  const int fd = connected.value();
+
+  const std::string request = "GET " + target +
+                              " HTTP/1.0\r\n"
+                              "Host: kairos\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Error(errno_message("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Read to EOF — the server closes after every response — with one overall
+  // deadline so a wedged peer cannot hang the caller.
+  std::string raw;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      ::close(fd);
+      return Error("http_get timed out (" + to_string(address) + target + ")");
+    }
+    const int n = read_some(fd, raw, static_cast<int>(left));
+    if (n == 0) break;  // EOF: response complete
+    if (n < 0) {
+      ::close(fd);
+      return Error("http_get read failed (" + to_string(address) + target +
+                   ")");
+    }
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 <status> <reason>\r\n" headers "\r\n\r\n" body.
+  HttpResult result;
+  if (raw.rfind("HTTP/", 0) != 0) return Error("not an HTTP response");
+  const auto space = raw.find(' ');
+  if (space == std::string::npos) return Error("malformed status line");
+  result.status = std::atoi(raw.c_str() + space + 1);
+  auto body = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body == std::string::npos) {
+    body = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body != std::string::npos) result.body = raw.substr(body + skip);
+  return result;
+}
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+util::VoidResult LineClient::connect(const Address& address, int timeout_ms) {
+  close();
+  auto connected = connect_fd(address, timeout_ms);
+  if (!connected.ok()) return Error(connected.error());
+  fd_ = connected.value();
+  return {};
+}
+
+util::VoidResult LineClient::send_line(const std::string& line) {
+  if (fd_ < 0) return Error("not connected");
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return Error(errno_message("send"));
+    sent += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+util::Result<std::string> LineClient::read_line(int timeout_ms) {
+  if (fd_ < 0) return Error("not connected");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return Error("read_line timed out");
+    const int n = read_some(fd_, buffer_, static_cast<int>(left));
+    if (n == 0) return Error("connection closed by peer");
+    if (n < 0) return Error("read_line timed out");
+  }
+}
+
+}  // namespace kairos::net

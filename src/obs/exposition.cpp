@@ -1,0 +1,118 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace kairos::obs {
+
+namespace {
+
+/// "service.latency_ms" -> "kairos_service_latency_ms".
+std::string sanitize(const std::string& name) {
+  std::string out = "kairos_";
+  out.reserve(name.size() + 7);
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Splits the registry's "<base>.shard.<k>" label convention. Returns the
+/// family name (sanitized base) and sets `label` to the shard token; names
+/// without the convention come back unchanged with an empty label.
+std::string split_shard_label(const std::string& name, std::string& label) {
+  const std::string marker = ".shard.";
+  const auto at = name.rfind(marker);
+  if (at == std::string::npos) {
+    label.clear();
+    return sanitize(name);
+  }
+  label = name.substr(at + marker.size());
+  return sanitize(name.substr(0, at));
+}
+
+void write_number(std::ostringstream& out, double value) {
+  // OpenMetrics numbers must be finite decimals; the registry can only hold
+  // finite values (JsonWriter clamps too), but clamp defensively.
+  if (value != value || value > 1e308 || value < -1e308) value = 0.0;
+  out << value;
+}
+
+struct Sample {
+  std::string label;  ///< shard token, empty = unlabelled
+  double value = 0.0;
+};
+
+}  // namespace
+
+const char* openmetrics_content_type() {
+  return "application/openmetrics-text; version=1.0.0; charset=utf-8";
+}
+
+std::string render_openmetrics(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+
+  // Group counters and gauges into families so the shard-labelled series
+  // share one # TYPE declaration.
+  std::map<std::string, std::vector<Sample>> counter_families;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string label;
+    const std::string family = split_shard_label(name, label);
+    counter_families[family].push_back({label, static_cast<double>(value)});
+  }
+  std::map<std::string, std::vector<Sample>> gauge_families;
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string label;
+    const std::string family = split_shard_label(name, label);
+    gauge_families[family].push_back({label, value});
+  }
+
+  for (const auto& [family, samples] : counter_families) {
+    out << "# TYPE " << family << " counter\n";
+    for (const Sample& sample : samples) {
+      out << family << "_total";
+      if (!sample.label.empty()) {
+        out << "{shard=\"" << sample.label << "\"}";
+      }
+      out << " ";
+      write_number(out, sample.value);
+      out << "\n";
+    }
+  }
+  for (const auto& [family, samples] : gauge_families) {
+    out << "# TYPE " << family << " gauge\n";
+    for (const Sample& sample : samples) {
+      out << family;
+      if (!sample.label.empty()) {
+        out << "{shard=\"" << sample.label << "\"}";
+      }
+      out << " ";
+      write_number(out, sample.value);
+      out << "\n";
+    }
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string family = sanitize(name);
+    out << "# TYPE " << family << " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
+    for (const auto& [q, value] : quantiles) {
+      out << family << "{quantile=\"" << q << "\"} ";
+      write_number(out, value);
+      out << "\n";
+    }
+    out << family << "_count " << h.count << "\n";
+    out << family << "_sum ";
+    write_number(out, h.mean * static_cast<double>(h.count));
+    out << "\n";
+  }
+
+  out << "# EOF\n";
+  return out.str();
+}
+
+}  // namespace kairos::obs

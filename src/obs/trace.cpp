@@ -12,9 +12,21 @@ namespace {
 /// Per-thread nesting depth of open spans (only maintained while armed).
 thread_local int g_span_depth = 0;
 
+/// The request id of the RequestScope the calling thread is inside (0 =
+/// none). Read by Span (trace "req" arg) and EventLog ("request_id" field).
+thread_local std::uint64_t g_request_id = 0;
+
 std::atomic<int> g_next_thread_id{1};
 
 }  // namespace
+
+std::uint64_t current_request_id() { return g_request_id; }
+
+RequestScope::RequestScope(std::uint64_t id) : prev_(g_request_id) {
+  g_request_id = id;
+}
+
+RequestScope::~RequestScope() { g_request_id = prev_; }
 
 int current_thread_id() {
   thread_local const int id =
@@ -51,16 +63,46 @@ double Tracer::now_us() const {
 
 void Tracer::record(TraceEvent event) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(std::move(event));
+  while (events_.size() >= capacity_ && !events_.empty()) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  if (capacity_ > 0) events_.push_back(std::move(event));
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::int64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return events_;
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out(std::make_move_iterator(events_.begin()),
+                              std::make_move_iterator(events_.end()));
+  events_.clear();
+  return out;
 }
 
 void Tracer::write_json(std::ostream& out) const {
-  const std::vector<TraceEvent> events = this->events();
+  write_json(this->events(), out);
+}
+
+void Tracer::write_json(const std::vector<TraceEvent>& events,
+                        std::ostream& out) {
   JsonWriter json(out);
   json.begin_object();
   json.key("traceEvents");
@@ -101,6 +143,7 @@ Span::Span(const std::string& name) {
     name_ = name;
     start_us_ = tracer.now_us();
     depth_ = g_span_depth++;
+    request_id_ = g_request_id;
   }
 }
 
@@ -117,6 +160,9 @@ Span::~Span() {
   event.tid = current_thread_id();
   event.depth = depth_;
   event.args = std::move(args_);
+  if (request_id_ != 0) {
+    event.args.emplace_back("req", std::to_string(request_id_));
+  }
   tracer.record(std::move(event));
 }
 

@@ -42,6 +42,7 @@
 #ifndef KAIROS_NO_OBS
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <mutex>
 #endif
 
@@ -54,8 +55,47 @@ struct TraceEvent {
   double dur_us = 0.0;  ///< duration, microseconds
   int tid = 0;          ///< dense per-thread id (one viewer track each)
   int depth = 0;        ///< nesting depth on its thread at start (root = 0)
+  /// "req" carries the admission-service request id when the span closed
+  /// inside a RequestScope (see below) — how one request's timeline is
+  /// grepped out of a daemon's trace.
   std::vector<std::pair<std::string, std::string>> args;
 };
+
+/// The admission-service request id attached to everything the calling
+/// thread records while a RequestScope is alive: spans gain a "req" arg,
+/// EventLog entries a "request_id" field. 0 = no request in scope.
+///
+/// This is how a single submit() is followed through stage -> conflict ->
+/// requeue -> commit across worker threads: each worker opens a scope for
+/// the request it is processing, so whichever thread touches the request
+/// tags its telemetry with the same id.
+std::uint64_t current_request_id();
+
+#ifndef KAIROS_NO_OBS
+
+/// RAII setter for current_request_id() (saves and restores the previous
+/// value, so scopes nest).
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t id);
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+  ~RequestScope();
+
+ private:
+  std::uint64_t prev_;
+};
+
+#else
+
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t) {}
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+};
+
+#endif  // KAIROS_NO_OBS
 
 #ifndef KAIROS_NO_OBS
 
@@ -80,13 +120,31 @@ class Tracer {
 
   void record(TraceEvent event);
 
+  /// Bounds the event buffer: once `capacity` events are held, recording a
+  /// new one drops the oldest (the buffer is a ring). A long-running daemon
+  /// keeps the *most recent* window of spans for /trace instead of growing
+  /// without bound. Default 65536. dropped() counts the evictions since
+  /// start().
+  void set_capacity(std::size_t capacity);
+  std::int64_t dropped() const;
+
   /// Snapshot of the collected events (finished spans, completion order).
   std::vector<TraceEvent> events() const;
+
+  /// Moves the collected events out and clears the buffer, leaving
+  /// collection armed — the /trace endpoint's semantics: each scrape gets
+  /// the spans recorded since the previous one.
+  std::vector<TraceEvent> drain();
 
   /// Serialises the collected events as one Chrome trace-event JSON
   /// document: {"traceEvents":[...],"otherData":{build stamp},
   /// "displayTimeUnit":"ms"}. Valid JSON even when empty.
   void write_json(std::ostream& out) const;
+
+  /// Same document, but from an explicit event list (what drain() returned)
+  /// — the /trace endpoint serialises outside the tracer's lock.
+  static void write_json(const std::vector<TraceEvent>& events,
+                         std::ostream& out);
 
  private:
   std::atomic<bool> active_{false};
@@ -95,7 +153,9 @@ class Tracer {
   /// thread while start() may be rewriting it.
   std::atomic<std::int64_t> epoch_ns_{0};
   mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = 65536;
+  std::int64_t dropped_ = 0;
 };
 
 /// Dense id of the calling thread (assigned on first use, stable after).
@@ -126,6 +186,7 @@ class Span {
   std::string name_;
   double start_us_ = 0.0;
   int depth_ = 0;
+  std::uint64_t request_id_ = 0;  ///< current_request_id() at open
   bool armed_ = false;  ///< tracer was active when the span opened
   std::vector<std::pair<std::string, std::string>> args_;
 };
@@ -148,11 +209,19 @@ class Tracer {
   bool active() const { return false; }
   double now_us() const { return 0.0; }
   void record(TraceEvent) {}
+  void set_capacity(std::size_t) {}
+  std::int64_t dropped() const { return 0; }
   std::vector<TraceEvent> events() const { return {}; }
+  std::vector<TraceEvent> drain() { return {}; }
   void write_json(std::ostream& out) const {
     out << "{\"traceEvents\":[],\"otherData\":{},\"displayTimeUnit\":\"ms\"}";
   }
+  static void write_json(const std::vector<TraceEvent>&, std::ostream& out) {
+    out << "{\"traceEvents\":[],\"otherData\":{},\"displayTimeUnit\":\"ms\"}";
+  }
 };
+
+inline std::uint64_t current_request_id() { return 0; }
 
 inline int current_thread_id() { return 0; }
 

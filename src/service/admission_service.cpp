@@ -1,6 +1,10 @@
 #include "service/admission_service.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/event_log.hpp"
+#include "obs/trace.hpp"
 
 namespace kairos::service {
 
@@ -12,6 +16,12 @@ core::AdmissionReport stopped_report() {
   report.failed_phase = core::Phase::kNone;
   report.reason = "service stopped";
   return report;
+}
+
+/// Metric-name suffix for the capped per-shard families: exact labels for
+/// the first kMaxShardMetricLabels shards, ".other" for the tail.
+std::string shard_label(std::size_t index, std::size_t exact) {
+  return index < exact ? std::to_string(index) : std::string("other");
 }
 
 }  // namespace
@@ -36,10 +46,22 @@ AdmissionService::AdmissionService(core::ResourceManager& manager,
 
   const auto shards = static_cast<std::size_t>(manager_.shard_count());
   shard_queues_.resize(shards);
-  shard_conflicts_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    shard_conflicts_.push_back(registry.counter(
-        "service.commit_conflicts.shard." + std::to_string(s)));
+
+  // Capped per-shard families (label policy, obs/metrics.hpp): one metric
+  // cell per exact label, shards past the cap share the ".other" cell.
+  const std::size_t exact = std::min(shards, kMaxShardMetricLabels);
+  const std::size_t cells = exact + (shards > exact ? 1 : 0);
+  shard_conflicts_.reserve(cells);
+  shard_commit_by_shard_.reserve(cells);
+  shard_depth_gauges_.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    const std::string label = shard_label(c, exact);
+    shard_conflicts_.push_back(
+        registry.counter("service.commit_conflicts.shard." + label));
+    shard_commit_by_shard_.push_back(
+        registry.counter("service.commits.shard." + label));
+    shard_depth_gauges_.push_back(
+        registry.gauge("service.queue_depth.shard." + label));
   }
 
   workers_.reserve(static_cast<std::size_t>(config_.threads));
@@ -51,15 +73,21 @@ AdmissionService::AdmissionService(core::ResourceManager& manager,
 AdmissionService::~AdmissionService() { stop(); }
 
 std::future<core::AdmissionReport> AdmissionService::submit(
-    graph::Application app) {
+    graph::Application app, std::uint64_t* request_id_out) {
   Request request;
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (request_id_out != nullptr) *request_id_out = request.id;
+  obs::EventLog::global().log(obs::LogLevel::kDebug, "service", "submitted",
+                              {{"app", app.name()}}, request.id);
   request.app = std::move(app);
   request.enqueued = std::chrono::steady_clock::now();
   std::future<core::AdmissionReport> future = request.promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      request.promise.set_value(stopped_report());
+      core::AdmissionReport report = stopped_report();
+      report.request_id = request.id;
+      request.promise.set_value(std::move(report));
       return future;
     }
     queue_.push_back(std::move(request));
@@ -109,10 +137,20 @@ void AdmissionService::settle(Request&& request,
           std::chrono::steady_clock::now() - request.enqueued)
           .count();
   latency_ms_.record(latency_ms);
+  report.request_id = request.id;
   if (report.admitted) {
     admissions_.add(1);
+    obs::EventLog::global().log(
+        obs::LogLevel::kInfo, "service", "admitted",
+        {{"app", request.app.name()},
+         {"handle", std::to_string(report.handle)}},
+        request.id);
   } else {
     rejections_.add(1);
+    obs::EventLog::global().log(obs::LogLevel::kInfo, "service", "rejected",
+                                {{"app", request.app.name()},
+                                 {"reason", report.reason}},
+                                request.id);
   }
   request.promise.set_value(std::move(report));
   bool idle = false;
@@ -125,6 +163,11 @@ void AdmissionService::settle(Request&& request,
 }
 
 void AdmissionService::requeue(Request&& request) {
+  obs::EventLog::global().log(obs::LogLevel::kDebug, "service", "requeued",
+                              {{"app", request.app.name()},
+                               {"shard", std::to_string(request.shard)},
+                               {"attempt", std::to_string(request.attempt)}},
+                              request.id);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     // Conflicted requests carry their primary shard: park them on that
@@ -132,15 +175,44 @@ void AdmissionService::requeue(Request&& request) {
     // contended region together. Anything untagged rejoins fresh traffic.
     if (request.shard >= 0 &&
         static_cast<std::size_t>(request.shard) < shard_queues_.size()) {
-      shard_queues_[static_cast<std::size_t>(request.shard)].push_back(
+      const int shard = request.shard;
+      shard_queues_[static_cast<std::size_t>(shard)].push_back(
           std::move(request));
       ++shard_queued_;
+      update_shard_depth_locked(shard);
     } else {
       queue_.push_back(std::move(request));
     }
     queue_depth_.set(static_cast<double>(queue_.size() + shard_queued_));
   }
   work_cv_.notify_one();
+}
+
+std::size_t AdmissionService::shard_label_index(int shard) const {
+  if (shard < 0) return 0;
+  const std::size_t exact =
+      std::min(shard_queues_.size(), kMaxShardMetricLabels);
+  const auto s = static_cast<std::size_t>(shard);
+  return s < exact ? s : exact;  // past the cap -> the trailing ".other"
+}
+
+void AdmissionService::update_shard_depth_locked(int shard) {
+  if (shard_depth_gauges_.empty()) return;
+  const std::size_t index = shard_label_index(shard);
+  if (index >= shard_depth_gauges_.size()) return;
+  const std::size_t exact =
+      std::min(shard_queues_.size(), kMaxShardMetricLabels);
+  if (index < exact) {
+    shard_depth_gauges_[index].set(
+        static_cast<double>(shard_queues_[index].size()));
+    return;
+  }
+  // The ".other" label covers every shard past the cap; re-sum the tail.
+  std::size_t depth = 0;
+  for (std::size_t s = exact; s < shard_queues_.size(); ++s) {
+    depth += shard_queues_[s].size();
+  }
+  shard_depth_gauges_[index].set(static_cast<double>(depth));
 }
 
 void AdmissionService::log_commit(CommitRecord record) {
@@ -168,14 +240,16 @@ void AdmissionService::worker_loop() {
         // cannot starve the others.
         const std::size_t n = shard_queues_.size();
         for (std::size_t probe = 0; probe < n; ++probe) {
-          std::deque<Request>& q = shard_queues_[(next_shard_ + probe) % n];
+          const std::size_t shard = (next_shard_ + probe) % n;
+          std::deque<Request>& q = shard_queues_[shard];
           if (q.empty()) continue;
-          next_shard_ = (next_shard_ + probe + 1) % n;
+          next_shard_ = (shard + 1) % n;
           while (!q.empty() && batch.size() < want) {
             batch.push_back(std::move(q.front()));
             q.pop_front();
             --shard_queued_;
           }
+          update_shard_depth_locked(static_cast<int>(shard));
           break;
         }
       } else {
@@ -195,6 +269,9 @@ void AdmissionService::worker_loop() {
     // harmless: commit_staged() is what decides against the live platform.
     platform::Platform scratch = manager_.snapshot_platform();
     for (Request& request : batch) {
+      // Every span and log event emitted while this request stages,
+      // commits, requeues or falls back carries its id.
+      const obs::RequestScope request_scope(request.id);
       core::StagedAdmission staged = manager_.stage(request.app, scratch);
       if (!staged.report.admitted) {
         settle(std::move(request), std::move(staged.report));
@@ -205,12 +282,17 @@ void AdmissionService::worker_loop() {
       record.task_allocations = staged.task_allocations;
       record.routes = staged.routes;
       const std::vector<int> footprint = manager_.shard_footprint(staged);
+      const int primary = footprint.empty() ? 0 : footprint.front();
       auto committed = manager_.commit_staged(std::move(staged));
       if (committed.ok()) {
         if (footprint.size() <= 1) {
           shard_commits_.add(1);
         } else {
           cross_shard_commits_.add(1);
+        }
+        const std::size_t cell = shard_label_index(primary);
+        if (cell < shard_commit_by_shard_.size()) {
+          shard_commit_by_shard_[cell].add(1);
         }
         record.handle = committed.value().handle;
         log_commit(std::move(record));
@@ -220,10 +302,16 @@ void AdmissionService::worker_loop() {
 
       // Conflict: the live platform moved underneath the snapshot.
       conflicts_.add(1);
-      const int primary = footprint.empty() ? 0 : footprint.front();
-      if (static_cast<std::size_t>(primary) < shard_conflicts_.size()) {
-        shard_conflicts_[static_cast<std::size_t>(primary)].add(1);
+      {
+        const std::size_t cell = shard_label_index(primary);
+        if (cell < shard_conflicts_.size()) shard_conflicts_[cell].add(1);
       }
+      obs::EventLog::global().log(
+          obs::LogLevel::kWarn, "service", "commit conflict",
+          {{"app", request.app.name()},
+           {"shard", std::to_string(primary)},
+           {"attempt", std::to_string(request.attempt)}},
+          request.id);
       if (request.attempt < config_.max_retries) {
         ++request.attempt;
         request.shard = primary;
@@ -233,6 +321,9 @@ void AdmissionService::worker_loop() {
       // Retries exhausted — the exclusive path phases under the write lock
       // and therefore cannot conflict; its verdict is final.
       fallbacks_.add(1);
+      obs::EventLog::global().log(obs::LogLevel::kInfo, "service",
+                                  "fallback to exclusive admit",
+                                  {{"app", request.app.name()}}, request.id);
       core::AdmissionReport report = manager_.admit(request.app);
       if (report.admitted) {
         CommitRecord fallback;

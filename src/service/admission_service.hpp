@@ -47,14 +47,29 @@
 //   counter  service.rejections        applications rejected (any phase)
 //   counter  service.commit_conflicts  optimistic commits that lost the race
 //   counter  service.commit_conflicts.shard.<k>  same, by primary shard
+//   counter  service.commits.shard.<k>   successful commits, by primary shard
 //   counter  service.shard_commits       commits whose footprint was one shard
 //   counter  service.cross_shard_commits commits spanning several shards
 //   counter  service.fallbacks         requests settled by the exclusive path
 //   counter  service.batches           batches popped by workers
 //   gauge    service.queue_depth       requests waiting (not yet in a batch)
+//   gauge    service.queue_depth.shard.<k>  conflicted retries parked, by shard
 //   histogram service.latency_ms       submit() -> settled, per request
+//
+// Per-shard families are capped at kMaxShardMetricLabels exact labels; a
+// platform sharded wider aggregates the tail into the single ".shard.other"
+// label (see "Label policy" in obs/metrics.hpp) so metric cardinality stays
+// bounded however the platform is partitioned.
+//
+// Request ids: submit() mints a process-unique id (monotone from 1), carried
+// on the Request and stamped into the settled AdmissionReport. Workers open
+// an obs::RequestScope around each request so every span and log event
+// emitted while staging/committing/requeueing it is tagged with the id; the
+// serve-mode line protocol echoes it back in replies. Discrete outcomes
+// (reject, conflict, fallback) also land in obs::EventLog::global().
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -110,7 +125,12 @@ class AdmissionService {
   /// (admitted with handle, or rejected with phase + reason) once a worker
   /// has processed it. Never blocks on the admission itself. After stop(),
   /// settles immediately with a rejection.
-  std::future<core::AdmissionReport> submit(graph::Application app);
+  ///
+  /// `request_id_out`, when non-null, receives the id minted for this
+  /// request immediately (callers echo it before the future settles — the
+  /// serve protocol acknowledges "queued req=<id>" at submit time).
+  std::future<core::AdmissionReport> submit(
+      graph::Application app, std::uint64_t* request_id_out = nullptr);
 
   /// Synchronous removal, forwarded to the manager (removal holds the write
   /// lock only briefly — there is nothing to overlap).
@@ -133,10 +153,15 @@ class AdmissionService {
 
   const ServiceConfig& config() const { return config_; }
 
+  /// Exact per-shard metric labels before the tail collapses into
+  /// ".shard.other" — the registry-cardinality cap (obs/metrics.hpp).
+  static constexpr std::size_t kMaxShardMetricLabels = 8;
+
  private:
   struct Request {
     graph::Application app;
     std::promise<core::AdmissionReport> promise;
+    std::uint64_t id = 0;  ///< minted by submit(), echoed in the report
     int attempt = 0;
     /// Primary shard of the last conflicted staging (-1 until a conflict):
     /// which shard requeue the request lands on.
@@ -145,11 +170,17 @@ class AdmissionService {
   };
 
   void worker_loop();
-  /// Settles one request: fulfils the promise, records latency + outcome
-  /// metrics, decrements the pending count.
+  /// Settles one request: stamps the request id into the report, fulfils
+  /// the promise, records latency + outcome metrics, decrements the pending
+  /// count.
   void settle(Request&& request, core::AdmissionReport report);
   void requeue(Request&& request);
   void log_commit(CommitRecord record);
+  /// Index into the capped per-shard metric vectors for a shard number.
+  std::size_t shard_label_index(int shard) const;
+  /// Recomputes the queue-depth gauge for the label covering `shard`
+  /// (callers hold mutex_; the ".other" label sums its whole tail).
+  void update_shard_depth_locked(int shard);
 
   core::ResourceManager& manager_;
   ServiceConfig config_;
@@ -178,9 +209,15 @@ class AdmissionService {
   obs::Counter batches_;
   obs::Counter shard_commits_;
   obs::Counter cross_shard_commits_;
-  std::vector<obs::Counter> shard_conflicts_;  ///< by primary shard
+  /// Per-shard families, indexed by shard_label_index(): one cell per exact
+  /// label plus (when the platform has more shards) a trailing ".other".
+  std::vector<obs::Counter> shard_conflicts_;
+  std::vector<obs::Counter> shard_commit_by_shard_;
+  std::vector<obs::Gauge> shard_depth_gauges_;
   obs::Gauge queue_depth_;
   obs::Histogram latency_ms_;
+
+  std::atomic<std::uint64_t> next_request_id_{0};
 };
 
 }  // namespace kairos::service
